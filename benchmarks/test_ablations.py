@@ -1,0 +1,17 @@
+"""Ablation benchmarks: design choices DESIGN.md calls out.
+
+These are not paper figures; they probe claims the paper makes in
+prose (Sections 3.2, 4.4, 6.1, 5) and the central Theorem 2 knob.
+"""
+
+import pytest
+
+from repro.harness.ablations import ALL_ABLATIONS
+
+
+@pytest.mark.parametrize("name", sorted(ALL_ABLATIONS))
+def test_ablation(name, benchmark, record_figure):
+    result = benchmark.pedantic(
+        lambda: ALL_ABLATIONS[name](preset="bench"), rounds=1, iterations=1
+    )
+    record_figure(result)

@@ -1,0 +1,25 @@
+"""Figure 12: effect of 6x random slowdown on three graph densities.
+
+Paper claim: no graph is immune to random slowdown, and sparser graphs
+suffer less.
+"""
+
+from repro.harness import fig12_heterogeneity
+
+
+def test_fig12_cnn(benchmark, record_figure):
+    result = benchmark.pedantic(
+        lambda: fig12_heterogeneity(preset="bench", workload_name="cnn"),
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result, "cnn")
+
+
+def test_fig12_svm(benchmark, record_figure):
+    result = benchmark.pedantic(
+        lambda: fig12_heterogeneity(preset="bench", workload_name="svm"),
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result, "svm")

@@ -1,0 +1,26 @@
+"""Figure 13: decentralized training vs a BSP parameter server.
+
+Paper claim: decentralized training, in either homogeneous or
+heterogeneous environments, converges much faster on wall-clock time
+than a homogeneous PS (whose NIC is the hotspot).
+"""
+
+from repro.harness import fig13_vs_ps
+
+
+def test_fig13_cnn(benchmark, record_figure):
+    result = benchmark.pedantic(
+        lambda: fig13_vs_ps(preset="bench", workload_name="cnn"),
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result, "cnn")
+
+
+def test_fig13_svm(benchmark, record_figure):
+    result = benchmark.pedantic(
+        lambda: fig13_vs_ps(preset="bench", workload_name="svm"),
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result, "svm")

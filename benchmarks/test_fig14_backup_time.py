@@ -1,0 +1,26 @@
+"""Figure 14: backup workers, loss vs wall-clock, 6x random slowdown.
+
+Paper claim: with one backup worker, training converges faster than
+standard decentralized training on wall-clock time, on both the
+ring-based and double-ring graphs.
+"""
+
+from repro.harness import fig14_backup_time
+
+
+def test_fig14_cnn(benchmark, record_figure):
+    result = benchmark.pedantic(
+        lambda: fig14_backup_time(preset="bench", workload_name="cnn"),
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result, "cnn")
+
+
+def test_fig14_svm(benchmark, record_figure):
+    result = benchmark.pedantic(
+        lambda: fig14_backup_time(preset="bench", workload_name="svm"),
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result, "svm")

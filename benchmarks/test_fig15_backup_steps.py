@@ -1,0 +1,25 @@
+"""Figure 15: backup workers, loss vs steps.
+
+Paper claim: receiving one less update hurts per-iteration progress
+only insignificantly compared to the wall-clock gain.
+"""
+
+from repro.harness import fig15_backup_steps
+
+
+def test_fig15_cnn(benchmark, record_figure):
+    result = benchmark.pedantic(
+        lambda: fig15_backup_steps(preset="bench", workload_name="cnn"),
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result, "cnn")
+
+
+def test_fig15_svm(benchmark, record_figure):
+    result = benchmark.pedantic(
+        lambda: fig15_backup_steps(preset="bench", workload_name="svm"),
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result, "svm")

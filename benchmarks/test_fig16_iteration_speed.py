@@ -1,0 +1,17 @@
+"""Figure 16: iteration-speed speedup from backup workers.
+
+Paper claim: under 6x random slowdown, backup workers speed up
+iteration throughput by up to 1.81x over standard decentralized
+training (CNN workload).
+"""
+
+from repro.harness import fig16_iteration_speed
+
+
+def test_fig16_iteration_speed(benchmark, record_figure):
+    result = benchmark.pedantic(
+        lambda: fig16_iteration_speed(preset="bench", workload_name="cnn"),
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)

@@ -1,0 +1,16 @@
+"""Figure 17: bounded staleness under 6x random slowdown.
+
+Paper claim: a staleness bound of 5 achieves a similar speedup to
+backup workers, and both outperform standard decentralized training.
+"""
+
+from repro.harness import fig17_staleness
+
+
+def test_fig17_staleness(benchmark, record_figure):
+    result = benchmark.pedantic(
+        lambda: fig17_staleness(preset="bench", workload_name="cnn"),
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)

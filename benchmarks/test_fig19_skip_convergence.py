@@ -1,0 +1,26 @@
+"""Figure 19: skipping iterations, convergence on wall-clock.
+
+Paper claim: skipping beats the plain backup-worker setting, and
+allowing jumps of up to 10 iterations converges fastest (more than 2x
+over the standard decentralized system).
+"""
+
+from repro.harness import fig19_skip_convergence
+
+
+def test_fig19_cnn(benchmark, record_figure):
+    result = benchmark.pedantic(
+        lambda: fig19_skip_convergence(preset="bench", workload_name="cnn"),
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result, "cnn")
+
+
+def test_fig19_svm(benchmark, record_figure):
+    result = benchmark.pedantic(
+        lambda: fig19_skip_convergence(preset="bench", workload_name="svm"),
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result, "svm")

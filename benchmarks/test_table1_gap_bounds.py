@@ -1,0 +1,16 @@
+"""Table 1: theoretical iteration-gap bounds vs observed gaps.
+
+Paper claims encoded as checks: observed gaps never exceed the
+per-setting bounds (Theorems 1 and 2, the NOTIFY-ACK analysis, the
+staleness bound), and the extra slack of the looser settings is
+actually exploited under a deterministic straggler.
+"""
+
+from repro.harness import table1_gap_bounds
+
+
+def test_table1_gap_bounds(benchmark, record_figure):
+    result = benchmark.pedantic(
+        lambda: table1_gap_bounds(preset="bench"), rounds=1, iterations=1
+    )
+    record_figure(result)

@@ -1,0 +1,20 @@
+"""repro — reproduction of "Hop: Heterogeneity-Aware Decentralized
+Training" (Luo, Lin, Zhuo, Qian; ASPLOS 2019).
+
+Subpackages:
+
+* :mod:`repro.sim` — deterministic discrete-event simulation engine.
+* :mod:`repro.graphs` — communication topologies and spectral analysis.
+* :mod:`repro.ml` — pure-numpy training engine (CNN / SVM workloads).
+* :mod:`repro.net` — link timing, message fabric, NIC contention.
+* :mod:`repro.hetero` — compute-time models and slowdown injection.
+* :mod:`repro.core` — the Hop protocol (update/token queues, gap
+  theory, backup workers, bounded staleness, skipping, NOTIFY-ACK).
+* :mod:`repro.baselines` — parameter server, ring all-reduce, AD-PSGD.
+* :mod:`repro.harness` — workloads, experiment specs, figure
+  reproduction, sweeps, reports.
+
+Command line: ``python -m repro --help``.
+"""
+
+__version__ = "1.0.0"

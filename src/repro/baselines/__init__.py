@@ -1,0 +1,18 @@
+"""Baseline systems the paper compares against (or discusses).
+
+* :class:`ParameterServerCluster` — centralized PS (BSP / async / SSP,
+  with backup workers) behind a shared-NIC hotspot (Figure 13's foil).
+* :class:`RingAllReduceCluster` — synchronous chunked ring all-reduce.
+* :class:`ADPSGDCluster` — asynchronous decentralized gossip SGD on a
+  bipartite graph (the Section 5 comparison point).
+"""
+
+from repro.baselines.adpsgd import ADPSGDCluster
+from repro.baselines.allreduce import RingAllReduceCluster
+from repro.baselines.ps import ParameterServerCluster
+
+__all__ = [
+    "ADPSGDCluster",
+    "ParameterServerCluster",
+    "RingAllReduceCluster",
+]

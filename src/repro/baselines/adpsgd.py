@@ -1,0 +1,231 @@
+"""AD-PSGD [Lian et al. 2018]: asynchronous decentralized gossip SGD.
+
+Each worker repeatedly computes a gradient and *atomically averages*
+its parameters with one randomly selected neighbor, then applies the
+gradient.  Unconstrained, two concurrent averagings can deadlock on
+each other's parameter locks; the published fix — which Hop's Section 5
+criticizes as restrictive — partitions workers into *active* (initiate
+gossip) and *passive* (serve gossip) sets, which requires the
+communication graph to be bipartite.
+
+We implement exactly that active/passive bipartite scheme: passive
+workers' parameters are guarded by locks; active workers grab the lock,
+pay a parameter round trip, and write back the average.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.cluster import DeadlockError, TrainingRun
+from repro.core.gap import GapTracker
+from repro.graphs.spectral import consensus_distance
+from repro.graphs.topology import Topology
+from repro.hetero.compute import ComputeModel
+from repro.ml.data import Batcher, Dataset
+from repro.ml.optim import SGD
+from repro.net.links import LinkModel, uniform_links
+from repro.net.message import params_message_size
+from repro.sim.engine import Environment
+from repro.sim.resources import Resource
+from repro.sim.rng import RngStreams
+from repro.sim.trace import StatAccumulator, Tracer
+
+
+class ADPSGDCluster:
+    """Asynchronous decentralized parallel SGD on a bipartite graph.
+
+    Args:
+        topology: Must be bipartite (checked); the two color classes
+            become the active and passive sets.
+        model_factory / dataset / optimizer: Same conventions as
+            :class:`HopCluster`.
+        links: Network timing for the gossip round trips.
+        compute_model: Worker compute-time oracle.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        model_factory: Callable[[np.random.Generator], object],
+        dataset: Dataset,
+        optimizer: Optional[SGD] = None,
+        links: Optional[LinkModel] = None,
+        compute_model: Optional[ComputeModel] = None,
+        batch_size: int = 32,
+        max_iter: int = 100,
+        seed: int = 0,
+        update_size: Optional[float] = None,
+        evaluate: bool = True,
+    ) -> None:
+        topology.validate()
+        self.active_set, self.passive_set = topology.bipartite_sets()
+        self.topology = topology
+        self.model_factory = model_factory
+        self.dataset = dataset
+        self.optimizer_proto = optimizer or SGD(lr=0.1, momentum=0.9)
+        self.links = links or uniform_links()
+        self.batch_size = batch_size
+        self.max_iter = max_iter
+        self.seed = seed
+        self.streams = RngStreams(seed)
+        self.compute_model = compute_model or ComputeModel(
+            base_time=0.1, n_workers=topology.n
+        )
+        self._update_size = update_size
+        self.evaluate = evaluate
+
+    def _worker(
+        self,
+        wid: int,
+        env: Environment,
+        params: Dict[int, np.ndarray],
+        locks: Dict[int, Resource],
+        model,
+        optimizer,
+        batcher: Batcher,
+        tracer: Tracer,
+        gap: GapTracker,
+        done: np.ndarray,
+        update_size: float,
+        gossip_count: List[int],
+    ):
+        is_active = wid in self.active_set
+        rng = self.streams.stream("gossip", wid)
+        neighbors = [
+            j
+            for j in self.topology.out_neighbors(wid, include_self=False)
+            if (j in self.passive_set) == is_active or not is_active
+        ]
+        passive_neighbors = [j for j in neighbors if j in self.passive_set]
+
+        for k in range(self.max_iter):
+            start = env.now
+            gap.record(wid, k)
+            model.set_params(params[wid])
+            xb, yb = batcher.next_batch()
+            loss, grad = model.loss_and_grad(xb, yb)
+            yield env.timeout(self.compute_model.duration(wid, k))
+
+            if is_active and passive_neighbors:
+                # Atomic averaging with a random passive neighbor.
+                partner = int(
+                    passive_neighbors[rng.integers(0, len(passive_neighbors))]
+                )
+                request = locks[partner].request()
+                yield request
+                try:
+                    yield env.timeout(
+                        self.links.round_trip(wid, partner, update_size)
+                    )
+                    average = 0.5 * (params[wid] + params[partner])
+                    params[wid] = average.copy()
+                    params[partner] = average.copy()
+                    gossip_count[0] += 1
+                finally:
+                    locks[partner].release(request)
+
+            # Apply the (pre-averaging) gradient to the averaged params.
+            params[wid] = params[wid] + optimizer.step(params[wid], grad, k)
+            tracer.log(f"loss/{wid}", env.now, loss)
+            tracer.log(f"duration/{wid}", env.now, env.now - start)
+        done[wid] = True
+
+    def run(self) -> TrainingRun:
+        env = Environment()
+        tracer = Tracer()
+        n = self.topology.n
+        gap = GapTracker(n)
+        models = [
+            self.model_factory(self.streams.fresh("model-init"))
+            for _ in range(n)
+        ]
+        update_size = (
+            self._update_size
+            if self._update_size is not None
+            else params_message_size(models[0].dim)
+        )
+        params: Dict[int, np.ndarray] = {
+            wid: models[wid].get_params() for wid in range(n)
+        }
+        locks = {wid: Resource(env, capacity=1) for wid in self.passive_set}
+        done = np.zeros(n, dtype=bool)
+        gossip_count = [0]
+        durations: List[StatAccumulator] = []
+
+        for wid in range(n):
+            durations.append(StatAccumulator())
+            env.process(
+                self._worker(
+                    wid,
+                    env,
+                    params,
+                    locks,
+                    models[wid],
+                    self.optimizer_proto.clone(),
+                    Batcher(
+                        self.dataset.x_train,
+                        self.dataset.y_train,
+                        self.batch_size,
+                        self.streams.stream("data", wid),
+                    ),
+                    tracer,
+                    gap,
+                    done,
+                    update_size,
+                    gossip_count,
+                ),
+                name=f"adpsgd-{wid}",
+            )
+        env.run()
+        if not done.all():
+            raise DeadlockError("AD-PSGD workers never finished")
+
+        final_stack = np.stack([params[wid] for wid in range(n)])
+        final_params = final_stack.mean(axis=0)
+        final_loss = final_accuracy = None
+        if self.evaluate:
+            models[0].set_params(final_params)
+            final_loss, final_accuracy = models[0].evaluate(
+                self.dataset.x_test, self.dataset.y_test
+            )
+
+        worker_stats = []
+        for wid in range(n):
+            records = tracer.raw(f"duration/{wid}")
+            values = [v for _, v in records]
+            worker_stats.append(
+                {
+                    "wid": wid,
+                    "iterations_completed": self.max_iter,
+                    "iteration_duration_mean": float(np.mean(values)),
+                    "iteration_duration_max": float(np.max(values)),
+                    "recv_wait_mean": 0.0,
+                    "loss_mean": 0.0,
+                }
+            )
+
+        return TrainingRun(
+            protocol="adpsgd",
+            config_description=(
+                f"AD-PSGD bipartite gossip, |active|={len(self.active_set)}, "
+                f"gossips={gossip_count[0]}"
+            ),
+            topology_name=self.topology.name,
+            n_workers=n,
+            max_iter=self.max_iter,
+            wall_time=env.now,
+            tracer=tracer,
+            gap=gap,
+            iterations_completed=[self.max_iter] * n,
+            iterations_skipped=[0] * n,
+            messages_sent=2 * gossip_count[0],
+            bytes_sent=2.0 * gossip_count[0] * update_size,
+            final_params=final_params,
+            final_loss=final_loss,
+            final_accuracy=final_accuracy,
+            consensus=consensus_distance(final_stack),
+            worker_stats=worker_stats,
+        )

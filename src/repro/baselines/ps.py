@@ -1,0 +1,345 @@
+"""Parameter-server training: the centralized baseline (Figure 13).
+
+Three coordination modes on one PS implementation:
+
+* ``"bsp"`` — Bulk Synchronous Parallel: the PS waits for gradients
+  from ``n - n_backup`` workers per iteration (``n_backup = 0`` is
+  plain BSP; > 0 is Chen et al.'s backup workers); stale gradients are
+  dropped.
+* ``"async"`` — Hogwild-style: every arriving gradient is applied
+  immediately; workers never wait for each other.
+* ``"ssp"`` — Stale Synchronous Parallel: async plus a global staleness
+  bound between the fastest and slowest worker.
+
+The communication hotspot is modeled by a single
+:class:`~repro.net.network.SharedNic` at the PS: all pulls and pushes
+serialize through it, so PS traffic scales with the worker count while
+each decentralized worker's traffic scales with its degree — the shape
+behind the paper's Figure 13.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.cluster import DeadlockError, TrainingRun
+from repro.core.gap import GapTracker
+from repro.hetero.compute import ComputeModel
+from repro.ml.data import Batcher, Dataset
+from repro.ml.optim import SGD
+from repro.net.message import params_message_size
+from repro.net.network import SharedNic
+from repro.sim.engine import Environment
+from repro.sim.events import Event
+from repro.sim.rng import RngStreams
+from repro.sim.trace import StatAccumulator, Tracer
+
+
+class _ServerState:
+    """Shared PS state: parameters, version, synchronization events."""
+
+    def __init__(self, env: Environment, params: np.ndarray, n_workers: int):
+        self.env = env
+        self.params = params.copy()
+        self.version = 0
+        self.n_workers = n_workers
+        self.worker_iterations = np.zeros(n_workers, dtype=int)
+        self._version_events: Dict[int, Event] = {}
+        self._min_advanced: List[Event] = []
+        self.gradients_applied = 0
+        self.gradients_dropped = 0
+
+    def version_event(self, version: int) -> Event:
+        """Event that fires when the PS moves past ``version``."""
+        if self.version > version:
+            done = Event(self.env)
+            done.succeed()
+            return done
+        if version not in self._version_events:
+            self._version_events[version] = Event(self.env)
+        return self._version_events[version]
+
+    def advance_version(self) -> None:
+        self.version += 1
+        event = self._version_events.pop(self.version - 1, None)
+        if event is not None and not event.triggered:
+            event.succeed()
+
+    def min_iteration(self) -> int:
+        return int(self.worker_iterations.min())
+
+    def record_worker_iteration(self, wid: int, iteration: int) -> None:
+        old_min = self.min_iteration()
+        self.worker_iterations[wid] = iteration
+        if self.min_iteration() > old_min:
+            waiters, self._min_advanced = self._min_advanced, []
+            for event in waiters:
+                if not event.triggered:
+                    event.succeed()
+
+    def wait_min_advance(self) -> Event:
+        event = Event(self.env)
+        self._min_advanced.append(event)
+        return event
+
+
+class ParameterServerCluster:
+    """Centralized training deployment.
+
+    Args:
+        n_workers: Worker count.
+        mode: ``"bsp"``, ``"async"``, or ``"ssp"``.
+        model_factory: Same convention as :class:`HopCluster`.
+        dataset: Training/test data.
+        optimizer: Applied at the PS to aggregated gradients.
+        n_backup: BSP backup workers (gradients needed = n - n_backup).
+        staleness: Global staleness bound for SSP.
+        ps_bandwidth: The PS NIC bandwidth (the hotspot's throughput).
+        ps_latency: Per-transfer latency at the PS NIC.
+        compute_model: Worker compute-time oracle.
+        max_iter: Iterations per worker.
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        model_factory: Callable[[np.random.Generator], object],
+        dataset: Dataset,
+        mode: str = "bsp",
+        optimizer: Optional[SGD] = None,
+        n_backup: int = 0,
+        staleness: int = 0,
+        ps_bandwidth: float = 125.0,
+        ps_latency: float = 1e-4,
+        compute_model: Optional[ComputeModel] = None,
+        batch_size: int = 32,
+        max_iter: int = 100,
+        seed: int = 0,
+        update_size: Optional[float] = None,
+        evaluate: bool = True,
+    ) -> None:
+        if mode not in ("bsp", "async", "ssp"):
+            raise ValueError(f"unknown PS mode {mode!r}")
+        if n_workers < 1:
+            raise ValueError("need at least one worker")
+        if n_backup < 0 or n_backup >= n_workers:
+            raise ValueError("n_backup must be in [0, n_workers)")
+        if mode == "ssp" and staleness < 1:
+            raise ValueError("ssp needs staleness >= 1")
+        self.n = n_workers
+        self.mode = mode
+        self.model_factory = model_factory
+        self.dataset = dataset
+        self.optimizer = optimizer or SGD(lr=0.1, momentum=0.9)
+        self.n_backup = n_backup
+        self.staleness = staleness
+        self.ps_bandwidth = ps_bandwidth
+        self.ps_latency = ps_latency
+        self.batch_size = batch_size
+        self.max_iter = max_iter
+        self.seed = seed
+        self.streams = RngStreams(seed)
+        self.compute_model = compute_model or ComputeModel(
+            base_time=0.1, n_workers=n_workers
+        )
+        self._update_size = update_size
+        self.evaluate = evaluate
+
+    # ------------------------------------------------------------------
+    def _worker(
+        self,
+        wid: int,
+        env: Environment,
+        server: _ServerState,
+        nic: SharedNic,
+        model,
+        batcher: Batcher,
+        grads_inbox,
+        tracer: Tracer,
+        gap: GapTracker,
+        state: Dict[str, np.ndarray],
+        update_size: float,
+        stats: dict,
+    ):
+        """One PS worker process: pull -> compute -> push."""
+        durations = stats["durations"]
+        for k in range(self.max_iter):
+            start = env.now
+            server.record_worker_iteration(wid, k)
+            gap.record(wid, k)
+
+            # SSP: block while we are too far ahead of the slowest worker.
+            if self.mode == "ssp":
+                while k > server.min_iteration() + self.staleness:
+                    yield server.wait_min_advance()
+
+            # Pull parameters through the PS NIC (download).
+            yield from nic.transfer(update_size)
+            pulled_version = server.version
+            x = server.params.copy()
+
+            # Compute.
+            model.set_params(x)
+            xb, yb = batcher.next_batch()
+            loss, grad = model.loss_and_grad(xb, yb)
+            yield env.timeout(self.compute_model.duration(wid, k))
+
+            # Push the gradient through the PS NIC (upload).
+            yield from nic.transfer(update_size)
+            grads_inbox.append((wid, pulled_version, grad))
+            server_notify = state["notify"]
+            if not server_notify[0].triggered:
+                server_notify[0].succeed()
+
+            if self.mode == "bsp":
+                # Wait for the PS to fold this iteration and move on.
+                yield server.version_event(pulled_version)
+
+            tracer.log(f"loss/{wid}", env.now, loss)
+            durations.add(env.now - start)
+            tracer.log(f"duration/{wid}", env.now, env.now - start)
+        state["done"][wid] = True
+
+    def _server(
+        self,
+        env: Environment,
+        server: _ServerState,
+        grads_inbox: list,
+        state: Dict[str, np.ndarray],
+    ):
+        """The PS process: aggregate gradients and update parameters."""
+        pending: List[np.ndarray] = []
+        while not state["done"].all() or grads_inbox:
+            if not grads_inbox:
+                state["notify"][0] = Event(env)
+                yield state["notify"][0]
+                continue
+            wid, version, grad = grads_inbox.pop(0)
+            if self.mode == "bsp":
+                if version != server.version:
+                    server.gradients_dropped += 1
+                    continue
+                pending.append(grad)
+                # Once fast workers retire, the quorum shrinks to the
+                # remaining active workers (else stragglers would wait
+                # forever for gradients nobody will send).
+                active = int((~state["done"]).sum())
+                need = max(1, min(self.n - self.n_backup, active))
+                if len(pending) >= need:
+                    mean_grad = np.mean(pending, axis=0)
+                    delta = self.optimizer.step(
+                        server.params, mean_grad, server.version
+                    )
+                    server.params = server.params + delta
+                    server.gradients_applied += len(pending)
+                    pending = []
+                    server.advance_version()
+            else:
+                # async / ssp: apply immediately.
+                delta = self.optimizer.step(server.params, grad, version)
+                server.params = server.params + delta
+                server.gradients_applied += 1
+                server.advance_version()
+
+    # ------------------------------------------------------------------
+    def run(self) -> TrainingRun:
+        env = Environment()
+        tracer = Tracer()
+        gap = GapTracker(self.n)
+        nic = SharedNic(
+            env, bandwidth=self.ps_bandwidth, latency=self.ps_latency
+        )
+        models = [
+            self.model_factory(self.streams.fresh("model-init"))
+            for _ in range(self.n)
+        ]
+        update_size = (
+            self._update_size
+            if self._update_size is not None
+            else params_message_size(models[0].dim)
+        )
+        server = _ServerState(env, models[0].get_params(), self.n)
+        grads_inbox: list = []
+        state = {
+            "done": np.zeros(self.n, dtype=bool),
+            "notify": [Event(env)],
+        }
+
+        worker_stats = []
+        for wid in range(self.n):
+            stats = {"durations": StatAccumulator()}
+            worker_stats.append(stats)
+            batcher = Batcher(
+                self.dataset.x_train,
+                self.dataset.y_train,
+                self.batch_size,
+                self.streams.stream("data", wid),
+            )
+            env.process(
+                self._worker(
+                    wid,
+                    env,
+                    server,
+                    nic,
+                    models[wid],
+                    batcher,
+                    grads_inbox,
+                    tracer,
+                    gap,
+                    state,
+                    update_size,
+                    stats,
+                ),
+                name=f"ps-worker-{wid}",
+            )
+        env.process(
+            self._server(env, server, grads_inbox, state), name="ps-server"
+        )
+        env.run()
+
+        if not state["done"].all():
+            raise DeadlockError("PS workers never finished")
+
+        final_loss = final_accuracy = None
+        if self.evaluate:
+            models[0].set_params(server.params)
+            final_loss, final_accuracy = models[0].evaluate(
+                self.dataset.x_test, self.dataset.y_test
+            )
+
+        mode_desc = self.mode
+        if self.mode == "bsp" and self.n_backup:
+            mode_desc += f"+backup({self.n_backup})"
+        if self.mode == "ssp":
+            mode_desc += f"(s={self.staleness})"
+        return TrainingRun(
+            protocol=f"ps-{self.mode}",
+            config_description=f"parameter server, {mode_desc}",
+            topology_name=f"star({self.n}+PS)",
+            n_workers=self.n,
+            max_iter=self.max_iter,
+            wall_time=env.now,
+            tracer=tracer,
+            gap=gap,
+            iterations_completed=[self.max_iter] * self.n,
+            iterations_skipped=[0] * self.n,
+            messages_sent=2 * self.n * self.max_iter,
+            bytes_sent=2 * self.n * self.max_iter * update_size,
+            final_params=server.params,
+            final_loss=final_loss,
+            final_accuracy=final_accuracy,
+            consensus=0.0,
+            worker_stats=[
+                {
+                    "wid": wid,
+                    "iterations_completed": self.max_iter,
+                    "iteration_duration_mean": stats["durations"].mean,
+                    "iteration_duration_max": stats["durations"].max,
+                    "recv_wait_mean": 0.0,
+                    "loss_mean": 0.0,
+                }
+                for wid, stats in enumerate(worker_stats)
+            ],
+        )

@@ -1,0 +1,205 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``figures``  — reproduce paper figures/tables and print the renders.
+* ``ablations`` — run the ablation studies.
+* ``train``    — one training run with a chosen protocol/topology.
+* ``graphs``   — inspect a topology (spectral gap, diameter, degrees).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.config import (
+    STANDARD,
+    SkipConfig,
+    backup_config,
+    staleness_config,
+)
+from repro.graphs import by_name as graph_by_name
+from repro.graphs import spectral_gap
+from repro.harness import ALL_FIGURES, ExperimentSpec, RANDOM_6X, SlowdownSpec
+from repro.harness.ablations import ALL_ABLATIONS
+from repro.harness.spec import deterministic_straggler, run_spec
+from repro.harness.workloads import by_name as workload_by_name
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    names = args.only or sorted(ALL_FIGURES)
+    failed = []
+    for name in names:
+        if name not in ALL_FIGURES:
+            print(f"unknown figure {name!r}; choose from {sorted(ALL_FIGURES)}")
+            return 2
+        function = ALL_FIGURES[name]
+        result = function() if name == "fig21" else function(args.preset)
+        print(result.render())
+        print()
+        if args.json_dir:
+            from repro.harness.io import save_figure
+
+            save_figure(result, f"{args.json_dir}/{name}.json")
+        if not result.passed():
+            failed.append(name)
+    if failed:
+        print(f"shape checks FAILED for: {failed}")
+        return 1
+    print(f"all shape checks passed ({len(names)} figure(s))")
+    return 0
+
+
+def _cmd_ablations(args: argparse.Namespace) -> int:
+    names = args.only or sorted(ALL_ABLATIONS)
+    failed = []
+    for name in names:
+        if name not in ALL_ABLATIONS:
+            print(
+                f"unknown ablation {name!r}; choose from {sorted(ALL_ABLATIONS)}"
+            )
+            return 2
+        result = ALL_ABLATIONS[name](preset=args.preset)
+        print(result.render())
+        print()
+        if not result.passed():
+            failed.append(name)
+    if failed:
+        print(f"shape checks FAILED for: {failed}")
+        return 1
+    print(f"all shape checks passed ({len(names)} ablation(s))")
+    return 0
+
+
+def _build_config(args: argparse.Namespace):
+    skip = (
+        SkipConfig(max_skip=args.max_skip, trigger_lag=args.trigger_lag)
+        if args.skip
+        else None
+    )
+    if args.mode == "standard":
+        if skip is not None:
+            raise SystemExit("--skip needs --mode backup or staleness")
+        return STANDARD
+    if args.mode == "backup":
+        return backup_config(
+            n_backup=args.n_backup, max_ig=args.max_ig, skip=skip
+        )
+    return staleness_config(
+        staleness=args.staleness, max_ig=args.max_ig, skip=skip
+    )
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    workload = workload_by_name(args.workload, args.preset)
+    topology = graph_by_name(args.graph, args.workers)
+    slowdown = SlowdownSpec()
+    if args.slowdown == "random":
+        slowdown = RANDOM_6X
+    elif args.slowdown == "straggler":
+        slowdown = deterministic_straggler(worker=0, factor=4.0)
+
+    spec = ExperimentSpec(
+        name="cli",
+        workload=workload,
+        topology=topology,
+        protocol=args.protocol,
+        config=_build_config(args) if args.protocol == "hop" else STANDARD,
+        slowdown=slowdown,
+        max_iter=args.iterations,
+        seed=args.seed,
+        ps_staleness=args.staleness if args.protocol == "ps-ssp" else 0,
+    )
+    run = run_spec(spec)
+    print(run.summary())
+    if args.out:
+        from repro.harness.io import save_run
+
+        path = save_run(run, args.out)
+        print(f"run summary written to {path}")
+    return 0
+
+
+def _cmd_graphs(args: argparse.Namespace) -> int:
+    topology = graph_by_name(args.graph, args.workers)
+    topology.validate()
+    print(f"{topology.name}: n={topology.n}")
+    print(f"  spectral gap     : {spectral_gap(topology):.4f}")
+    print(f"  diameter         : {topology.diameter():g}")
+    print(
+        f"  degree (w/o self): "
+        f"{[topology.in_degree(i, include_self=False) for i in range(topology.n)]}"
+    )
+    print(f"  doubly stochastic: {topology.is_doubly_stochastic()}")
+    print(f"  bipartite        : {topology.is_bipartite()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hop (ASPLOS 2019) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figures = sub.add_parser("figures", help="reproduce paper figures")
+    figures.add_argument("--preset", default="smoke",
+                         choices=("smoke", "bench", "paper"))
+    figures.add_argument("--only", nargs="*", help="figure ids (e.g. fig16)")
+    figures.add_argument("--json-dir", help="also dump JSON artifacts here")
+    figures.set_defaults(func=_cmd_figures)
+
+    ablations = sub.add_parser("ablations", help="run ablation studies")
+    ablations.add_argument("--preset", default="smoke",
+                           choices=("smoke", "bench", "paper"))
+    ablations.add_argument("--only", nargs="*")
+    ablations.set_defaults(func=_cmd_ablations)
+
+    train = sub.add_parser("train", help="run one training configuration")
+    train.add_argument("--workload", default="svm", choices=("cnn", "svm"))
+    train.add_argument("--preset", default="smoke",
+                       choices=("smoke", "bench", "paper"))
+    train.add_argument(
+        "--protocol",
+        default="hop",
+        choices=(
+            "hop", "notify_ack", "ps-bsp", "ps-async", "ps-ssp",
+            "allreduce", "adpsgd",
+        ),
+    )
+    train.add_argument("--graph", default="ring_based")
+    train.add_argument("--workers", type=int, default=8)
+    train.add_argument("--iterations", type=int, default=30)
+    train.add_argument("--mode", default="standard",
+                       choices=("standard", "backup", "staleness"))
+    train.add_argument("--n-backup", type=int, default=1)
+    train.add_argument("--staleness", type=int, default=5)
+    train.add_argument("--max-ig", type=int, default=4)
+    train.add_argument("--skip", action="store_true")
+    train.add_argument("--max-skip", type=int, default=10)
+    train.add_argument("--trigger-lag", type=int, default=2)
+    train.add_argument(
+        "--slowdown", default="none", choices=("none", "random", "straggler")
+    )
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--out", help="write a JSON run summary here")
+    train.set_defaults(func=_cmd_train)
+
+    graphs = sub.add_parser("graphs", help="inspect a topology")
+    graphs.add_argument("--graph", default="ring_based")
+    graphs.add_argument("--workers", type=int, default=16)
+    graphs.set_defaults(func=_cmd_graphs)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

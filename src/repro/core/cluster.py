@@ -1,0 +1,476 @@
+"""HopCluster: builds and runs a decentralized training deployment.
+
+The cluster wires together every substrate — topology, queues, token
+queues, network, compute model, per-worker model replicas and data
+streams — starts one worker process per node, runs the simulation to
+completion, and packages the results as a :class:`TrainingRun`.
+
+Protocols: ``"hop"`` (the paper's system, all modes of
+:class:`~repro.core.config.HopConfig`) and ``"notify_ack"``
+(the Section 3.3 baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import HopConfig
+from repro.core.gap import GapTracker, update_queue_capacity_bound
+from repro.core.notify_ack import NotifyAckWorker, build_ack_queues
+from repro.core.queues import RotatingUpdateQueue, TokenQueue, UpdateQueue
+from repro.core.skip import SkipPolicy
+from repro.core.worker import ClusterState, HopWorker
+from repro.graphs.spectral import consensus_distance
+from repro.graphs.topology import Topology
+from repro.hetero.compute import ComputeModel
+from repro.ml.data import Batcher, Dataset
+from repro.ml.metrics import smooth_series
+from repro.ml.optim import SGD
+from repro.net.links import Link, LinkModel, uniform_links
+from repro.net.message import CONTROL_SIZE, params_message_size
+from repro.net.network import Network, SharedNic
+from repro.sim.engine import Environment
+from repro.sim.rng import RngStreams
+from repro.sim.trace import Tracer
+
+
+class DeadlockError(RuntimeError):
+    """The simulation ran out of events before all workers finished.
+
+    Attributes:
+        stuck: ``(worker_id, iteration)`` pairs for unfinished workers.
+    """
+
+    def __init__(self, message: str, stuck=None) -> None:
+        super().__init__(message)
+        self.stuck = list(stuck or [])
+
+
+@dataclass
+class TrainingRun:
+    """Everything measured during one training run."""
+
+    protocol: str
+    config_description: str
+    topology_name: str
+    n_workers: int
+    max_iter: int
+    wall_time: float
+    tracer: Tracer
+    gap: GapTracker
+    iterations_completed: List[int]
+    iterations_skipped: List[int]
+    messages_sent: int
+    bytes_sent: float
+    final_params: np.ndarray
+    final_loss: Optional[float] = None
+    final_accuracy: Optional[float] = None
+    consensus: float = 0.0
+    worker_stats: List[dict] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Convergence analysis
+    # ------------------------------------------------------------------
+    def loss_series(self) -> Tuple[np.ndarray, np.ndarray]:
+        """All per-iteration training losses, merged and time-sorted."""
+        pairs: List[Tuple[float, float]] = []
+        for wid in range(self.n_workers):
+            pairs.extend(self.tracer.raw(f"loss/{wid}"))
+        pairs.sort(key=lambda tv: tv[0])
+        if not pairs:
+            return np.array([]), np.array([])
+        times = np.array([t for t, _ in pairs])
+        losses = np.array([v for _, v in pairs])
+        return times, losses
+
+    def smoothed_loss_series(
+        self, window: int = 32
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        times, losses = self.loss_series()
+        return times, smooth_series(losses, window)
+
+    def loss_vs_steps(self, window: int = 32) -> Tuple[np.ndarray, np.ndarray]:
+        """Mean loss per global step index (Figure 15's x-axis)."""
+        _, losses = self.loss_series()
+        return np.arange(losses.size), smooth_series(losses, window)
+
+    def time_to_loss(self, target: float, window: int = 32) -> float:
+        """First time the smoothed training loss reaches ``target``."""
+        times, losses = self.smoothed_loss_series(window)
+        below = np.nonzero(losses <= target)[0]
+        if below.size == 0:
+            return float("inf")
+        return float(times[below[0]])
+
+    def iteration_rate(self) -> float:
+        """Aggregate completed iterations per simulated second."""
+        total = sum(self.iterations_completed)
+        if self.wall_time <= 0:
+            return 0.0
+        return total / self.wall_time
+
+    def mean_iteration_duration(self) -> float:
+        """Average per-iteration wall time across workers."""
+        durations = [
+            stats["iteration_duration_mean"] for stats in self.worker_stats
+        ]
+        return float(np.mean(durations)) if durations else 0.0
+
+    def summary(self) -> str:
+        lines = [
+            f"protocol={self.protocol} ({self.config_description})",
+            f"topology={self.topology_name} workers={self.n_workers}",
+            f"wall_time={self.wall_time:.3f}s "
+            f"rate={self.iteration_rate():.2f} iter/s",
+            f"max_gap={self.gap.max_observed():g} "
+            f"messages={self.messages_sent}",
+        ]
+        if self.final_loss is not None:
+            lines.append(
+                f"final_loss={self.final_loss:.4f} "
+                f"final_accuracy={self.final_accuracy:.3f}"
+            )
+        return "\n".join(lines)
+
+
+class HopCluster:
+    """Build-and-run facade for decentralized training experiments.
+
+    Args:
+        topology: Communication graph (validated on construction).
+        config: Hop protocol configuration.
+        model_factory: ``f(rng) -> Model``; called once per worker with
+            identically seeded streams so all replicas start from the
+            same parameters (the paper's shared ``p0``).
+        dataset: Train/test data; every worker samples the full training
+            split with its own RNG stream.
+        optimizer: SGD prototype; cloned per worker (worker-local
+            momentum).
+        batch_size: Minibatch size per worker per iteration.
+        compute_model: Per-iteration compute-time oracle (heterogeneity
+            lives here).
+        links: Network timing model.
+        protocol: ``"hop"`` or ``"notify_ack"``.
+        max_iter: Iterations per worker.
+        seed: Master seed for all randomness.
+        update_size: Message size of one parameter update; derived from
+            the model dimension when omitted.
+        token_rtt: Control round-trip charged per token acquisition
+            round; derived from ``links`` when omitted.
+        evaluate: Whether to evaluate the averaged final model on the
+            test split.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: HopConfig,
+        model_factory: Callable[[np.random.Generator], object],
+        dataset: Dataset,
+        optimizer: Optional[SGD] = None,
+        batch_size: int = 32,
+        compute_model: Optional[ComputeModel] = None,
+        links: Optional[LinkModel] = None,
+        protocol: str = "hop",
+        max_iter: int = 100,
+        seed: int = 0,
+        update_size: Optional[float] = None,
+        token_rtt: Optional[float] = None,
+        evaluate: bool = True,
+        machines: Optional[Sequence[int]] = None,
+        machine_uplink: Optional[Link] = None,
+        crash_at: Optional[Dict[int, int]] = None,
+    ) -> None:
+        if protocol not in ("hop", "notify_ack"):
+            raise ValueError(f"unknown protocol {protocol!r}")
+        if max_iter < 1:
+            raise ValueError("max_iter must be >= 1")
+        topology.validate()
+        if config.mode == "backup":
+            min_in = min(
+                topology.in_degree(i, include_self=True)
+                for i in range(topology.n)
+            )
+            if config.n_backup >= min_in:
+                raise ValueError(
+                    f"n_backup={config.n_backup} >= minimum in-degree "
+                    f"{min_in}; some worker would need zero updates"
+                )
+        self.topology = topology
+        self.config = config
+        self.model_factory = model_factory
+        self.dataset = dataset
+        self.optimizer_proto = optimizer or SGD(lr=0.1, momentum=0.9)
+        self.batch_size = batch_size
+        self.protocol = protocol
+        self.max_iter = max_iter
+        self.seed = seed
+        self.streams = RngStreams(seed)
+        self.compute_model = compute_model or ComputeModel(
+            base_time=0.1, n_workers=topology.n
+        )
+        self.links = links or uniform_links()
+        self._update_size = update_size
+        self._token_rtt = token_rtt
+        self.evaluate = evaluate
+        if machines is not None and len(machines) != topology.n:
+            raise ValueError(
+                f"machines maps {len(machines)} workers, topology has "
+                f"{topology.n}"
+            )
+        self.machines = list(machines) if machines is not None else None
+        self.machine_uplink = machine_uplink or Link(
+            latency=2e-4, bandwidth=125.0
+        )
+        if crash_at is not None and protocol != "hop":
+            raise ValueError("crash injection is only supported for hop")
+        self.crash_at = dict(crash_at or {})
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _build_models(self) -> List[object]:
+        models = []
+        for wid in range(self.topology.n):
+            # Same derived stream -> identical initialization (p0).
+            models.append(self.model_factory(self.streams.fresh("model-init")))
+        p0 = models[0].get_params()
+        for model in models[1:]:
+            if not np.allclose(model.get_params(), p0):
+                raise ValueError(
+                    "model_factory must be deterministic given its rng; "
+                    "worker replicas started from different parameters"
+                )
+        return models
+
+    def _build_update_queue(self, env: Environment, wid: int):
+        impl = self.config.effective_queue_impl
+        if not self.config.use_token_queues:
+            impl = "tagged"  # rotating slots need a bounded gap
+        if impl == "rotating":
+            return RotatingUpdateQueue(env, self.config.max_ig, owner=wid)
+        capacity = None
+        if self.config.bound_update_queues and self.config.use_token_queues:
+            capacity = update_queue_capacity_bound(
+                self.topology, wid, self.config.max_ig
+            )
+        return UpdateQueue(env, owner=wid, capacity=capacity)
+
+    def _build_token_queues(
+        self, env: Environment
+    ) -> Dict[Tuple[int, int], TokenQueue]:
+        queues: Dict[Tuple[int, int], TokenQueue] = {}
+        if not (self.protocol == "hop" and self.config.use_token_queues):
+            return queues
+        for consumer, owner in self.topology.edges:
+            if consumer == owner:
+                continue
+            # Edge consumer->owner means owner in Nout(consumer):
+            # TokenQ(owner -> consumer) gates consumer's progress.
+            queues[(owner, consumer)] = TokenQueue(
+                env,
+                owner=owner,
+                consumer=consumer,
+                initial=self.config.max_ig - 1,
+            )
+        return queues
+
+    def _token_rtt_for(self, wid: int) -> float:
+        if self._token_rtt is not None:
+            return self._token_rtt
+        providers = self.topology.out_neighbors(wid, include_self=False)
+        if not providers:
+            return 0.0
+        return max(
+            self.links.round_trip(wid, j, CONTROL_SIZE) for j in providers
+        )
+
+    # ------------------------------------------------------------------
+    # Run
+    # ------------------------------------------------------------------
+    def _build_network(self, env: Environment) -> Network:
+        if self.machines is None:
+            return Network(env, self.links)
+        # One shared uplink per machine: co-located workers contend for
+        # their host's NIC on cross-machine sends.
+        machine_nics: Dict[int, SharedNic] = {}
+        for machine in sorted(set(self.machines)):
+            machine_nics[machine] = SharedNic(
+                env,
+                bandwidth=self.machine_uplink.bandwidth,
+                latency=self.machine_uplink.latency,
+            )
+        egress = {
+            wid: machine_nics[self.machines[wid]]
+            for wid in range(self.topology.n)
+        }
+        return Network(
+            env, self.links, egress_nics=egress, machine_of=self.machines
+        )
+
+    def run(self) -> TrainingRun:
+        env = Environment()
+        n = self.topology.n
+        network = self._build_network(env)
+        tracer = Tracer()
+        gap_tracker = GapTracker(n)
+        state = ClusterState(n)
+        models = self._build_models()
+        update_size = (
+            self._update_size
+            if self._update_size is not None
+            else params_message_size(models[0].dim)
+        )
+        update_queues = {
+            wid: self._build_update_queue(env, wid) for wid in range(n)
+        }
+
+        workers: List[object] = []
+        if self.protocol == "hop":
+            token_queues = self._build_token_queues(env)
+            for wid in range(n):
+                skip_policy = (
+                    SkipPolicy(self.config.skip, self.config.max_ig)
+                    if self.config.skip is not None
+                    else None
+                )
+                worker = HopWorker(
+                    wid=wid,
+                    env=env,
+                    topology=self.topology,
+                    config=self.config,
+                    model=models[wid],
+                    optimizer=self.optimizer_proto.clone(),
+                    batcher=Batcher(
+                        self.dataset.x_train,
+                        self.dataset.y_train,
+                        self.batch_size,
+                        self.streams.stream("data", wid),
+                    ),
+                    compute_model=self.compute_model,
+                    network=network,
+                    update_queues=update_queues,
+                    token_queues=token_queues,
+                    state=state,
+                    gap_tracker=gap_tracker,
+                    tracer=tracer,
+                    max_iter=self.max_iter,
+                    update_size=update_size,
+                    token_rtt=self._token_rtt_for(wid)
+                    if self.config.use_token_queues
+                    else 0.0,
+                    skip_policy=skip_policy,
+                    crash_at=self.crash_at.get(wid),
+                )
+                workers.append(worker)
+        else:
+            ack_queues = build_ack_queues(env, self.topology)
+            for wid in range(n):
+                worker = NotifyAckWorker(
+                    wid=wid,
+                    env=env,
+                    topology=self.topology,
+                    model=models[wid],
+                    optimizer=self.optimizer_proto.clone(),
+                    batcher=Batcher(
+                        self.dataset.x_train,
+                        self.dataset.y_train,
+                        self.batch_size,
+                        self.streams.stream("data", wid),
+                    ),
+                    compute_model=self.compute_model,
+                    network=network,
+                    update_queues=update_queues,
+                    ack_queues=ack_queues,
+                    state=state,
+                    gap_tracker=gap_tracker,
+                    tracer=tracer,
+                    max_iter=self.max_iter,
+                    update_size=update_size,
+                )
+                workers.append(worker)
+
+        processes = [
+            env.process(worker.run(), name=f"worker-{worker.wid}")
+            for worker in workers
+        ]
+        env.run()
+
+        if not state.all_done():
+            stuck = [
+                (w.wid, int(state.iterations[w.wid]))
+                for w in workers
+                if not state.done[w.wid]
+            ]
+            # Injected crashes legitimately strand the crashed worker
+            # and (eventually) its dependents; only raise when nothing
+            # explains the stall.
+            if not self.crash_at:
+                raise DeadlockError(
+                    f"{len(stuck)} workers never finished; (wid, iter) = "
+                    f"{stuck}. This indicates a protocol deadlock or an "
+                    "unsatisfiable advance condition.",
+                    stuck=stuck,
+                )
+
+        final_stack = np.stack([w.final_params for w in workers])
+        final_params = final_stack.mean(axis=0)
+        final_loss = final_accuracy = None
+        if self.evaluate:
+            models[0].set_params(final_params)
+            final_loss, final_accuracy = models[0].evaluate(
+                self.dataset.x_test, self.dataset.y_test
+            )
+
+        worker_stats = [self._worker_stats(w) for w in workers]
+        return TrainingRun(
+            protocol=self.protocol,
+            config_description=self.config.describe()
+            if self.protocol == "hop"
+            else "serial + ACK gating",
+            topology_name=self.topology.name,
+            n_workers=n,
+            max_iter=self.max_iter,
+            wall_time=env.now,
+            tracer=tracer,
+            gap=gap_tracker,
+            iterations_completed=[w.iterations_completed for w in workers],
+            iterations_skipped=[
+                getattr(w, "iterations_skipped", 0) for w in workers
+            ],
+            messages_sent=network.messages_sent,
+            bytes_sent=network.bytes_sent.total,
+            final_params=final_params,
+            final_loss=final_loss,
+            final_accuracy=final_accuracy,
+            consensus=consensus_distance(final_stack),
+            worker_stats=worker_stats,
+        )
+
+    @staticmethod
+    def _worker_stats(worker) -> dict:
+        stats = {
+            "wid": worker.wid,
+            "iterations_completed": worker.iterations_completed,
+            "iteration_duration_mean": worker.iteration_durations.mean,
+            "iteration_duration_max": worker.iteration_durations.max,
+            "recv_wait_mean": worker.recv_wait.mean,
+            "loss_mean": worker.losses.mean,
+        }
+        for attribute in (
+            "iterations_skipped",
+            "n_jumps",
+            "n_suppressed_sends",
+            "n_extra_updates",
+            "n_staleness_blocks",
+        ):
+            if hasattr(worker, attribute):
+                stats[attribute] = getattr(worker, attribute)
+        if hasattr(worker, "token_wait"):
+            stats["token_wait_mean"] = worker.token_wait.mean
+        if hasattr(worker, "ack_wait"):
+            stats["ack_wait_mean"] = worker.ack_wait.mean
+        return stats

@@ -1,0 +1,218 @@
+"""Iteration-gap theory: Theorems 1 & 2 and Table 1 as executable code.
+
+The paper's central analytical results bound how far apart two
+workers' iteration counters can drift:
+
+* **Theorem 1** (standard decentralized training):
+  ``Iter(i) - Iter(j) <= length(Path_{j->i})``.
+* **NOTIFY-ACK** (Section 3.3):
+  ``Iter(i) - Iter(j) <= min(len(Path_{j->i}), 2 * len(Path_{i->j}))``.
+* **Theorem 2** (token queues):
+  ``Iter(i) - Iter(j) <= min(b0 * len(Path_{j->i}),
+  max_ig * len(Path_{i->j}))`` where ``b0`` is the forward per-hop
+  bound of the underlying setting (1 standard, ``s+1`` staleness,
+  ``max_ig * len(Path_{i->j})`` effectively for backup workers).
+* **Bounded staleness** (Section 4.4):
+  ``Iter(i) - Iter(j) <= (s+1) * length(Path_{j->i})``.
+* **Backup workers** (Section 3.4): unbounded without token queues.
+
+:class:`GapTracker` measures actual gaps during a run so tests and
+benchmarks can verify the theory (Table 1 reproduction).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.graphs.topology import Topology
+
+
+def theorem1_bound(topology: "Topology", i: int, j: int) -> float:
+    """Theorem 1 upper bound on ``Iter(i) - Iter(j)``."""
+    return topology.path_length(j, i)
+
+
+def notify_ack_bound(topology: "Topology", i: int, j: int) -> float:
+    """NOTIFY-ACK's tighter bound (Section 3.3)."""
+    return min(
+        topology.path_length(j, i), 2.0 * topology.path_length(i, j)
+    )
+
+
+def staleness_bound(topology: "Topology", i: int, j: int, s: int) -> float:
+    """Bounded-staleness bound without token queues (Section 4.4)."""
+    if s < 0:
+        raise ValueError("staleness must be >= 0")
+    return (s + 1.0) * topology.path_length(j, i)
+
+
+def backup_bound() -> float:
+    """Backup workers without token queues: unbounded (Section 3.4)."""
+    return math.inf
+
+
+def token_queue_bound(
+    topology: "Topology",
+    i: int,
+    j: int,
+    max_ig: int,
+    forward_b0: float = 1.0,
+) -> float:
+    """Theorem 2 / Table 1 bound with token queues.
+
+    Args:
+        topology: Communication graph.
+        i, j: The ordered worker pair (bound on ``Iter(i) - Iter(j)``).
+        max_ig: Token-queue gap parameter.
+        forward_b0: Per-hop forward bound of the base setting — 1 for
+            standard, ``s + 1`` for bounded staleness, ``inf`` for
+            backup workers (whose only protection is the token side).
+    """
+    if max_ig < 1:
+        raise ValueError("max_ig must be >= 1")
+    forward = forward_b0 * topology.path_length(j, i)
+    backward = max_ig * topology.path_length(i, j)
+    return min(forward, backward)
+
+
+def gap_bound_matrix(
+    topology: "Topology",
+    setting: str,
+    max_ig: Optional[int] = None,
+    staleness: Optional[int] = None,
+) -> np.ndarray:
+    """Table 1 as a matrix: ``B[i, j]`` bounds ``Iter(i) - Iter(j)``.
+
+    Args:
+        topology: Communication graph.
+        setting: One of ``"standard"``, ``"notify_ack"``, ``"backup"``,
+            ``"staleness"``, ``"standard+tokens"``, ``"backup+tokens"``,
+            ``"staleness+tokens"``.
+        max_ig: Required for token settings.
+        staleness: Required for staleness settings.
+    """
+    n = topology.n
+    B = np.zeros((n, n))
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            B[i, j] = _pair_bound(topology, i, j, setting, max_ig, staleness)
+    return B
+
+
+def _pair_bound(
+    topology: "Topology",
+    i: int,
+    j: int,
+    setting: str,
+    max_ig: Optional[int],
+    staleness: Optional[int],
+) -> float:
+    if setting == "standard":
+        return theorem1_bound(topology, i, j)
+    if setting == "notify_ack":
+        return notify_ack_bound(topology, i, j)
+    if setting == "backup":
+        return backup_bound()
+    if setting == "staleness":
+        if staleness is None:
+            raise ValueError("staleness setting needs the bound s")
+        return staleness_bound(topology, i, j, staleness)
+    if setting == "standard+tokens":
+        if max_ig is None:
+            raise ValueError("token settings need max_ig")
+        return token_queue_bound(topology, i, j, max_ig, forward_b0=1.0)
+    if setting == "staleness+tokens":
+        if max_ig is None or staleness is None:
+            raise ValueError("staleness+tokens needs max_ig and s")
+        return token_queue_bound(
+            topology, i, j, max_ig, forward_b0=staleness + 1.0
+        )
+    if setting == "backup+tokens":
+        if max_ig is None:
+            raise ValueError("token settings need max_ig")
+        # Only the token side bounds backup workers (Table 1's note).
+        return max_ig * topology.path_length(i, j)
+    raise ValueError(f"unknown setting {setting!r}")
+
+
+def update_queue_capacity_bound(topology: "Topology", i: int, max_ig: int) -> int:
+    """Section 4.2: update queue size is at most ``(1 + max_ig) |Nin(i)|``."""
+    return (1 + max_ig) * topology.in_degree(i, include_self=True)
+
+
+def token_queue_capacity_bound(
+    topology: "Topology", i: int, j: int, max_ig: int
+) -> float:
+    """Table 1's note: ``TokenQ(i->j).size() <= max_ig * (len(Path_{i->j}) + 1)``."""
+    return max_ig * (topology.path_length(i, j) + 1.0)
+
+
+class GapTracker:
+    """Measures realized iteration gaps during a run.
+
+    Workers report every iteration transition; the tracker maintains
+    the current ``Iter`` vector and the maximum observed value of
+    ``Iter(i) - Iter(j)`` for every ordered pair.
+    """
+
+    def __init__(self, n_workers: int) -> None:
+        self.n = n_workers
+        self.iterations = np.zeros(n_workers, dtype=int)
+        self.max_gap = np.zeros((n_workers, n_workers), dtype=float)
+        self.transitions = 0
+
+    def record(self, worker: int, iteration: int) -> None:
+        """Report that ``worker`` just entered ``iteration``."""
+        self.iterations[worker] = iteration
+        self.transitions += 1
+        gaps_as_i = self.iterations[worker] - self.iterations
+        self.max_gap[worker, :] = np.maximum(self.max_gap[worker, :], gaps_as_i)
+        # The pair (j, worker) gaps only shrink when `worker` advances,
+        # so no update needed for the other rows.
+
+    def record_many(self, iteration: int, workers=None) -> None:
+        """Atomically report that several workers entered ``iteration``.
+
+        Used by lockstep protocols (ring all-reduce, BSP) where all
+        workers advance at the same instant; sequential ``record``
+        calls would register a spurious transient gap of 1.
+        """
+        if workers is None:
+            workers = range(self.n)
+        for worker in workers:
+            self.iterations[worker] = iteration
+        self.transitions += len(list(workers)) if workers is not None else 0
+        for worker in workers:
+            gaps_as_i = self.iterations[worker] - self.iterations
+            self.max_gap[worker, :] = np.maximum(
+                self.max_gap[worker, :], gaps_as_i
+            )
+
+    def observed_gap(self, i: int, j: int) -> float:
+        """Max observed ``Iter(i) - Iter(j)`` so far."""
+        return float(self.max_gap[i, j])
+
+    def max_observed(self) -> float:
+        """Largest gap observed between any ordered pair."""
+        return float(self.max_gap.max())
+
+    def violations(self, bounds: np.ndarray) -> Dict[Tuple[int, int], float]:
+        """Pairs whose observed gap exceeded the theoretical bound."""
+        out: Dict[Tuple[int, int], float] = {}
+        for i in range(self.n):
+            for j in range(self.n):
+                if i != j and self.max_gap[i, j] > bounds[i, j] + 1e-9:
+                    out[(i, j)] = float(self.max_gap[i, j] - bounds[i, j])
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"<GapTracker n={self.n} transitions={self.transitions} "
+            f"max_gap={self.max_observed():g}>"
+        )

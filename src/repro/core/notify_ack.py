@@ -1,0 +1,180 @@
+"""The NOTIFY-ACK protocol [Kadav & Kruus 2016], the paper's foil.
+
+Serial computation graph (Figure 2a) plus the backward ACK edge: a
+worker may not Send iteration ``k``'s update until every out-going
+neighbor has ACKed consumption of iteration ``k-1``'s.  This solves
+the mixed-version problem but over-restricts the iteration gap to
+
+    Iter(i) - Iter(j) <= min(len(Path_{j->i}), 2 * len(Path_{i->j}))
+
+(Section 3.3), which is what prevents backup workers and bounded
+staleness from helping — the motivation for Hop's queue-based design.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.core.gap import GapTracker
+from repro.core.queues import TokenQueue, UpdateQueue
+from repro.core.reducers import mean_reduce
+from repro.core.update import Update
+from repro.hetero.compute import ComputeModel
+from repro.net.message import CONTROL_SIZE, Message
+from repro.net.network import Network
+from repro.sim.engine import Environment
+from repro.sim.trace import StatAccumulator, Tracer
+
+
+class NotifyAckWorker:
+    """One worker running NOTIFY-ACK (serial graph + ACK gating)."""
+
+    def __init__(
+        self,
+        wid: int,
+        env: Environment,
+        topology,
+        model,
+        optimizer,
+        batcher,
+        compute_model: ComputeModel,
+        network: Network,
+        update_queues: Dict[int, UpdateQueue],
+        ack_queues: Dict[Tuple[int, int], TokenQueue],
+        state,
+        gap_tracker: GapTracker,
+        tracer: Tracer,
+        max_iter: int,
+        update_size: float,
+    ) -> None:
+        self.wid = wid
+        self.env = env
+        self.topology = topology
+        self.model = model
+        self.optimizer = optimizer
+        self.batcher = batcher
+        self.compute_model = compute_model
+        self.network = network
+        self.update_queues = update_queues
+        self.ack_queues = ack_queues
+        self.state = state
+        self.gap_tracker = gap_tracker
+        self.tracer = tracer
+        self.max_iter = max_iter
+        self.update_size = update_size
+
+        self.in_neighbors = topology.in_neighbors(wid, include_self=True)
+        self.out_neighbors = topology.out_neighbors(wid, include_self=True)
+        self.in_degree = len(self.in_neighbors)
+        self._ack_sources = topology.out_neighbors(wid, include_self=False)
+        self._ack_targets = topology.in_neighbors(wid, include_self=False)
+
+        self.iterations_completed = 0
+        self.iteration_durations = StatAccumulator()
+        self.ack_wait = StatAccumulator()
+        self.recv_wait = StatAccumulator()
+        self.losses = StatAccumulator()
+        self.final_params: np.ndarray = model.get_params()
+
+    @property
+    def update_queue(self) -> UpdateQueue:
+        return self.update_queues[self.wid]
+
+    def _send_update(self, params: np.ndarray, iteration: int) -> None:
+        payload = params.copy()
+        for j in self.out_neighbors:
+            if j == self.wid:
+                self.update_queue.enqueue(Update(payload, iteration, self.wid))
+                continue
+            queue = self.update_queues[j]
+            message = Message(
+                src=self.wid,
+                dst=j,
+                kind="update",
+                payload=Update(payload, iteration, self.wid),
+                size=self.update_size,
+            )
+            self.network.send(
+                message, deliver=lambda m, q=queue: q.enqueue(m.payload)
+            )
+
+    def _send_acks(self, iteration: int) -> None:
+        """NOTIFY consumed -> ACK to every in-coming neighbor."""
+        for j in self._ack_targets:
+            queue = self.ack_queues[(self.wid, j)]
+            message = Message(
+                src=self.wid, dst=j, kind="ack", size=CONTROL_SIZE
+            )
+            self.network.send(message, deliver=lambda m, q=queue: q.put(1))
+
+    def run(self):
+        x = self.model.get_params()
+        for k in range(self.max_iter):
+            start = self.env.now
+            self.state.iterations[self.wid] = k
+            self.gap_tracker.record(self.wid, k)
+            self.tracer.log(f"iter/{self.wid}", start, k)
+
+            # Compute and Apply (serial graph, Figure 2a).
+            self.model.set_params(x)
+            xb, yb = self.batcher.next_batch()
+            loss, grad = self.model.loss_and_grad(xb, yb)
+            yield self.env.timeout(self.compute_model.duration(self.wid, k))
+            applied = x + self.optimizer.step(x, grad, k)
+
+            # Wait for ACK(k-1) from all out-going neighbors before Send(k).
+            ack_start = self.env.now
+            acquires = [
+                self.ack_queues[(j, self.wid)].acquire(1)
+                for j in self._ack_sources
+            ]
+            if acquires:
+                yield self.env.all_of(acquires)
+            self.ack_wait.add(self.env.now - ack_start)
+
+            self._send_update(applied, k)
+
+            # Recv + Reduce, then notify consumption with ACK(k).
+            recv_start = self.env.now
+            updates = yield self.update_queue.dequeue(
+                self.in_degree, iteration=k
+            )
+            self.recv_wait.add(self.env.now - recv_start)
+            x = mean_reduce(updates)
+            self._send_acks(k)
+
+            self.tracer.log(f"loss/{self.wid}", self.env.now, loss)
+            self.losses.add(loss)
+            self.iterations_completed = k + 1
+            duration = self.env.now - start
+            self.iteration_durations.add(duration)
+            self.tracer.log(f"duration/{self.wid}", self.env.now, duration)
+
+        self.final_params = x
+        self.state.done[self.wid] = True
+        self.tracer.log(f"finished/{self.wid}", self.env.now, self.max_iter)
+        return self.iterations_completed
+
+    def __repr__(self) -> str:
+        return f"<NotifyAckWorker {self.wid} completed={self.iterations_completed}>"
+
+
+def build_ack_queues(
+    env: Environment, topology
+) -> Dict[Tuple[int, int], TokenQueue]:
+    """One ACK channel per directed edge, primed so Send(0) proceeds.
+
+    ``ack_queues[(receiver, sender)]`` holds ACKs from ``receiver``
+    gating ``sender``'s next Send; the initial token stands for the
+    implicit ACK(-1).
+    """
+    queues: Dict[Tuple[int, int], TokenQueue] = {}
+    for sender, receiver in topology.edges:
+        if sender == receiver:
+            continue
+        queues[(receiver, sender)] = TokenQueue(
+            env, owner=receiver, consumer=sender, initial=1
+        )
+    return queues

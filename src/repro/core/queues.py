@@ -1,0 +1,404 @@
+"""Hop's queue primitives: update queues and token queues.
+
+Three structures from the paper:
+
+* :class:`UpdateQueue` — Section 4.1's tagged FIFO: ``dequeue(m, iter,
+  w_id)`` blocks until ``m`` entries with matching tags exist and
+  removes them atomically.
+* :class:`RotatingUpdateQueue` — Section 6.1's memory-efficient
+  implementation: ``max_ig + 1`` sub-queues indexed by
+  ``iter mod n_queues`` (rotating registers), with stale entries from
+  reused slots discarded at dequeue time.
+* :class:`TokenQueue` — Section 4.2's gap-control mechanism: a counted
+  token pool with blocking acquisition.
+
+All blocking is expressed through simulation events so protocol
+processes can ``yield`` on them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.update import Update
+from repro.sim.engine import Environment
+from repro.sim.events import Event
+
+
+class DequeueRequest(Event):
+    """A pending tagged dequeue; succeeds with a list of updates."""
+
+    def __init__(
+        self,
+        queue: "UpdateQueue",
+        count: int,
+        iteration: Optional[int],
+        sender: Optional[int],
+    ) -> None:
+        super().__init__(queue.env)
+        self.count = count
+        self.iteration = iteration
+        self.sender = sender
+        self.queue = queue
+
+    def cancel(self) -> bool:
+        try:
+            self.queue._waiters.remove(self)
+            return True
+        except ValueError:
+            return False
+
+
+class UpdateQueue:
+    """Section 4.1's tagged update queue.
+
+    Args:
+        env: Simulation environment.
+        owner: The worker this queue belongs to (diagnostics).
+        capacity: Optional bound; enqueue raises :class:`OverflowError`
+            beyond it (the paper's motivation for token queues is
+            exactly to keep this bounded).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        owner: int = -1,
+        capacity: Optional[int] = None,
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be positive or None")
+        self.env = env
+        self.owner = owner
+        self.capacity = capacity
+        self._entries: List[Update] = []
+        self._waiters: List[DequeueRequest] = []
+        self.peak_occupancy = 0
+        self.total_enqueued = 0
+        self.dropped_stale = 0
+
+    # ------------------------------------------------------------------
+    # Paper operations
+    # ------------------------------------------------------------------
+    def enqueue(self, update: Update) -> None:
+        """``q.enqueue(update, iter, w_id)`` — tags live on the update."""
+        if self.capacity is not None and len(self._entries) >= self.capacity:
+            raise OverflowError(
+                f"UpdateQueue(owner={self.owner}) overflow at capacity "
+                f"{self.capacity}: {update!r} (iteration gap exceeded the "
+                "provisioned bound; see Theorem 1 / token queues)"
+            )
+        self._entries.append(update)
+        self.total_enqueued += 1
+        self.peak_occupancy = max(self.peak_occupancy, len(self._entries))
+        self._dispatch()
+
+    def dequeue(
+        self,
+        count: int,
+        iteration: Optional[int] = None,
+        sender: Optional[int] = None,
+    ) -> DequeueRequest:
+        """Blocking removal of the first ``count`` tag-matched entries.
+
+        Returns an event that succeeds with the list of updates once
+        ``count`` matching entries exist (paper's ``dequeue(m, iter,
+        w_id)``).
+        """
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        request = DequeueRequest(self, count, iteration, sender)
+        self._waiters.append(request)
+        self._dispatch()
+        return request
+
+    def dequeue_available(
+        self,
+        iteration: Optional[int] = None,
+        sender: Optional[int] = None,
+        limit: Optional[int] = None,
+    ) -> List[Update]:
+        """Non-blocking removal of all (or up to ``limit``) matches.
+
+        Implements the second dequeue in Figure 8 (grab whatever extra
+        updates already arrived) without blocking.
+        """
+        matches: List[Update] = []
+        remaining: List[Update] = []
+        for update in self._entries:
+            if update.matches(iteration, sender) and (
+                limit is None or len(matches) < limit
+            ):
+                matches.append(update)
+            else:
+                remaining.append(update)
+        self._entries = remaining
+        return matches
+
+    def size(
+        self,
+        iteration: Optional[int] = None,
+        sender: Optional[int] = None,
+    ) -> int:
+        """Count of entries with matching tags (paper's ``q.size``)."""
+        return sum(1 for u in self._entries if u.matches(iteration, sender))
+
+    def discard_older_than(self, iteration: int) -> int:
+        """Drop updates from iterations before ``iteration`` (Sec 6.2a).
+
+        Returns the number of stale entries removed.
+        """
+        before = len(self._entries)
+        self._entries = [u for u in self._entries if u.iteration >= iteration]
+        dropped = before - len(self._entries)
+        self.dropped_stale += dropped
+        return dropped
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _dispatch(self) -> None:
+        """Satisfy waiters (FIFO) whose tag-counts are now available."""
+        progressed = True
+        while progressed:
+            progressed = False
+            for request in list(self._waiters):
+                matching = [
+                    u
+                    for u in self._entries
+                    if u.matches(request.iteration, request.sender)
+                ]
+                if len(matching) >= request.count:
+                    taken = matching[: request.count]
+                    for update in taken:
+                        self._entries.remove(update)
+                    self._waiters.remove(request)
+                    request.succeed(taken)
+                    progressed = True
+                    break
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"<UpdateQueue owner={self.owner} entries={len(self._entries)} "
+            f"waiters={len(self._waiters)}>"
+        )
+
+
+class RotatingUpdateQueue:
+    """Section 6.1's rotating multi-queue implementation.
+
+    ``n_queues = max_ig + 1`` sub-queues; an update for iteration ``k``
+    lands in slot ``k mod n_queues``.  Because the token queues bound
+    the iteration gap by ``max_ig``, a slot can only hold updates for
+    one *live* iteration at a time; anything older found in a slot is a
+    late/stale update and is discarded at dequeue time (Section 6.2a).
+
+    The interface mirrors :class:`UpdateQueue` so workers can use
+    either implementation.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        max_ig: int,
+        owner: int = -1,
+    ) -> None:
+        if max_ig < 1:
+            raise ValueError("max_ig must be >= 1")
+        self.env = env
+        self.owner = owner
+        self.n_queues = max_ig + 1
+        self._slots: List[List[Update]] = [[] for _ in range(self.n_queues)]
+        self._waiters: List[DequeueRequest] = []
+        self.peak_occupancy = 0
+        self.total_enqueued = 0
+        self.dropped_stale = 0
+
+    def _slot_of(self, iteration: int) -> List[Update]:
+        return self._slots[iteration % self.n_queues]
+
+    def enqueue(self, update: Update) -> None:
+        self._slot_of(update.iteration).append(update)
+        self.total_enqueued += 1
+        occupancy = sum(len(slot) for slot in self._slots)
+        self.peak_occupancy = max(self.peak_occupancy, occupancy)
+        self._dispatch()
+
+    def dequeue(
+        self,
+        count: int,
+        iteration: Optional[int] = None,
+        sender: Optional[int] = None,
+    ) -> DequeueRequest:
+        """Blocking dequeue; ``iteration`` is required (slot selection)."""
+        if iteration is None:
+            raise ValueError(
+                "RotatingUpdateQueue.dequeue needs an iteration tag; use "
+                "UpdateQueue for staleness-mode sender-matched dequeues"
+            )
+        request = DequeueRequest(self, count, iteration, sender)
+        self._waiters.append(request)
+        self._dispatch()
+        return request
+
+    def dequeue_available(
+        self,
+        iteration: Optional[int] = None,
+        sender: Optional[int] = None,
+        limit: Optional[int] = None,
+    ) -> List[Update]:
+        if iteration is None:
+            raise ValueError("RotatingUpdateQueue needs an iteration tag")
+        self._purge_stale(iteration)
+        slot = self._slot_of(iteration)
+        matches: List[Update] = []
+        remaining: List[Update] = []
+        for update in slot:
+            if update.matches(iteration, sender) and (
+                limit is None or len(matches) < limit
+            ):
+                matches.append(update)
+            else:
+                remaining.append(update)
+        self._slots[iteration % self.n_queues] = remaining
+        return matches
+
+    def size(
+        self,
+        iteration: Optional[int] = None,
+        sender: Optional[int] = None,
+    ) -> int:
+        if iteration is None:
+            return sum(
+                1
+                for slot in self._slots
+                for u in slot
+                if u.matches(None, sender)
+            )
+        return sum(
+            1 for u in self._slot_of(iteration) if u.matches(iteration, sender)
+        )
+
+    def discard_older_than(self, iteration: int) -> int:
+        dropped = 0
+        for index, slot in enumerate(self._slots):
+            keep = [u for u in slot if u.iteration >= iteration]
+            dropped += len(slot) - len(keep)
+            self._slots[index] = keep
+        self.dropped_stale += dropped
+        return dropped
+
+    def _purge_stale(self, live_iteration: int) -> None:
+        """Drop reused-slot leftovers older than the live iteration."""
+        slot = self._slot_of(live_iteration)
+        keep = [u for u in slot if u.iteration >= live_iteration]
+        self.dropped_stale += len(slot) - len(keep)
+        self._slots[live_iteration % self.n_queues] = keep
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            for request in list(self._waiters):
+                self._purge_stale(request.iteration)
+                slot = self._slot_of(request.iteration)
+                matching = [
+                    u
+                    for u in slot
+                    if u.matches(request.iteration, request.sender)
+                ]
+                if len(matching) >= request.count:
+                    taken = matching[: request.count]
+                    for update in taken:
+                        slot.remove(update)
+                    self._waiters.remove(request)
+                    request.succeed(taken)
+                    progressed = True
+                    break
+
+    def __len__(self) -> int:
+        return sum(len(slot) for slot in self._slots)
+
+    def __repr__(self) -> str:
+        return (
+            f"<RotatingUpdateQueue owner={self.owner} "
+            f"n_queues={self.n_queues} entries={len(self)}>"
+        )
+
+
+class TokenAcquire(Event):
+    """A pending token acquisition; succeeds when tokens are granted."""
+
+    def __init__(self, queue: "TokenQueue", count: int) -> None:
+        super().__init__(queue.env)
+        self.count = count
+        self.queue = queue
+
+
+class TokenQueue:
+    """Section 4.2's token queue ``TokenQ(owner -> consumer)``.
+
+    Lives at ``owner``; ``consumer`` (an in-coming neighbor of
+    ``owner``... in the paper's direction: ``owner in Nout(consumer)``)
+    must remove a token to enter a new iteration.  The queue starts
+    with ``max_ig - 1`` tokens and the owner inserts one more at the
+    top of each iteration, maintaining the invariant
+
+        size == Iter(owner) - Iter(consumer) + max_ig
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        owner: int,
+        consumer: int,
+        initial: int = 0,
+    ) -> None:
+        if initial < 0:
+            raise ValueError("initial token count must be >= 0")
+        self.env = env
+        self.owner = owner
+        self.consumer = consumer
+        self._tokens = initial
+        self._waiters: List[TokenAcquire] = []
+        self.total_inserted = initial
+        self.total_acquired = 0
+        self.peak = initial
+
+    def size(self) -> int:
+        """Current token count (used for straggler self-identification)."""
+        return self._tokens
+
+    def put(self, count: int = 1) -> None:
+        """Owner inserts ``count`` tokens (top of each iteration / jump)."""
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        self._tokens += count
+        self.total_inserted += count
+        self.peak = max(self.peak, self._tokens)
+        self._dispatch()
+
+    def acquire(self, count: int = 1) -> TokenAcquire:
+        """Consumer removes ``count`` tokens; blocks until available."""
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        request = TokenAcquire(self, count)
+        self._waiters.append(request)
+        self._dispatch()
+        return request
+
+    def _dispatch(self) -> None:
+        while self._waiters and self._tokens >= self._waiters[0].count:
+            request = self._waiters.pop(0)
+            self._tokens -= request.count
+            self.total_acquired += request.count
+            request.succeed()
+
+    def __repr__(self) -> str:
+        return (
+            f"<TokenQueue {self.owner}->{self.consumer} "
+            f"tokens={self._tokens}>"
+        )

@@ -1,0 +1,69 @@
+"""Reduce operators: how received updates are aggregated.
+
+Standard / backup modes use a plain average (Figures 4 and 8).
+Staleness mode uses the paper's Equation (2): an iteration-weighted
+average where an update from iteration ``Iter(u)`` at a worker in
+iteration ``k`` with staleness bound ``s`` gets weight
+``Iter(u) - (k - s) + 1`` (newer updates count more).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.update import Update
+
+
+def mean_reduce(updates: Sequence[Update]) -> np.ndarray:
+    """Figure 4 / Figure 8: simple average of the received parameters."""
+    if not updates:
+        raise ValueError("cannot reduce zero updates")
+    stacked = np.stack([u.params for u in updates])
+    return stacked.mean(axis=0)
+
+
+def weighted_reduce(updates: Sequence[Update], weights: Sequence[float]) -> np.ndarray:
+    """Average with explicit non-negative weights (normalized)."""
+    if not updates:
+        raise ValueError("cannot reduce zero updates")
+    if len(updates) != len(weights):
+        raise ValueError("one weight per update required")
+    weights = np.asarray(weights, dtype=float)
+    if np.any(weights < 0):
+        raise ValueError("weights must be non-negative")
+    total = weights.sum()
+    if total <= 0:
+        raise ValueError("weights must not all be zero")
+    stacked = np.stack([u.params for u in updates])
+    return (weights[:, None] * stacked).sum(axis=0) / total
+
+
+def staleness_weighted_reduce(
+    updates: Sequence[Update], iteration: int, staleness: int
+) -> np.ndarray:
+    """The paper's Equation (2).
+
+    ``weight(u) = Iter(u) - (k - s) + 1`` for a worker in iteration
+    ``k`` with staleness bound ``s``.  Satisfactory updates have
+    ``Iter(u) >= k - s``, so weights are >= 1.
+
+    Args:
+        updates: The newest satisfactory update per contributing
+            in-neighbor.
+        iteration: The receiving worker's iteration ``k``.
+        staleness: The staleness bound ``s``.
+    """
+    if not updates:
+        raise ValueError("cannot reduce zero updates")
+    floor = iteration - staleness
+    weights = []
+    for update in updates:
+        if update.iteration < floor:
+            raise ValueError(
+                f"{update!r} is older than the staleness floor {floor}; "
+                "unsatisfactory updates must be dropped before the reduce"
+            )
+        weights.append(update.iteration - floor + 1.0)
+    return weighted_reduce(updates, weights)

@@ -1,0 +1,97 @@
+"""Skipping iterations: the paper's answer to deterministic slowdown.
+
+Section 5: a straggler identifies itself through the token counts in
+its out-going neighbors' token queues (``size == Iter(j) - Iter(i) +
+max_ig``), and may jump ahead instead of grinding through every missed
+iteration.  Before jumping to iteration ``k`` it refreshes its
+parameters with a ``Recv(k-1)`` + ``Reduce``; the jump moves
+``k - k0`` tokens on both sides to keep the Theorem 2 invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.core.config import SkipConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.worker import HopWorker
+
+
+@dataclass(frozen=True)
+class JumpDecision:
+    """A planned jump: worker resumes execution at ``target``.
+
+    Attributes:
+        target: The iteration execution resumes at.
+        advance: Iterations advanced (= tokens consumed per out-neighbor
+            = ``target - current``); ``advance - 1`` iterations are
+            skipped outright.
+    """
+
+    target: int
+    advance: int
+
+
+class SkipPolicy:
+    """Decides when and how far a worker jumps.
+
+    Args:
+        config: The user-facing knobs (max skipped per jump, trigger).
+        max_ig: The token-queue gap parameter (needed to translate
+            token counts into lags).
+    """
+
+    def __init__(self, config: SkipConfig, max_ig: int) -> None:
+        self.config = config
+        self.max_ig = max_ig
+        self.jumps_taken = 0
+        self.iterations_skipped = 0
+
+    def lag_from_token_sizes(self, sizes: Sequence[int]) -> int:
+        """``min_j TokenQ(j->i).size() - max_ig`` = how far behind we are.
+
+        ``size - max_ig == Iter(j) - Iter(i)`` (Theorem 2's invariant),
+        so the min over out-neighbors is the most progress the worker
+        can make without surpassing any of them.
+        """
+        if not sizes:
+            return 0
+        return int(min(sizes)) - self.max_ig
+
+    def decide(
+        self,
+        current_iteration: int,
+        token_sizes: Sequence[int],
+        max_iteration: int,
+    ) -> Optional[JumpDecision]:
+        """Return a jump plan, or ``None`` to advance normally.
+
+        A jump happens when the lag reaches ``trigger_lag`` and at least
+        one iteration can actually be skipped.  The advance is capped by
+
+        * the lag itself (never surpass an out-neighbor — the paper's
+          "intuitive upper-bound" ``max_jump - max_ig``),
+        * ``max_skip + 1`` (user cap on skipped iterations per jump),
+        * the end of training.
+        """
+        lag = self.lag_from_token_sizes(token_sizes)
+        if lag < self.config.trigger_lag:
+            return None
+        advance = min(lag, self.config.max_skip + 1)
+        advance = min(advance, max_iteration - current_iteration - 1)
+        if advance < 2:
+            return None
+        decision = JumpDecision(
+            target=current_iteration + advance, advance=advance
+        )
+        self.jumps_taken += 1
+        self.iterations_skipped += advance - 1
+        return decision
+
+    def __repr__(self) -> str:
+        return (
+            f"<SkipPolicy jumps={self.jumps_taken} "
+            f"skipped={self.iterations_skipped}>"
+        )

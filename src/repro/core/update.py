@@ -1,0 +1,39 @@
+"""The unit of communication in Hop: a tagged parameter update.
+
+Section 4.1: updates carry ``(iter, w_id)`` tags so receivers can match
+them against the iteration they are collecting for and the neighbor
+they came from (the mixed-version problem).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(eq=False)
+class Update:
+    """A parameter update sent between workers.
+
+    Attributes:
+        params: The sender's flat parameter vector.
+        iteration: The iteration in which the update was generated
+            (the paper's ``iter`` tag).
+        sender: The sending worker's id (the paper's ``w_id`` tag).
+    """
+
+    params: np.ndarray
+    iteration: int
+    sender: int
+
+    def matches(self, iteration=None, sender=None) -> bool:
+        """Tag match: unspecified tags match anything (paper's dequeue)."""
+        if iteration is not None and self.iteration != iteration:
+            return False
+        if sender is not None and self.sender != sender:
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"Update(iter={self.iteration}, w_id={self.sender})"

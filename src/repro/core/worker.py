@@ -1,0 +1,282 @@
+"""The Hop worker process: Send / Compute / Recv / Reduce / Apply.
+
+One :class:`HopWorker` runs per graph node as a simulation process.
+The default computation graph is the paper's parallel variant
+(Figure 2b): parameters are sent and gradients computed concurrently
+with receiving neighbor updates; gradients are applied on top of the
+reduced average.  The serial variant (Figure 2a) applies gradients
+before sending.
+
+Gradients are numerically real (the worker's model replica computes
+them); their *duration* comes from the compute model, so heterogeneity
+is injected into time, not into math.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import HopConfig
+from repro.core.gap import GapTracker
+from repro.core.queues import TokenQueue
+from repro.core.recv import RecvStrategy, make_recv_strategy
+from repro.core.skip import JumpDecision, SkipPolicy
+from repro.core.update import Update
+from repro.hetero.compute import ComputeModel
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.sim.engine import Environment
+from repro.sim.trace import StatAccumulator, Tracer
+
+
+class ClusterState:
+    """Shared cluster-visible state (iteration counters, done flags)."""
+
+    def __init__(self, n_workers: int) -> None:
+        self.iterations = np.zeros(n_workers, dtype=int)
+        self.done = np.zeros(n_workers, dtype=bool)
+
+    def all_done(self) -> bool:
+        return bool(self.done.all())
+
+
+class HopWorker:
+    """One decentralized worker.
+
+    Built by :class:`~repro.core.cluster.HopCluster`; the argument list
+    mirrors the substrate pieces the protocol touches.
+    """
+
+    def __init__(
+        self,
+        wid: int,
+        env: Environment,
+        topology,
+        config: HopConfig,
+        model,
+        optimizer,
+        batcher,
+        compute_model: ComputeModel,
+        network: Network,
+        update_queues: Dict[int, object],
+        token_queues: Dict[Tuple[int, int], TokenQueue],
+        state: ClusterState,
+        gap_tracker: GapTracker,
+        tracer: Tracer,
+        max_iter: int,
+        update_size: float,
+        token_rtt: float = 0.0,
+        skip_policy: Optional[SkipPolicy] = None,
+        crash_at: Optional[int] = None,
+    ) -> None:
+        self.wid = wid
+        self.env = env
+        self.topology = topology
+        self.cfg = config
+        self.model = model
+        self.optimizer = optimizer
+        self.batcher = batcher
+        self.compute_model = compute_model
+        self.network = network
+        self.update_queues = update_queues
+        self.token_queues = token_queues
+        self.state = state
+        self.gap_tracker = gap_tracker
+        self.tracer = tracer
+        self.max_iter = max_iter
+        self.update_size = update_size
+        self.token_rtt = token_rtt
+        self.skip_policy = skip_policy
+        if crash_at is not None and crash_at < 0:
+            raise ValueError("crash_at must be >= 0")
+        self.crash_at = crash_at
+        self.crashed = False
+
+        self.recv: RecvStrategy = make_recv_strategy(config)
+        self.in_neighbors = topology.in_neighbors(wid, include_self=True)
+        self.out_neighbors = topology.out_neighbors(wid, include_self=True)
+        self.in_degree = len(self.in_neighbors)
+        #: In-neighbors we owe tokens to (paper: TokenQ(self -> j)).
+        self._token_consumers = topology.in_neighbors(wid, include_self=False)
+        #: Out-neighbors we take tokens from (paper: TokenQ(j -> self)).
+        self._token_providers = topology.out_neighbors(wid, include_self=False)
+
+        # Statistics
+        self.iterations_completed = 0
+        self.iterations_skipped = 0
+        self.n_jumps = 0
+        self.n_suppressed_sends = 0
+        self.n_extra_updates = 0
+        self.n_staleness_blocks = 0
+        self.n_cache_hits = 0
+        self.iteration_durations = StatAccumulator()
+        self.recv_wait = StatAccumulator()
+        self.token_wait = StatAccumulator()
+        self.losses = StatAccumulator()
+        self.final_params: np.ndarray = model.get_params()
+
+    # ------------------------------------------------------------------
+    # Queue access
+    # ------------------------------------------------------------------
+    @property
+    def update_queue(self):
+        """This worker's local update queue."""
+        return self.update_queues[self.wid]
+
+    # ------------------------------------------------------------------
+    # Protocol steps
+    # ------------------------------------------------------------------
+    def _send(self, params: np.ndarray, iteration: int) -> None:
+        """Figure 4's Send: enqueue to every out-neighbor (self locally)."""
+        payload = params.copy()
+        for j in self.out_neighbors:
+            if j == self.wid:
+                self.update_queue.enqueue(Update(payload, iteration, self.wid))
+                continue
+            if (
+                self.cfg.check_receiver_iteration
+                and self.state.iterations[j] > iteration
+            ):
+                # Section 6.2(b): receiver already moved past this
+                # iteration; the update would be dropped as stale.
+                self.n_suppressed_sends += 1
+                continue
+            queue = self.update_queues[j]
+            message = Message(
+                src=self.wid,
+                dst=j,
+                kind="update",
+                payload=Update(payload, iteration, self.wid),
+                size=self.update_size,
+            )
+            self.network.send(
+                message, deliver=lambda m, q=queue: q.enqueue(m.payload)
+            )
+
+    def _compute(self, params: np.ndarray) -> Tuple[float, np.ndarray]:
+        """Real gradient math on this worker's model replica."""
+        self.model.set_params(params)
+        xb, yb = self.batcher.next_batch()
+        return self.model.loss_and_grad(xb, yb)
+
+    def _plan_jump(self, iteration: int) -> Optional[JumpDecision]:
+        if self.skip_policy is None or not self._token_providers:
+            return None
+        sizes = [
+            self.token_queues[(j, self.wid)].size()
+            for j in self._token_providers
+        ]
+        return self.skip_policy.decide(iteration, sizes, self.max_iter)
+
+    def _execute_jump(self, params: np.ndarray, iteration: int, jump: JumpDecision):
+        """Generator: refresh params and move tokens for a jump (Sec. 5)."""
+        # Top up local token queues FIRST so in-neighbors blocked on our
+        # tokens can advance toward the iteration our refresh waits for.
+        for j in self._token_consumers:
+            self.token_queues[(self.wid, j)].put(jump.advance - 1)
+
+        # Renew parameters: Recv(target - 1) + Reduce, with our current
+        # parameters participating through a locally injected update
+        # (we never sent anything for the skipped iterations).
+        refresh_iteration = jump.target - 1
+        self.update_queue.enqueue(
+            Update(params.copy(), refresh_iteration, self.wid)
+        )
+        refreshed = yield from self.recv.recv_reduce(self, refresh_iteration)
+
+        self.n_jumps += 1
+        self.iterations_skipped += jump.advance - 1
+        self.tracer.log(
+            f"jump/{self.wid}", self.env.now, (iteration, jump.target)
+        )
+        return refreshed
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self):
+        """The worker process (Figures 4, 7, 8, 9 + Section 5)."""
+        x = self.model.get_params()
+        k = 0
+        while k < self.max_iter:
+            if self.crash_at is not None and k >= self.crash_at:
+                # Failure injection (Section 3.4's "accidental node
+                # crashes"): stop cold — no sends, no token inserts, no
+                # done flag.  Theorem 2 bounds the blast radius.
+                self.crashed = True
+                self.final_params = x
+                self.tracer.log(f"crashed/{self.wid}", self.env.now, k)
+                return self.iterations_completed
+            start = self.env.now
+            self.state.iterations[self.wid] = k
+            self.gap_tracker.record(self.wid, k)
+            self.tracer.log(f"iter/{self.wid}", start, k)
+
+            # Insert tokens for in-coming neighbors (Figure 7 line 10).
+            if self.cfg.use_token_queues:
+                for j in self._token_consumers:
+                    self.token_queues[(self.wid, j)].put(1)
+
+            if self.cfg.computation_graph == "parallel":
+                # Figure 2(b): Send, then Compute overlapping Recv.
+                self._send(x, k)
+                loss, grad = self._compute(x)
+                yield self.env.timeout(self.compute_model.duration(self.wid, k))
+                recv_start = self.env.now
+                reduced = yield from self.recv.recv_reduce(self, k)
+                self.recv_wait.add(self.env.now - recv_start)
+                delta = self.optimizer.step(x, grad, k)
+                x = reduced + delta
+            else:
+                # Figure 2(a): Compute, Apply, then Send / Recv / Reduce.
+                loss, grad = self._compute(x)
+                yield self.env.timeout(self.compute_model.duration(self.wid, k))
+                delta = self.optimizer.step(x, grad, k)
+                applied = x + delta
+                self._send(applied, k)
+                recv_start = self.env.now
+                reduced = yield from self.recv.recv_reduce(self, k)
+                self.recv_wait.add(self.env.now - recv_start)
+                x = reduced
+
+            self.tracer.log(f"loss/{self.wid}", self.env.now, loss)
+            self.losses.add(loss)
+            self.iterations_completed = k + 1
+
+            # Advance: acquire tokens, possibly jumping (Section 5).
+            next_k = k + 1
+            if self.cfg.use_token_queues and next_k < self.max_iter:
+                advance = 1
+                jump = self._plan_jump(k)
+                if jump is not None:
+                    x = yield from self._execute_jump(x, k, jump)
+                    next_k = jump.target
+                    advance = jump.advance
+                token_start = self.env.now
+                if self.token_rtt > 0:
+                    yield self.env.timeout(self.token_rtt)
+                acquires = [
+                    self.token_queues[(j, self.wid)].acquire(advance)
+                    for j in self._token_providers
+                ]
+                if acquires:
+                    yield self.env.all_of(acquires)
+                self.token_wait.add(self.env.now - token_start)
+
+            duration = self.env.now - start
+            self.iteration_durations.add(duration)
+            self.tracer.log(f"duration/{self.wid}", self.env.now, duration)
+            k = next_k
+
+        self.final_params = x
+        self.state.done[self.wid] = True
+        self.tracer.log(f"finished/{self.wid}", self.env.now, self.max_iter)
+        return self.iterations_completed
+
+    def __repr__(self) -> str:
+        return (
+            f"<HopWorker {self.wid} completed={self.iterations_completed} "
+            f"mode={self.cfg.mode}>"
+        )

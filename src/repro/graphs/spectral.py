@@ -1,0 +1,75 @@
+"""Spectral analysis of communication graphs.
+
+The paper (footnote 2): "The spectral gap of a graph G is defined as
+the difference between the norms of the largest 2 eigenvalues of the
+weighted adjacency matrix W. The bigger the spectral gap, the faster
+information spreads over the graph."
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Union
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.graphs.topology import Topology
+
+
+def _as_matrix(graph_or_matrix: Union["Topology", np.ndarray]) -> np.ndarray:
+    W = getattr(graph_or_matrix, "W", graph_or_matrix)
+    return np.asarray(W, dtype=float)
+
+
+def eigenvalue_moduli(graph_or_matrix: Union["Topology", np.ndarray]) -> np.ndarray:
+    """Sorted (descending) absolute eigenvalues of ``W``."""
+    W = _as_matrix(graph_or_matrix)
+    if np.allclose(W, W.T):
+        moduli = np.abs(np.linalg.eigvalsh(W))
+    else:
+        moduli = np.abs(np.linalg.eigvals(W))
+    return np.sort(moduli)[::-1]
+
+
+def spectral_gap(graph_or_matrix: Union["Topology", np.ndarray]) -> float:
+    """``|lambda_1| - |lambda_2|`` of the weight matrix (paper footnote 2)."""
+    moduli = eigenvalue_moduli(graph_or_matrix)
+    if moduli.size < 2:
+        return float(moduli[0]) if moduli.size else 0.0
+    return float(moduli[0] - moduli[1])
+
+
+def second_eigenvalue_modulus(
+    graph_or_matrix: Union["Topology", np.ndarray]
+) -> float:
+    """``|lambda_2|`` — the consensus contraction factor per round."""
+    moduli = eigenvalue_moduli(graph_or_matrix)
+    return float(moduli[1]) if moduli.size > 1 else 0.0
+
+def mixing_rounds(
+    graph_or_matrix: Union["Topology", np.ndarray], tolerance: float = 1e-3
+) -> float:
+    """Rounds of gossip averaging needed to shrink disagreement by ``tolerance``.
+
+    With doubly stochastic ``W``, disagreement contracts by
+    ``|lambda_2|`` per round, so this is ``log(tol) / log(|lambda_2|)``.
+    Returns ``inf`` when the graph does not mix (``|lambda_2| >= 1``)
+    and ``0`` when it mixes in one shot (``|lambda_2| == 0``).
+    """
+    lam2 = second_eigenvalue_modulus(graph_or_matrix)
+    if lam2 >= 1.0:
+        return float("inf")
+    if lam2 <= 1e-12:
+        return 0.0
+    return float(np.log(tolerance) / np.log(lam2))
+
+
+def consensus_distance(x_stack: np.ndarray) -> float:
+    """RMS distance of per-worker parameter rows from their mean.
+
+    Args:
+        x_stack: Array of shape ``(n_workers, dim)``.
+    """
+    x_stack = np.asarray(x_stack, dtype=float)
+    mean = x_stack.mean(axis=0, keepdims=True)
+    return float(np.sqrt(np.mean((x_stack - mean) ** 2)))

@@ -1,0 +1,270 @@
+"""Communication topologies for decentralized training.
+
+A :class:`Topology` is a strongly connected directed graph over worker
+ids ``0..n-1`` with a weighted adjacency matrix ``W``.  Following the
+paper's notation (Section 3.1):
+
+* an edge ``(i, j)`` means worker ``i`` sends updates to worker ``j``;
+* every node has a self-loop (``(i, i) in E`` for all ``i``), i.e. the
+  local update always participates in the local average;
+* ``W[i, j]`` is the influence of worker ``i``'s update on worker ``j``
+  (the paper's :math:`W_{ij}`); for well-behaved training ``W`` should
+  be doubly stochastic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+
+class TopologyError(ValueError):
+    """Raised for malformed communication graphs."""
+
+
+class Topology:
+    """A directed communication graph with self-loops and edge weights.
+
+    Args:
+        n: Number of workers.
+        edges: Directed edges ``(src, dst)``, self-loops optional (they
+            are always added).
+        weights: Optional explicit weight matrix ``W`` with
+            ``W[i, j] > 0`` exactly on edges.  If omitted, uniform
+            in-degree weights (the paper's Eq. 1) are used.
+        name: Human-readable topology name for reports.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        edges: Iterable[Tuple[int, int]],
+        weights: Optional[np.ndarray] = None,
+        name: str = "custom",
+    ) -> None:
+        if n < 1:
+            raise TopologyError(f"need at least one worker, got n={n}")
+        self.n = int(n)
+        self.name = name
+
+        edge_set: Set[Tuple[int, int]] = set()
+        for src, dst in edges:
+            if not (0 <= src < n and 0 <= dst < n):
+                raise TopologyError(f"edge ({src}, {dst}) out of range for n={n}")
+            edge_set.add((int(src), int(dst)))
+        for i in range(n):
+            edge_set.add((i, i))
+        self._edges: FrozenSet[Tuple[int, int]] = frozenset(edge_set)
+
+        self._in: List[Tuple[int, ...]] = [() for _ in range(n)]
+        self._out: List[Tuple[int, ...]] = [() for _ in range(n)]
+        in_lists: List[List[int]] = [[] for _ in range(n)]
+        out_lists: List[List[int]] = [[] for _ in range(n)]
+        for src, dst in sorted(edge_set):
+            out_lists[src].append(dst)
+            in_lists[dst].append(src)
+        self._in = [tuple(sorted(lst)) for lst in in_lists]
+        self._out = [tuple(sorted(lst)) for lst in out_lists]
+
+        if weights is None:
+            weights = self._uniform_weights()
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != (n, n):
+            raise TopologyError(
+                f"weight matrix shape {weights.shape} != ({n}, {n})"
+            )
+        self._validate_weight_support(weights)
+        self.W = weights
+
+        self._path_matrix: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _uniform_weights(self) -> np.ndarray:
+        """The paper's Eq. (1): each in-neighbor (incl. self) weighs 1/|Nin|."""
+        W = np.zeros((self.n, self.n))
+        for j in range(self.n):
+            in_neighbors = self._in[j]
+            for i in in_neighbors:
+                W[i, j] = 1.0 / len(in_neighbors)
+        return W
+
+    def _validate_weight_support(self, W: np.ndarray) -> None:
+        for i in range(self.n):
+            for j in range(self.n):
+                on_edge = (i, j) in self._edges
+                if W[i, j] < 0:
+                    raise TopologyError(f"negative weight at ({i}, {j})")
+                if W[i, j] > 0 and not on_edge:
+                    raise TopologyError(
+                        f"weight {W[i, j]} on non-edge ({i}, {j})"
+                    )
+
+    def with_weights(self, weights: np.ndarray) -> "Topology":
+        """A copy of this topology with a different weight matrix."""
+        return Topology(self.n, self._edges, weights=weights, name=self.name)
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    @property
+    def edges(self) -> FrozenSet[Tuple[int, int]]:
+        """All directed edges, including self-loops."""
+        return self._edges
+
+    def in_neighbors(self, node: int, include_self: bool = True) -> Tuple[int, ...]:
+        """Workers whose updates ``node`` consumes (paper's ``Nin``).
+
+        The paper's ``|Nin(i)|`` counts the self-loop; pass
+        ``include_self=False`` for the strict neighbor set.
+        """
+        neighbors = self._in[node]
+        if include_self:
+            return neighbors
+        return tuple(v for v in neighbors if v != node)
+
+    def out_neighbors(self, node: int, include_self: bool = True) -> Tuple[int, ...]:
+        """Workers that consume ``node``'s updates (paper's ``Nout``)."""
+        neighbors = self._out[node]
+        if include_self:
+            return neighbors
+        return tuple(v for v in neighbors if v != node)
+
+    def in_degree(self, node: int, include_self: bool = True) -> int:
+        return len(self.in_neighbors(node, include_self))
+
+    def out_degree(self, node: int, include_self: bool = True) -> int:
+        return len(self.out_neighbors(node, include_self))
+
+    def max_degree(self, include_self: bool = False) -> int:
+        return max(self.in_degree(i, include_self) for i in range(self.n))
+
+    # ------------------------------------------------------------------
+    # Paths (Theorem 1 quantities)
+    # ------------------------------------------------------------------
+    def shortest_path_matrix(self) -> np.ndarray:
+        """``D[i, j]`` = length of the shortest directed path i -> j.
+
+        Self-loops do not shorten paths (``D[i, i] == 0``).  Unreachable
+        pairs get ``inf`` (which :meth:`validate` rejects).
+        """
+        if self._path_matrix is not None:
+            return self._path_matrix
+        n = self.n
+        D = np.full((n, n), np.inf)
+        for source in range(n):
+            D[source, source] = 0.0
+            frontier = [source]
+            depth = 0
+            seen = {source}
+            while frontier:
+                depth += 1
+                next_frontier = []
+                for u in frontier:
+                    for v in self._out[u]:
+                        if v not in seen:
+                            seen.add(v)
+                            D[source, v] = depth
+                            next_frontier.append(v)
+                frontier = next_frontier
+        self._path_matrix = D
+        return D
+
+    def path_length(self, src: int, dst: int) -> float:
+        """Shortest directed path length ``src -> dst`` in hops."""
+        return float(self.shortest_path_matrix()[src, dst])
+
+    def diameter(self) -> float:
+        """Longest shortest path over all ordered pairs."""
+        D = self.shortest_path_matrix()
+        return float(np.max(D[np.isfinite(D)]))
+
+    def is_strongly_connected(self) -> bool:
+        return bool(np.all(np.isfinite(self.shortest_path_matrix())))
+
+    def is_bipartite(self) -> bool:
+        """Two-colorability of the underlying undirected graph.
+
+        Self-loops are ignored (they are a modelling convention, not a
+        communication edge).  AD-PSGD requires bipartite graphs.
+        """
+        color: Dict[int, int] = {}
+        for start in range(self.n):
+            if start in color:
+                continue
+            color[start] = 0
+            stack = [start]
+            while stack:
+                u = stack.pop()
+                for v in set(self._out[u]) | set(self._in[u]):
+                    if v == u:
+                        continue
+                    if v not in color:
+                        color[v] = 1 - color[u]
+                        stack.append(v)
+                    elif color[v] == color[u]:
+                        return False
+        return True
+
+    def bipartite_sets(self) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """The two color classes; raises if the graph is not bipartite."""
+        if not self.is_bipartite():
+            raise TopologyError(f"{self.name!r} is not bipartite")
+        color: Dict[int, int] = {}
+        for start in range(self.n):
+            if start in color:
+                continue
+            color[start] = 0
+            stack = [start]
+            while stack:
+                u = stack.pop()
+                for v in set(self._out[u]) | set(self._in[u]):
+                    if v == u or v in color:
+                        continue
+                    color[v] = 1 - color[u]
+                    stack.append(v)
+        zeros = tuple(i for i in range(self.n) if color[i] == 0)
+        ones = tuple(i for i in range(self.n) if color[i] == 1)
+        return zeros, ones
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self, require_doubly_stochastic: bool = False) -> None:
+        """Check the properties decentralized training relies on.
+
+        Raises:
+            TopologyError: If the graph is not strongly connected, or
+                (optionally) if ``W`` is not doubly stochastic.
+        """
+        if not self.is_strongly_connected():
+            raise TopologyError(f"{self.name!r} is not strongly connected")
+        col_sums = self.W.sum(axis=0)
+        if not np.allclose(col_sums, 1.0, atol=1e-9):
+            raise TopologyError(
+                f"{self.name!r}: weight columns do not sum to 1: {col_sums}"
+            )
+        if require_doubly_stochastic:
+            row_sums = self.W.sum(axis=1)
+            if not np.allclose(row_sums, 1.0, atol=1e-9):
+                raise TopologyError(
+                    f"{self.name!r}: weight rows do not sum to 1: {row_sums}"
+                )
+
+    def is_doubly_stochastic(self, atol: float = 1e-9) -> bool:
+        return bool(
+            np.allclose(self.W.sum(axis=0), 1.0, atol=atol)
+            and np.allclose(self.W.sum(axis=1), 1.0, atol=atol)
+        )
+
+    def is_regular(self) -> bool:
+        """All nodes have the same in-degree and the same out-degree."""
+        in_degrees = {self.in_degree(i) for i in range(self.n)}
+        out_degrees = {self.out_degree(i) for i in range(self.n)}
+        return len(in_degrees) == 1 and len(out_degrees) == 1
+
+    def __repr__(self) -> str:
+        n_edges = len(self._edges) - self.n  # exclude self-loops
+        return f"<Topology {self.name!r} n={self.n} edges={n_edges}>"

@@ -1,0 +1,92 @@
+"""Weight-matrix constructions for communication graphs.
+
+Decentralized SGD requires the weighted adjacency matrix ``W`` to be
+doubly stochastic (rows and columns sum to one) for convergence
+[Lian et al. 2017].  The paper's default (Eq. 1) gives every in-coming
+update equal influence, which is doubly stochastic only on regular
+graphs; Metropolis-Hastings weights repair that for irregular graphs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.graphs.topology import Topology
+
+
+def uniform_weights(topology: "Topology", include_self: bool = True) -> np.ndarray:
+    """The paper's Eq. (1): ``W[i, j] = 1/|Nin(j)|`` for in-edges.
+
+    Args:
+        topology: The communication graph.
+        include_self: Whether the self-loop shares the uniform weight
+            (the paper's convention).  With ``False`` the local update
+            gets zero weight, which is only useful for analysis.
+    """
+    n = topology.n
+    W = np.zeros((n, n))
+    for j in range(n):
+        in_neighbors = topology.in_neighbors(j, include_self=include_self)
+        if not in_neighbors:
+            continue
+        share = 1.0 / len(in_neighbors)
+        for i in in_neighbors:
+            W[i, j] = share
+    return W
+
+
+def metropolis_hastings_weights(topology: "Topology") -> np.ndarray:
+    """Symmetric doubly stochastic weights for irregular graphs.
+
+    ``W[i, j] = 1 / (1 + max(deg_i, deg_j))`` on (undirected) edges,
+    with the self-loop absorbing the remainder.  Requires the edge set
+    to be symmetric (every send has a matching reverse edge).
+    """
+    n = topology.n
+    degrees = [topology.in_degree(i, include_self=False) for i in range(n)]
+    for i in range(n):
+        out_set = set(topology.out_neighbors(i, include_self=False))
+        in_set = set(topology.in_neighbors(i, include_self=False))
+        if out_set != in_set:
+            raise ValueError(
+                "metropolis_hastings_weights needs a symmetric edge set; "
+                f"node {i} has in={sorted(in_set)} out={sorted(out_set)}"
+            )
+    W = np.zeros((n, n))
+    for i in range(n):
+        for j in topology.in_neighbors(i, include_self=False):
+            W[j, i] = 1.0 / (1.0 + max(degrees[i], degrees[j]))
+    for i in range(n):
+        W[i, i] = 1.0 - W[:, i].sum()
+    return W
+
+
+def lazy_weights(W: np.ndarray, laziness: float = 0.5) -> np.ndarray:
+    """Blend ``W`` with the identity: ``(1-a) * I + a * W``.
+
+    Lazy walks guarantee a positive spectral gap on bipartite graphs
+    (where the plain walk has an eigenvalue at -1).
+    """
+    if not 0.0 < laziness <= 1.0:
+        raise ValueError(f"laziness must be in (0, 1], got {laziness}")
+    n = W.shape[0]
+    return (1.0 - laziness) * np.eye(n) + laziness * np.asarray(W, dtype=float)
+
+
+def is_doubly_stochastic(W: np.ndarray, atol: float = 1e-9) -> bool:
+    """True when rows and columns of ``W`` each sum to one."""
+    W = np.asarray(W, dtype=float)
+    return bool(
+        np.all(W >= -atol)
+        and np.allclose(W.sum(axis=0), 1.0, atol=atol)
+        and np.allclose(W.sum(axis=1), 1.0, atol=atol)
+    )
+
+
+def is_column_stochastic(W: np.ndarray, atol: float = 1e-9) -> bool:
+    """True when every column of ``W`` sums to one (valid averaging)."""
+    W = np.asarray(W, dtype=float)
+    return bool(np.all(W >= -atol) and np.allclose(W.sum(axis=0), 1.0, atol=atol))

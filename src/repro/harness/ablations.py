@@ -1,0 +1,305 @@
+"""Ablations: design choices the paper discusses but does not plot.
+
+Five studies, each packaged as a :class:`~repro.harness.figures.FigureResult`
+so the benchmark harness can assert their expected shapes:
+
+* **Eq. (2) vs simple averaging** of stale updates (Section 4.4's
+  "found the latter performs slightly better").
+* **Parallel vs serial computation graph** (Section 3.2's execution
+  vs. statistical efficiency trade-off).
+* **max_ig sweep** — Theorem 2's gap/memory/tolerance trade-off.
+* **Rotating vs tagged update queues** (Section 6.1) — identical
+  observable behavior; the rotating implementation is the
+  memory-bounded one.
+* **Hop vs AD-PSGD** (Section 5's discussion of why Hop keeps bounded
+  gaps instead of adopting AD-PSGD's unbounded asynchrony).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.core.config import (
+    STANDARD,
+    HopConfig,
+    backup_config,
+    staleness_config,
+)
+from repro.graphs import bipartite_ring, ring_based
+from repro.harness.figures import FigureResult, _scale
+from repro.harness.results import final_smoothed_loss, wall_time_speedup
+from repro.harness.spec import (
+    RANDOM_6X,
+    ExperimentSpec,
+    deterministic_straggler,
+    run_spec,
+)
+from repro.harness.workloads import by_name
+
+
+def ablation_stale_reduce(
+    preset: str = "bench", workload_name: str = "cnn", seed: int = 0
+) -> FigureResult:
+    """Equation (2) weighting vs simple averaging of stale updates."""
+    n, max_iter = _scale(preset)
+    workload = by_name(workload_name, preset)
+    result = FigureResult(
+        "ablation_stale_reduce",
+        "Staleness aggregation: Eq. (2) weighting vs simple average "
+        f"({workload_name}, 6x random slowdown)",
+    )
+    seeds = [seed, seed + 1] if preset == "smoke" else [seed, seed + 1, seed + 2]
+    losses: Dict[str, list] = {"eq2_weighted": [], "uniform": []}
+    wall_times: Dict[str, list] = {"eq2_weighted": [], "uniform": []}
+    for run_seed in seeds:
+        for label, flavor in (
+            ("eq2_weighted", "weighted"),
+            ("uniform", "uniform"),
+        ):
+            spec = ExperimentSpec(
+                label,
+                workload,
+                ring_based(n),
+                config=staleness_config(
+                    staleness=5, max_ig=8, stale_reduce=flavor
+                ),
+                slowdown=RANDOM_6X,
+                max_iter=max_iter,
+                seed=run_seed,
+            )
+            run = run_spec(spec)
+            losses[label].append(final_smoothed_loss(run))
+            wall_times[label].append(run.wall_time)
+    for label in ("eq2_weighted", "uniform"):
+        result.rows.append(
+            {
+                "reduce": label,
+                "mean_final_loss": float(np.mean(losses[label])),
+                "loss_per_seed": "/".join(f"{v:.3f}" for v in losses[label]),
+                "wall_time": float(np.mean(wall_times[label])),
+            }
+        )
+    weighted = float(np.mean(losses["eq2_weighted"]))
+    uniform = float(np.mean(losses["uniform"]))
+    result.check(
+        "identical timing (aggregation does not change waiting)",
+        np.allclose(wall_times["eq2_weighted"], wall_times["uniform"]),
+        "",
+    )
+    result.check(
+        "Eq. (2) comparable to simple averaging across seeds "
+        "(paper: slightly better, and notes the formula is not optimized)",
+        weighted <= uniform * 1.10,
+        f"weighted={weighted:.3f} uniform={uniform:.3f}",
+    )
+    return result
+
+
+def ablation_computation_graph(
+    preset: str = "bench", workload_name: str = "svm", seed: int = 0
+) -> FigureResult:
+    """Parallel (Fig. 2b) vs serial (Fig. 2a) computation graphs."""
+    n, max_iter = _scale(preset)
+    workload = by_name(workload_name, preset)
+    result = FigureResult(
+        "ablation_computation_graph",
+        f"Parallel vs serial computation graph ({workload_name})",
+    )
+    runs = {}
+    for label in ("parallel", "serial"):
+        spec = ExperimentSpec(
+            label,
+            workload,
+            ring_based(n),
+            config=HopConfig(computation_graph=label),
+            max_iter=max_iter,
+            seed=seed,
+        )
+        runs[label] = run_spec(spec)
+        steps, losses = runs[label].loss_vs_steps(window=16)
+        result.rows.append(
+            {
+                "graph": label,
+                "wall_time": runs[label].wall_time,
+                "iter_rate": runs[label].iteration_rate(),
+                "final_loss": final_smoothed_loss(runs[label]),
+            }
+        )
+    result.check(
+        "parallel iterations at least as fast (Compute overlaps Reduce)",
+        runs["parallel"].wall_time <= runs["serial"].wall_time * 1.01,
+        f"parallel={runs['parallel'].wall_time:.1f}s "
+        f"serial={runs['serial'].wall_time:.1f}s",
+    )
+    result.check(
+        "serial statistical efficiency no worse (exact gradients)",
+        final_smoothed_loss(runs["serial"])
+        <= final_smoothed_loss(runs["parallel"]) * 1.15,
+        "",
+    )
+    return result
+
+
+def ablation_max_ig(
+    preset: str = "bench", workload_name: str = "svm", seed: int = 0
+) -> FigureResult:
+    """Theorem 2's knob: larger max_ig buys straggler tolerance."""
+    n, max_iter = _scale(preset)
+    workload = by_name(workload_name, preset)
+    result = FigureResult(
+        "ablation_max_ig",
+        f"max_ig sweep under a 4x straggler ({workload_name}, backup mode)",
+    )
+    straggler = deterministic_straggler(worker=0, factor=4.0)
+    walls: Dict[int, float] = {}
+    for max_ig in (1, 2, 4, 8):
+        spec = ExperimentSpec(
+            f"max_ig={max_ig}",
+            workload,
+            ring_based(n),
+            config=backup_config(n_backup=1, max_ig=max_ig),
+            slowdown=straggler,
+            max_iter=max_iter,
+            seed=seed,
+        )
+        run = run_spec(spec)
+        walls[max_ig] = run.wall_time
+        result.rows.append(
+            {
+                "max_ig": max_ig,
+                "wall_time": run.wall_time,
+                "max_gap": run.gap.max_observed(),
+                "final_loss": final_smoothed_loss(run),
+            }
+        )
+        result.check(
+            f"max_ig={max_ig}: observed gap within Theorem 2's adjacent bound",
+            run.gap.max_observed() <= max_ig * ring_based(n).diameter(),
+            f"gap={run.gap.max_observed():g}",
+        )
+    result.check(
+        "larger max_ig tolerates the straggler longer (weakly faster)",
+        walls[8] <= walls[1] + 1e-9,
+        f"wall(1)={walls[1]:.1f}s wall(8)={walls[8]:.1f}s",
+    )
+    return result
+
+
+def ablation_queue_impl(
+    preset: str = "bench", workload_name: str = "svm", seed: int = 0
+) -> FigureResult:
+    """Section 6.1: rotating queues match the tagged single queue."""
+    n, max_iter = _scale(preset)
+    workload = by_name(workload_name, preset)
+    result = FigureResult(
+        "ablation_queue_impl",
+        "Rotating (Sec 6.1) vs tagged update-queue implementations "
+        f"({workload_name}, 6x random slowdown)",
+    )
+    runs = {}
+    for impl in ("rotating", "tagged"):
+        spec = ExperimentSpec(
+            impl,
+            workload,
+            ring_based(n),
+            config=HopConfig(queue_impl=impl, max_ig=4),
+            slowdown=RANDOM_6X,
+            max_iter=max_iter,
+            seed=seed,
+        )
+        runs[impl] = run_spec(spec)
+        result.rows.append(
+            {
+                "impl": impl,
+                "wall_time": runs[impl].wall_time,
+                "final_loss": final_smoothed_loss(runs[impl]),
+                "max_gap": runs[impl].gap.max_observed(),
+            }
+        )
+    result.check(
+        "identical wall-clock behavior",
+        abs(runs["rotating"].wall_time - runs["tagged"].wall_time) < 1e-9,
+        "",
+    )
+    result.check(
+        "identical training outcome (bit-for-bit final parameters)",
+        bool(
+            np.array_equal(
+                runs["rotating"].final_params, runs["tagged"].final_params
+            )
+        ),
+        "",
+    )
+    return result
+
+
+def ablation_vs_adpsgd(
+    preset: str = "bench", workload_name: str = "svm", seed: int = 0
+) -> FigureResult:
+    """Hop's bounded-gap design vs AD-PSGD's unconstrained gossip."""
+    n, max_iter = _scale(preset)
+    workload = by_name(workload_name, preset)
+    result = FigureResult(
+        "ablation_vs_adpsgd",
+        f"Hop (backup) vs AD-PSGD under 6x random slowdown ({workload_name})",
+    )
+    hop = run_spec(
+        ExperimentSpec(
+            "hop",
+            workload,
+            ring_based(n),
+            config=backup_config(n_backup=1, max_ig=4),
+            slowdown=RANDOM_6X,
+            max_iter=max_iter,
+            seed=seed,
+        )
+    )
+    adpsgd = run_spec(
+        ExperimentSpec(
+            "adpsgd",
+            workload,
+            bipartite_ring(n),
+            protocol="adpsgd",
+            slowdown=RANDOM_6X,
+            max_iter=max_iter,
+            seed=seed,
+        )
+    )
+    for label, run in (("hop/backup", hop), ("adpsgd", adpsgd)):
+        result.rows.append(
+            {
+                "protocol": label,
+                "wall_time": run.wall_time,
+                "iter_rate": run.iteration_rate(),
+                "final_loss": final_smoothed_loss(run),
+                "max_gap": run.gap.max_observed(),
+                "accuracy": run.final_accuracy,
+            }
+        )
+    result.check(
+        "Hop's gap stays bounded while AD-PSGD's is unconstrained",
+        hop.gap.max_observed() <= adpsgd.gap.max_observed() + 8,
+        f"hop={hop.gap.max_observed():g} adpsgd={adpsgd.gap.max_observed():g}",
+    )
+    result.check(
+        "both converge",
+        final_smoothed_loss(hop) < 1.0 and final_smoothed_loss(adpsgd) < 1.0,
+        "",
+    )
+    result.notes = (
+        "AD-PSGD requires a bipartite graph (even ring here); Hop runs on "
+        "the denser ring-based graph. The point of this ablation is the "
+        "graph-freedom and gap-control trade-off discussed in Section 5."
+    )
+    return result
+
+
+ALL_ABLATIONS = {
+    "stale_reduce": ablation_stale_reduce,
+    "computation_graph": ablation_computation_graph,
+    "max_ig": ablation_max_ig,
+    "queue_impl": ablation_queue_impl,
+    "vs_adpsgd": ablation_vs_adpsgd,
+}

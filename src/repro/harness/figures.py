@@ -1,0 +1,766 @@
+"""Per-figure experiment definitions: the paper's evaluation as code.
+
+One function per figure/table in Section 7 (plus Table 1).  Each runs
+the relevant training configurations through :func:`run_spec`, packages
+the rows/series the paper plots, and evaluates the *shape checks* —
+the qualitative claims that must hold for the reproduction (who wins,
+by roughly what factor, where the crossovers fall).
+
+Benchmarks call these with ``preset="bench"`` and assert
+``result.passed()``; EXPERIMENTS.md records their rendered output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import (
+    STANDARD,
+    HopConfig,
+    SkipConfig,
+    backup_config,
+    staleness_config,
+)
+from repro.core.gap import gap_bound_matrix
+from repro.graphs import (
+    FIG21_MACHINE_OF_WORKER,
+    chain,
+    double_ring,
+    fig21_setting1,
+    fig21_setting2,
+    fig21_setting3,
+    ring,
+    ring_based,
+    spectral_gap,
+)
+from repro.harness.report import render_check, render_series_table, render_table
+from repro.harness.results import (
+    binned_loss_curve,
+    binned_loss_vs_steps,
+    compare_runs,
+    final_smoothed_loss,
+    iteration_rate_speedup,
+    straggler_slowdown_ratio,
+    wall_time_speedup,
+)
+from repro.harness.spec import (
+    RANDOM_6X,
+    ExperimentSpec,
+    SlowdownSpec,
+    deterministic_straggler,
+    run_spec,
+)
+from repro.harness.workloads import Workload, by_name
+from repro.net.links import Link, cluster_links
+
+
+@dataclass
+class FigureResult:
+    """The reproduced artifact for one paper figure/table."""
+
+    figure_id: str
+    title: str
+    rows: List[dict] = field(default_factory=list)
+    series: Dict[str, Tuple[np.ndarray, np.ndarray]] = field(default_factory=dict)
+    checks: List[Tuple[str, bool, str]] = field(default_factory=list)
+    notes: str = ""
+
+    def check(self, name: str, passed: bool, detail: str = "") -> None:
+        self.checks.append((name, bool(passed), detail))
+
+    def passed(self) -> bool:
+        return all(ok for _, ok, _ in self.checks)
+
+    def failures(self) -> List[str]:
+        return [name for name, ok, _ in self.checks if not ok]
+
+    def render(self) -> str:
+        parts = [f"=== {self.figure_id}: {self.title} ==="]
+        if self.rows:
+            parts.append(render_table(self.rows))
+        if self.series:
+            parts.append(render_series_table(self.series))
+        if self.checks:
+            parts.append("shape checks:")
+            for name, ok, detail in self.checks:
+                parts.append(render_check(name, ok, detail))
+        if self.notes:
+            parts.append(f"notes: {self.notes}")
+        return "\n".join(parts)
+
+
+def _scale(preset: str) -> Tuple[int, int]:
+    """(n_workers, max_iter) per preset."""
+    return {
+        "smoke": (8, 16),
+        "bench": (16, 40),
+        "paper": (16, 120),
+    }[preset]
+
+
+# ----------------------------------------------------------------------
+# Figure 12: effect of heterogeneity across graph densities
+# ----------------------------------------------------------------------
+def fig12_heterogeneity(
+    preset: str = "bench", workload_name: str = "cnn", seed: int = 0
+) -> FigureResult:
+    """Random 6x slowdown on ring / ring-based / double-ring graphs."""
+    n, max_iter = _scale(preset)
+    workload = by_name(workload_name, preset)
+    result = FigureResult(
+        "fig12",
+        f"Effect of heterogeneity ({workload_name}): "
+        "sparser graphs suffer less",
+    )
+    graphs = [("ring", ring(n)), ("ring_based", ring_based(n)),
+              ("double_ring", double_ring(n))]
+    ratios = {}
+    for label, topology in graphs:
+        runs = {}
+        for slow_label, slowdown in (
+            ("clean", SlowdownSpec()),
+            ("slowdown", RANDOM_6X),
+        ):
+            spec = ExperimentSpec(
+                name=f"{label}/{slow_label}",
+                workload=workload,
+                topology=topology,
+                slowdown=slowdown,
+                max_iter=max_iter,
+                seed=seed,
+            )
+            runs[slow_label] = run_spec(spec)
+            result.series[f"{label}/{slow_label}"] = binned_loss_curve(
+                runs[slow_label]
+            )
+        ratio = runs["slowdown"].wall_time / runs["clean"].wall_time
+        ratios[label] = ratio
+        result.rows.append(
+            {
+                "graph": label,
+                "clean_wall": runs["clean"].wall_time,
+                "slow_wall": runs["slowdown"].wall_time,
+                "slowdown_ratio": ratio,
+                "clean_loss": final_smoothed_loss(runs["clean"]),
+                "slow_loss": final_smoothed_loss(runs["slowdown"]),
+            }
+        )
+        result.check(
+            f"{label}: random slowdown hurts wall-clock",
+            ratio > 1.05,
+            f"ratio={ratio:.2f}",
+        )
+    result.check(
+        "sparser graph (ring) degrades no more than densest (double_ring)",
+        ratios["ring"] <= ratios["double_ring"] * 1.05,
+        f"ring={ratios['ring']:.2f} double_ring={ratios['double_ring']:.2f}",
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 13: decentralized vs parameter server
+# ----------------------------------------------------------------------
+def fig13_vs_ps(
+    preset: str = "bench", workload_name: str = "cnn", seed: int = 0
+) -> FigureResult:
+    """Hop (clean and heterogeneous) against homogeneous PS-BSP."""
+    n, max_iter = _scale(preset)
+    workload = by_name(workload_name, preset)
+    result = FigureResult(
+        "fig13",
+        f"Decentralized vs PS ({workload_name}): the PS NIC is a hotspot",
+    )
+    topology = ring_based(n)
+    specs = {
+        "hop/clean": ExperimentSpec(
+            "hop-clean", workload, topology, max_iter=max_iter, seed=seed
+        ),
+        "hop/slowdown": ExperimentSpec(
+            "hop-slow",
+            workload,
+            topology,
+            slowdown=RANDOM_6X,
+            max_iter=max_iter,
+            seed=seed,
+        ),
+        "ps-bsp/clean": ExperimentSpec(
+            "ps-clean",
+            workload,
+            topology,
+            protocol="ps-bsp",
+            max_iter=max_iter,
+            seed=seed,
+        ),
+    }
+    runs = {label: run_spec(spec) for label, spec in specs.items()}
+    for label, run in runs.items():
+        result.series[label] = binned_loss_curve(run)
+    result.rows = compare_runs(
+        runs, target_loss=workload.target_loss, baseline="ps-bsp/clean"
+    )
+    result.check(
+        "decentralized (clean) beats PS on wall-clock",
+        runs["hop/clean"].wall_time < runs["ps-bsp/clean"].wall_time,
+        f"hop={runs['hop/clean'].wall_time:.1f}s "
+        f"ps={runs['ps-bsp/clean'].wall_time:.1f}s",
+    )
+    result.check(
+        "decentralized even under slowdown beats homogeneous PS",
+        runs["hop/slowdown"].wall_time < runs["ps-bsp/clean"].wall_time,
+        f"hop-slow={runs['hop/slowdown'].wall_time:.1f}s "
+        f"ps={runs['ps-bsp/clean'].wall_time:.1f}s",
+    )
+    t_hop = runs["hop/clean"].time_to_loss(workload.target_loss)
+    t_ps = runs["ps-bsp/clean"].time_to_loss(workload.target_loss)
+    result.check(
+        "time-to-target favors decentralized",
+        t_hop < t_ps,
+        f"hop={t_hop:.1f}s ps={t_ps:.1f}s",
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figures 14/15: backup workers, loss vs time and loss vs steps
+# ----------------------------------------------------------------------
+def _backup_runs(
+    preset: str, workload_name: str, seed: int
+) -> Tuple[Workload, Dict[str, Dict[str, object]]]:
+    n, max_iter = _scale(preset)
+    workload = by_name(workload_name, preset)
+    out: Dict[str, Dict[str, object]] = {}
+    for graph_label, topology in (
+        ("ring_based", ring_based(n)),
+        ("double_ring", double_ring(n)),
+    ):
+        runs = {}
+        for config_label, config in (
+            ("standard", STANDARD),
+            ("backup", backup_config(n_backup=1, max_ig=4)),
+        ):
+            spec = ExperimentSpec(
+                name=f"{graph_label}/{config_label}",
+                workload=workload,
+                topology=topology,
+                config=config,
+                slowdown=RANDOM_6X,
+                max_iter=max_iter,
+                seed=seed,
+            )
+            runs[config_label] = run_spec(spec)
+        out[graph_label] = runs
+    return workload, out
+
+
+def fig14_backup_time(
+    preset: str = "bench", workload_name: str = "cnn", seed: int = 0
+) -> FigureResult:
+    """Backup workers beat standard on wall-clock under random slowdown."""
+    workload, all_runs = _backup_runs(preset, workload_name, seed)
+    result = FigureResult(
+        "fig14",
+        f"Backup workers, loss vs time ({workload_name}), 6x random slowdown",
+    )
+    for graph_label, runs in all_runs.items():
+        for config_label, run in runs.items():
+            result.series[f"{graph_label}/{config_label}"] = binned_loss_curve(run)
+        speedup = wall_time_speedup(runs["standard"], runs["backup"])
+        result.rows.append(
+            {
+                "graph": graph_label,
+                "standard_wall": runs["standard"].wall_time,
+                "backup_wall": runs["backup"].wall_time,
+                "wall_speedup": speedup,
+                "standard_loss": final_smoothed_loss(runs["standard"]),
+                "backup_loss": final_smoothed_loss(runs["backup"]),
+            }
+        )
+        result.check(
+            f"{graph_label}: backup faster on wall-clock",
+            speedup > 1.0,
+            f"speedup={speedup:.2f}",
+        )
+    return result
+
+
+def fig15_backup_steps(
+    preset: str = "bench", workload_name: str = "cnn", seed: int = 0
+) -> FigureResult:
+    """Per-step progress penalty of backup workers is insignificant."""
+    workload, all_runs = _backup_runs(preset, workload_name, seed)
+    result = FigureResult(
+        "fig15",
+        f"Backup workers, loss vs steps ({workload_name}): "
+        "small per-iteration penalty",
+    )
+    for graph_label, runs in all_runs.items():
+        for config_label, run in runs.items():
+            result.series[f"{graph_label}/{config_label}"] = (
+                binned_loss_vs_steps(run)
+            )
+        std_loss = final_smoothed_loss(runs["standard"])
+        bkp_loss = final_smoothed_loss(runs["backup"])
+        result.rows.append(
+            {
+                "graph": graph_label,
+                "standard_final_loss": std_loss,
+                "backup_final_loss": bkp_loss,
+                "relative_penalty": (bkp_loss - std_loss) / max(std_loss, 1e-9),
+            }
+        )
+        result.check(
+            f"{graph_label}: per-step penalty small",
+            bkp_loss <= std_loss * 1.35,
+            f"standard={std_loss:.3f} backup={bkp_loss:.3f}",
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 16: iteration-speed speedup from backup workers
+# ----------------------------------------------------------------------
+def fig16_iteration_speed(
+    preset: str = "bench", workload_name: str = "cnn", seed: int = 0
+) -> FigureResult:
+    """Iteration-rate speedup under 6x random slowdown (paper: up to 1.81)."""
+    n, max_iter = _scale(preset)
+    workload = by_name(workload_name, preset)
+    result = FigureResult(
+        "fig16",
+        f"Backup workers: iteration speed over 6x slowdown ({workload_name})",
+    )
+    topology = ring_based(n)
+    runs = {}
+    for label, config in (
+        ("standard", STANDARD),
+        ("backup", backup_config(n_backup=1, max_ig=4)),
+    ):
+        spec = ExperimentSpec(
+            label,
+            workload,
+            topology,
+            config=config,
+            slowdown=RANDOM_6X,
+            max_iter=max_iter,
+            seed=seed,
+        )
+        runs[label] = run_spec(spec)
+    speedup = iteration_rate_speedup(runs["standard"], runs["backup"])
+    for label, run in runs.items():
+        result.rows.append(
+            {
+                "config": label,
+                "iter_rate": run.iteration_rate(),
+                "mean_iter_duration": run.mean_iteration_duration(),
+                "wall_time": run.wall_time,
+            }
+        )
+    result.rows.append({"config": "speedup", "iter_rate": speedup})
+    result.check(
+        "backup workers speed up iterations (paper: up to 1.81x)",
+        speedup > 1.1,
+        f"speedup={speedup:.2f}",
+    )
+    result.check(
+        "speedup in a plausible band (1.1x - 2.5x)",
+        1.1 < speedup < 2.5,
+        f"speedup={speedup:.2f}",
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 17: bounded staleness under random slowdown
+# ----------------------------------------------------------------------
+def fig17_staleness(
+    preset: str = "bench", workload_name: str = "cnn", seed: int = 0
+) -> FigureResult:
+    """Staleness ~ backup-worker speedup; both beat standard."""
+    n, max_iter = _scale(preset)
+    workload = by_name(workload_name, preset)
+    result = FigureResult(
+        "fig17",
+        f"Bounded staleness (s=5) under 6x random slowdown ({workload_name})",
+    )
+    topology = ring_based(n)
+    runs = {}
+    for label, config in (
+        ("standard", STANDARD),
+        ("backup", backup_config(n_backup=1, max_ig=4)),
+        ("staleness", staleness_config(staleness=5, max_ig=8)),
+    ):
+        spec = ExperimentSpec(
+            label,
+            workload,
+            topology,
+            config=config,
+            slowdown=RANDOM_6X,
+            max_iter=max_iter,
+            seed=seed,
+        )
+        runs[label] = run_spec(spec)
+        result.series[label] = binned_loss_curve(runs[label])
+    result.rows = compare_runs(
+        runs, target_loss=workload.target_loss, baseline="standard"
+    )
+    stale_speedup = wall_time_speedup(runs["standard"], runs["staleness"])
+    backup_speedup = wall_time_speedup(runs["standard"], runs["backup"])
+    result.check(
+        "staleness beats standard on wall-clock",
+        stale_speedup > 1.0,
+        f"speedup={stale_speedup:.2f}",
+    )
+    result.check(
+        "staleness speedup comparable to backup workers",
+        stale_speedup > 0.7 * backup_speedup,
+        f"staleness={stale_speedup:.2f} backup={backup_speedup:.2f}",
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 18: iteration duration with skipping, deterministic slowdown
+# ----------------------------------------------------------------------
+def fig18_skip_duration(
+    preset: str = "bench", workload_name: str = "cnn", seed: int = 0
+) -> FigureResult:
+    """Skipping cuts the straggler's drag from ~4x to near 1x."""
+    n, max_iter = _scale(preset)
+    workload = by_name(workload_name, preset)
+    result = FigureResult(
+        "fig18",
+        "Skipping iterations: per-iteration duration with a 4x straggler "
+        f"({workload_name})",
+    )
+    topology = ring_based(n)
+    straggler = deterministic_straggler(worker=0, factor=4.0)
+    base_config = backup_config(n_backup=1, max_ig=5)
+    runs = {
+        "clean": run_spec(
+            ExperimentSpec(
+                "clean", workload, topology, config=base_config,
+                max_iter=max_iter, seed=seed,
+            )
+        ),
+        "straggler/no_skip": run_spec(
+            ExperimentSpec(
+                "no-skip", workload, topology, config=base_config,
+                slowdown=straggler, max_iter=max_iter, seed=seed,
+            )
+        ),
+        "straggler/skip": run_spec(
+            ExperimentSpec(
+                "skip", workload, topology,
+                config=backup_config(
+                    n_backup=1, max_ig=5,
+                    skip=SkipConfig(max_skip=10, trigger_lag=2),
+                ),
+                slowdown=straggler, max_iter=max_iter, seed=seed,
+            )
+        ),
+    }
+    no_skip_ratio = straggler_slowdown_ratio(
+        runs["straggler/no_skip"], runs["clean"]
+    )
+    skip_ratio = straggler_slowdown_ratio(runs["straggler/skip"], runs["clean"])
+    for label, run in runs.items():
+        result.rows.append(
+            {
+                "setting": label,
+                "mean_iter_duration": run.mean_iteration_duration(),
+                "wall_time": run.wall_time,
+                "skipped_total": sum(run.iterations_skipped),
+            }
+        )
+    result.rows.append(
+        {"setting": "slowdown_ratio/no_skip", "mean_iter_duration": no_skip_ratio}
+    )
+    result.rows.append(
+        {"setting": "slowdown_ratio/skip", "mean_iter_duration": skip_ratio}
+    )
+    result.check(
+        "without skipping the straggler gates the graph (paper: 3.9x)",
+        no_skip_ratio > 2.0,
+        f"ratio={no_skip_ratio:.2f}",
+    )
+    result.check(
+        "with skipping the drag nearly vanishes (paper: ~1.1x)",
+        skip_ratio < 1.6,
+        f"ratio={skip_ratio:.2f}",
+    )
+    result.check(
+        "skipping strictly reduces the drag",
+        skip_ratio < no_skip_ratio,
+        f"{skip_ratio:.2f} < {no_skip_ratio:.2f}",
+    )
+    result.check(
+        "only the straggler skips iterations",
+        sum(runs["straggler/skip"].iterations_skipped[1:]) == 0
+        and runs["straggler/skip"].iterations_skipped[0] > 0,
+        f"skipped={runs['straggler/skip'].iterations_skipped[0]}",
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 19: skipping iterations, convergence on wall-clock
+# ----------------------------------------------------------------------
+def fig19_skip_convergence(
+    preset: str = "bench", workload_name: str = "cnn", seed: int = 0
+) -> FigureResult:
+    """Skip > plain backup; jumping up to 10 converges fastest."""
+    n, max_iter = _scale(preset)
+    workload = by_name(workload_name, preset)
+    result = FigureResult(
+        "fig19",
+        f"Effect of skipping iterations ({workload_name}), 4x straggler",
+    )
+    topology = ring_based(n)
+    straggler = deterministic_straggler(worker=0, factor=4.0)
+    configs = {
+        "backup_only": backup_config(n_backup=1, max_ig=5),
+        "skip_2": backup_config(
+            n_backup=1, max_ig=5, skip=SkipConfig(max_skip=2, trigger_lag=2)
+        ),
+        "skip_10": backup_config(
+            n_backup=1, max_ig=5, skip=SkipConfig(max_skip=10, trigger_lag=2)
+        ),
+    }
+    runs = {}
+    for label, config in configs.items():
+        spec = ExperimentSpec(
+            label, workload, topology, config=config,
+            slowdown=straggler, max_iter=max_iter, seed=seed,
+        )
+        runs[label] = run_spec(spec)
+        result.series[label] = binned_loss_curve(runs[label])
+    result.rows = compare_runs(
+        runs, target_loss=workload.target_loss, baseline="backup_only"
+    )
+    speedup_10 = wall_time_speedup(runs["backup_only"], runs["skip_10"])
+    speedup_2 = wall_time_speedup(runs["backup_only"], runs["skip_2"])
+    result.check(
+        "skip_10 beats plain backup workers",
+        speedup_10 > 1.1,
+        f"speedup={speedup_10:.2f}",
+    )
+    result.check(
+        "skip_10 at least as fast as skip_2 (paper: 10 is fastest)",
+        runs["skip_10"].wall_time <= runs["skip_2"].wall_time * 1.05,
+        f"skip10={runs['skip_10'].wall_time:.1f}s "
+        f"skip2={runs['skip_2'].wall_time:.1f}s",
+    )
+    result.check(
+        "skipping does not break convergence",
+        final_smoothed_loss(runs["skip_10"])
+        <= final_smoothed_loss(runs["backup_only"]) * 1.35,
+        "",
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figures 20/21: topology design in a heterogeneous deployment
+# ----------------------------------------------------------------------
+def fig20_topology(
+    preset: str = "bench", workload_name: str = "cnn", seed: int = 0
+) -> FigureResult:
+    """Machine-aware low-spectral-gap graphs win on wall-clock."""
+    _, max_iter = _scale(preset)
+    workload = by_name(workload_name, preset)
+    result = FigureResult(
+        "fig20",
+        "Topology comparison: 8 workers on 3 machines "
+        f"({workload_name})",
+    )
+    machine_of = FIG21_MACHINE_OF_WORKER
+    links = cluster_links(
+        machine_of,
+        intra=Link(latency=2e-5, bandwidth=10_000.0),
+        inter=Link(latency=2e-4, bandwidth=125.0),
+    )
+    # Machines hosting 3 workers are more loaded than the 2-worker one.
+    crowded = {w for w in range(8) if machine_of[w] in (0, 1)}
+    load = SlowdownSpec(
+        kind="deterministic", workers={w: 1.5 for w in crowded}
+    )
+    settings = {
+        "setting1": fig21_setting1(),
+        "setting2": fig21_setting2(),
+        "setting3": fig21_setting3(),
+    }
+    runs = {}
+    for label, topology in settings.items():
+        spec = ExperimentSpec(
+            label, workload, topology, config=STANDARD,
+            slowdown=load, max_iter=max_iter, seed=seed, links=links,
+            machines=machine_of,
+        )
+        runs[label] = run_spec(spec)
+        result.series[label] = binned_loss_curve(runs[label])
+        result.rows.append(
+            {
+                "setting": label,
+                "spectral_gap": spectral_gap(topology),
+                "wall_time": runs[label].wall_time,
+                "iter_rate": runs[label].iteration_rate(),
+                "final_loss": final_smoothed_loss(runs[label]),
+            }
+        )
+    result.check(
+        "machine-aware setting2 beats symmetric setting1 on wall-clock",
+        runs["setting2"].wall_time < runs["setting1"].wall_time,
+        f"s2={runs['setting2'].wall_time:.1f}s "
+        f"s1={runs['setting1'].wall_time:.1f}s",
+    )
+    result.check(
+        "machine-aware setting3 beats symmetric setting1 on wall-clock",
+        runs["setting3"].wall_time < runs["setting1"].wall_time,
+        f"s3={runs['setting3'].wall_time:.1f}s "
+        f"s1={runs['setting1'].wall_time:.1f}s",
+    )
+    losses = [final_smoothed_loss(run) for run in runs.values()]
+    result.check(
+        "per-iteration convergence similar despite dissimilar spectral gaps",
+        max(losses) <= min(losses) * 1.5 + 0.25,
+        f"final losses: {[f'{v:.3f}' for v in losses]}",
+    )
+    return result
+
+
+def fig21_spectral_gaps() -> FigureResult:
+    """Spectral gaps of the three Figure 21 graphs."""
+    result = FigureResult(
+        "fig21",
+        "Spectral gaps of the three topology settings "
+        "(paper: 0.6667 / 0.2682 / 0.2688)",
+    )
+    gaps = {
+        "setting1": spectral_gap(fig21_setting1()),
+        "setting2": spectral_gap(fig21_setting2()),
+        "setting3": spectral_gap(fig21_setting3()),
+    }
+    paper = {"setting1": 0.6667, "setting2": 0.2682, "setting3": 0.2688}
+    for label, gap in gaps.items():
+        result.rows.append(
+            {"setting": label, "spectral_gap": gap, "paper": paper[label]}
+        )
+    result.check(
+        "setting1 matches the paper exactly (2/3)",
+        abs(gaps["setting1"] - 2.0 / 3.0) < 1e-9,
+        f"gap={gaps['setting1']:.4f}",
+    )
+    result.check(
+        "machine-aware settings have much smaller gaps",
+        gaps["setting2"] < gaps["setting1"] / 2
+        and gaps["setting3"] < gaps["setting1"] / 2,
+        f"s2={gaps['setting2']:.4f} s3={gaps['setting3']:.4f}",
+    )
+    result.check(
+        "settings 2 and 3 have similar gaps to each other",
+        abs(gaps["setting2"] - gaps["setting3"]) < 0.15,
+        f"|s2-s3|={abs(gaps['setting2'] - gaps['setting3']):.4f}",
+    )
+    result.notes = (
+        "The paper does not fully specify the setting-2/3 drawings; we use "
+        "the two natural gateway variants (DESIGN.md) and verify the "
+        "qualitative claim."
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Table 1: iteration-gap bounds, theory vs observation
+# ----------------------------------------------------------------------
+def table1_gap_bounds(preset: str = "bench", seed: int = 0) -> FigureResult:
+    """Observed gaps never exceed Table 1's bounds; slack is exploited."""
+    workload = by_name("svm", "smoke")
+    max_iter = {"smoke": 16, "bench": 30, "paper": 60}[preset]
+    result = FigureResult(
+        "table1", "Iteration-gap upper bounds (Theorems 1 & 2, Table 1)"
+    )
+    topology = chain(5)
+    straggler = deterministic_straggler(worker=0, factor=6.0)
+    settings = {
+        "standard (no tokens)": (
+            HopConfig(use_token_queues=False),
+            "hop",
+            gap_bound_matrix(topology, "standard"),
+        ),
+        "standard+tokens(2)": (
+            HopConfig(max_ig=2),
+            "hop",
+            gap_bound_matrix(topology, "standard+tokens", max_ig=2),
+        ),
+        "notify_ack": (
+            STANDARD,
+            "notify_ack",
+            gap_bound_matrix(topology, "notify_ack"),
+        ),
+        "backup+tokens(3)": (
+            backup_config(n_backup=1, max_ig=3),
+            "hop",
+            gap_bound_matrix(topology, "backup+tokens", max_ig=3),
+        ),
+        "staleness+tokens(2,4)": (
+            staleness_config(staleness=2, max_ig=4),
+            "hop",
+            gap_bound_matrix(
+                topology, "staleness+tokens", max_ig=4, staleness=2
+            ),
+        ),
+    }
+    for label, (config, protocol, bounds) in settings.items():
+        spec = ExperimentSpec(
+            label,
+            workload,
+            topology,
+            protocol=protocol,
+            config=config,
+            slowdown=straggler,
+            max_iter=max_iter,
+            seed=seed,
+        )
+        run = run_spec(spec)
+        violations = run.gap.violations(bounds)
+        finite = bounds[np.isfinite(bounds)]
+        result.rows.append(
+            {
+                "setting": label,
+                "observed_max_gap": run.gap.max_observed(),
+                "bound_max": float(finite.max()) if finite.size else np.inf,
+                "violations": len(violations),
+            }
+        )
+        result.check(
+            f"{label}: no bound violations",
+            not violations,
+            f"violations={violations}" if violations else "",
+        )
+    observed = [row["observed_max_gap"] for row in result.rows]
+    result.check(
+        "gap slack is actually exploited under a straggler",
+        max(observed) >= 2.0,
+        f"max observed gap={max(observed):g}",
+    )
+    return result
+
+
+#: Registry used by the benchmark harness and EXPERIMENTS.md generator.
+ALL_FIGURES: Dict[str, Callable[..., FigureResult]] = {
+    "fig12": fig12_heterogeneity,
+    "fig13": fig13_vs_ps,
+    "fig14": fig14_backup_time,
+    "fig15": fig15_backup_steps,
+    "fig16": fig16_iteration_speed,
+    "fig17": fig17_staleness,
+    "fig18": fig18_skip_duration,
+    "fig19": fig19_skip_convergence,
+    "fig20": fig20_topology,
+    "fig21": fig21_spectral_gaps,
+    "table1": table1_gap_bounds,
+}

@@ -1,0 +1,102 @@
+"""Serialization of run results and figure artifacts.
+
+Training runs hold numpy arrays and tracers; this module flattens them
+to plain JSON for archiving, diffing across reproductions, and loading
+into external plotting tools.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.core.cluster import TrainingRun
+from repro.harness.figures import FigureResult
+from repro.harness.results import binned_loss_curve
+
+
+def run_to_dict(run: TrainingRun, curve_bins: int = 40) -> dict:
+    """A JSON-safe summary of a training run (curves included)."""
+    times, losses = binned_loss_curve(run, n_bins=curve_bins)
+    return {
+        "protocol": run.protocol,
+        "config": run.config_description,
+        "topology": run.topology_name,
+        "n_workers": run.n_workers,
+        "max_iter": run.max_iter,
+        "wall_time": run.wall_time,
+        "iteration_rate": run.iteration_rate(),
+        "iterations_completed": list(map(int, run.iterations_completed)),
+        "iterations_skipped": list(map(int, run.iterations_skipped)),
+        "messages_sent": int(run.messages_sent),
+        "bytes_sent": float(run.bytes_sent),
+        "max_gap": run.gap.max_observed(),
+        "final_loss": run.final_loss,
+        "final_accuracy": run.final_accuracy,
+        "consensus": run.consensus,
+        "loss_curve": {
+            "times": [float(t) for t in times],
+            "losses": [float(v) for v in losses],
+        },
+        "worker_stats": [
+            {key: _jsonify(value) for key, value in stats.items()}
+            for stats in run.worker_stats
+        ],
+    }
+
+
+def _jsonify(value):
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    return value
+
+
+def save_run(run: TrainingRun, path: Union[str, Path]) -> Path:
+    """Write a run summary as JSON; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(run_to_dict(run), indent=2) + "\n")
+    return path
+
+
+def load_run_summary(path: Union[str, Path]) -> dict:
+    """Read back a summary written by :func:`save_run`."""
+    return json.loads(Path(path).read_text())
+
+
+def figure_to_dict(result: FigureResult) -> dict:
+    """A JSON-safe dump of a figure reproduction."""
+    return {
+        "figure_id": result.figure_id,
+        "title": result.title,
+        "rows": [
+            {key: _jsonify(value) for key, value in row.items()}
+            for row in result.rows
+        ],
+        "series": {
+            label: {
+                "x": [float(v) for v in xs],
+                "y": [float(v) for v in ys],
+            }
+            for label, (xs, ys) in result.series.items()
+        },
+        "checks": [
+            {"name": name, "passed": passed, "detail": detail}
+            for name, passed, detail in result.checks
+        ],
+        "passed": result.passed(),
+        "notes": result.notes,
+    }
+
+
+def save_figure(result: FigureResult, path: Union[str, Path]) -> Path:
+    """Write a figure reproduction (JSON) next to its text render."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(figure_to_dict(result), indent=2) + "\n")
+    return path

@@ -1,0 +1,166 @@
+"""Experiment specification and the single-run entry point.
+
+:class:`ExperimentSpec` bundles everything one training run needs:
+workload, topology, protocol (with config), heterogeneity, network and
+scale knobs.  ``run_spec`` builds the matching cluster and executes it,
+so every figure in the harness goes through one code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from repro.baselines.adpsgd import ADPSGDCluster
+from repro.baselines.allreduce import RingAllReduceCluster
+from repro.baselines.ps import ParameterServerCluster
+from repro.core.cluster import HopCluster, TrainingRun
+from repro.core.config import STANDARD, HopConfig
+from repro.graphs.topology import Topology
+from repro.hetero.compute import ComputeModel
+from repro.hetero.slowdown import (
+    DeterministicSlowdown,
+    NoSlowdown,
+    RandomSlowdown,
+    SlowdownModel,
+)
+from repro.harness.workloads import Workload
+from repro.net.links import LinkModel
+from repro.sim.rng import RngStreams
+
+
+@dataclass(frozen=True)
+class SlowdownSpec:
+    """Serializable description of a heterogeneity recipe.
+
+    ``kind``: ``"none"``, ``"random"`` (paper: factor 6, p = 1/n), or
+    ``"deterministic"`` (paper: one worker, factor 4).
+    """
+
+    kind: str = "none"
+    factor: float = 6.0
+    probability: Optional[float] = None  # default 1/n at build time
+    workers: Dict[int, float] = field(default_factory=dict)
+
+    def build(self, n_workers: int, streams: RngStreams) -> SlowdownModel:
+        if self.kind == "none":
+            return NoSlowdown()
+        if self.kind == "random":
+            probability = (
+                self.probability
+                if self.probability is not None
+                else 1.0 / n_workers
+            )
+            return RandomSlowdown(
+                streams, factor=self.factor, probability=probability
+            )
+        if self.kind == "deterministic":
+            return DeterministicSlowdown(dict(self.workers))
+        raise ValueError(f"unknown slowdown kind {self.kind!r}")
+
+    def describe(self) -> str:
+        if self.kind == "none":
+            return "none"
+        if self.kind == "random":
+            p = "1/n" if self.probability is None else f"{self.probability:g}"
+            return f"random {self.factor:g}x (p={p})"
+        inner = ",".join(f"{w}:{f:g}x" for w, f in sorted(self.workers.items()))
+        return f"deterministic [{inner}]"
+
+
+#: The paper's random-slowdown recipe (Section 7.3.1).
+RANDOM_6X = SlowdownSpec(kind="random", factor=6.0)
+
+
+def deterministic_straggler(worker: int = 0, factor: float = 4.0) -> SlowdownSpec:
+    """The paper's deterministic-slowdown recipe (Section 7.3.5)."""
+    return SlowdownSpec(kind="deterministic", workers={worker: factor})
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One training run, fully specified.
+
+    Attributes:
+        name: Label used in reports.
+        workload: Model/data/optimizer bundle.
+        topology: Communication graph (ignored by PS / all-reduce,
+            which impose their own shape, except for worker count).
+        protocol: ``"hop"``, ``"notify_ack"``, ``"ps-bsp"``,
+            ``"ps-async"``, ``"ps-ssp"``, ``"allreduce"``, ``"adpsgd"``.
+        config: Hop configuration (hop protocol only).
+        slowdown: Heterogeneity recipe.
+        max_iter: Iterations per worker.
+        seed: Master seed.
+        links: Optional network override (machine-aware deployments).
+        ps_backup / ps_staleness: PS-specific knobs.
+    """
+
+    name: str
+    workload: Workload
+    topology: Topology
+    protocol: str = "hop"
+    config: HopConfig = STANDARD
+    slowdown: SlowdownSpec = SlowdownSpec()
+    max_iter: int = 60
+    seed: int = 0
+    links: Optional[LinkModel] = None
+    machines: Optional[tuple] = None
+    ps_backup: int = 0
+    ps_staleness: int = 0
+
+    def with_(self, **changes) -> "ExperimentSpec":
+        """A modified copy (dataclasses.replace sugar)."""
+        return replace(self, **changes)
+
+
+def build_compute_model(spec: ExperimentSpec) -> ComputeModel:
+    streams = RngStreams(spec.seed).spawn("slowdown")
+    return ComputeModel(
+        base_time=spec.workload.base_compute_time,
+        n_workers=spec.topology.n,
+        slowdown=spec.slowdown.build(spec.topology.n, streams),
+    )
+
+
+def run_spec(spec: ExperimentSpec) -> TrainingRun:
+    """Build the cluster described by ``spec`` and run it."""
+    workload = spec.workload
+    compute_model = build_compute_model(spec)
+    common = dict(
+        model_factory=workload.model_factory,
+        dataset=workload.dataset,
+        optimizer=workload.optimizer_factory(),
+        batch_size=workload.batch_size,
+        compute_model=compute_model,
+        max_iter=spec.max_iter,
+        seed=spec.seed,
+        update_size=workload.update_size,
+    )
+
+    if spec.protocol in ("hop", "notify_ack"):
+        cluster = HopCluster(
+            topology=spec.topology,
+            config=spec.config,
+            protocol=spec.protocol,
+            links=spec.links,
+            machines=spec.machines,
+            **common,
+        )
+    elif spec.protocol in ("ps-bsp", "ps-async", "ps-ssp"):
+        cluster = ParameterServerCluster(
+            n_workers=spec.topology.n,
+            mode=spec.protocol.split("-", 1)[1],
+            n_backup=spec.ps_backup,
+            staleness=spec.ps_staleness,
+            **common,
+        )
+    elif spec.protocol == "allreduce":
+        cluster = RingAllReduceCluster(n_workers=spec.topology.n, **common)
+    elif spec.protocol == "adpsgd":
+        cluster = ADPSGDCluster(
+            topology=spec.topology, links=spec.links, **common
+        )
+    else:
+        raise ValueError(f"unknown protocol {spec.protocol!r}")
+    return cluster.run()

@@ -1,0 +1,19 @@
+"""Heterogeneity substrate: compute-time models and slowdown injection."""
+
+from repro.hetero.compute import ComputeModel
+from repro.hetero.slowdown import (
+    ComposedSlowdown,
+    DeterministicSlowdown,
+    NoSlowdown,
+    RandomSlowdown,
+    SlowdownModel,
+)
+
+__all__ = [
+    "ComposedSlowdown",
+    "ComputeModel",
+    "DeterministicSlowdown",
+    "NoSlowdown",
+    "RandomSlowdown",
+    "SlowdownModel",
+]

@@ -1,0 +1,79 @@
+"""Per-iteration compute-time model.
+
+Gradient computation is numerically real but its *duration* is
+simulated: ``duration = base_time(worker) * slowdown(worker, iter) *
+noise``.  Base times may differ per worker (hardware heterogeneity);
+the slowdown model injects the paper's random/deterministic recipes;
+small log-normal noise keeps iterations from being artificially
+identical.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.hetero.slowdown import NoSlowdown, SlowdownModel
+from repro.sim.rng import RngStreams
+
+
+class ComputeModel:
+    """Compute-time oracle for workers.
+
+    Args:
+        base_time: Scalar (same for all) or per-worker sequence of
+            baseline seconds per iteration.
+        slowdown: Heterogeneity injection model.
+        streams: RNG registry for the jitter draws.
+        jitter: Log-normal sigma for iteration-time noise (0 disables).
+        n_workers: Worker count (needed when ``base_time`` is scalar).
+    """
+
+    def __init__(
+        self,
+        base_time: Union[float, Sequence[float]] = 0.1,
+        slowdown: Optional[SlowdownModel] = None,
+        streams: Optional[RngStreams] = None,
+        jitter: float = 0.0,
+        n_workers: Optional[int] = None,
+    ) -> None:
+        if np.isscalar(base_time):
+            if n_workers is None:
+                raise ValueError("n_workers required with scalar base_time")
+            self.base_times = np.full(n_workers, float(base_time))
+        else:
+            self.base_times = np.asarray(base_time, dtype=float)
+        if np.any(self.base_times <= 0):
+            raise ValueError("base compute times must be positive")
+        if jitter < 0:
+            raise ValueError("jitter must be >= 0")
+        self.slowdown = slowdown or NoSlowdown()
+        self.jitter = float(jitter)
+        self._streams = streams or RngStreams(0)
+
+    @property
+    def n_workers(self) -> int:
+        return len(self.base_times)
+
+    def duration(self, worker: int, iteration: int) -> float:
+        """Simulated seconds of gradient computation for this iteration."""
+        base = self.base_times[worker]
+        factor = self.slowdown.factor(worker, iteration)
+        noise = 1.0
+        if self.jitter > 0.0:
+            rng = self._streams.stream("jitter", worker)
+            noise = float(np.exp(rng.normal(0.0, self.jitter)))
+        return float(base * factor * noise)
+
+    def describe(self) -> str:
+        uniform = np.all(self.base_times == self.base_times[0])
+        base = (
+            f"{self.base_times[0]:g}s"
+            if uniform
+            else f"per-worker {self.base_times.tolist()}"
+        )
+        return f"compute={base}, slowdown={self.slowdown.describe()}"
+
+    def __repr__(self) -> str:
+        return f"<ComputeModel {self.describe()}>"

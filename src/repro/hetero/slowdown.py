@@ -1,0 +1,115 @@
+"""Slowdown models: the paper's heterogeneity injection recipes.
+
+Section 7.3.1: "randomly slowing down every worker by 6 times at a
+probability of 1/n in each iteration" -> :class:`RandomSlowdown`.
+
+Section 7.3.5: "one worker is deterministically chosen for a 4 times
+slowdown" -> :class:`DeterministicSlowdown`.
+
+A model maps ``(worker, iteration) -> multiplicative factor`` applied
+to the iteration's compute time.  Factors compose multiplicatively via
+:class:`ComposedSlowdown`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.sim.rng import RngStreams
+
+
+class SlowdownModel:
+    """Base class: multiplicative compute-time factor per (worker, iter)."""
+
+    def factor(self, worker: int, iteration: int) -> float:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class NoSlowdown(SlowdownModel):
+    """Homogeneous execution."""
+
+    def factor(self, worker: int, iteration: int) -> float:
+        return 1.0
+
+    def describe(self) -> str:
+        return "none"
+
+
+class RandomSlowdown(SlowdownModel):
+    """Each worker is slowed ``factor``x w.p. ``probability`` per iteration.
+
+    The paper uses ``factor=6`` and ``probability=1/n``.  Draws are
+    memoized per (worker, iteration) so repeated queries (e.g. for
+    tracing) see consistent values, and each worker has its own RNG
+    stream for reproducibility.
+    """
+
+    def __init__(
+        self,
+        streams: RngStreams,
+        factor: float = 6.0,
+        probability: float = 1.0 / 16.0,
+    ) -> None:
+        if factor < 1.0:
+            raise ValueError(f"slowdown factor must be >= 1, got {factor}")
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability}")
+        self._streams = streams
+        self.slow_factor = float(factor)
+        self.probability = float(probability)
+        self._memo: Dict[tuple, float] = {}
+
+    def factor(self, worker: int, iteration: int) -> float:
+        key = (worker, iteration)
+        if key not in self._memo:
+            rng = self._streams.stream("slowdown", worker)
+            draw = rng.random()
+            self._memo[key] = self.slow_factor if draw < self.probability else 1.0
+        return self._memo[key]
+
+    def describe(self) -> str:
+        return f"random({self.slow_factor:g}x, p={self.probability:g})"
+
+
+class DeterministicSlowdown(SlowdownModel):
+    """Fixed per-worker slowdowns (persistent stragglers).
+
+    ``factors={3: 4.0}`` makes worker 3 permanently 4x slower — the
+    paper's Figure 18/19 setting.
+    """
+
+    def __init__(self, factors: Dict[int, float]) -> None:
+        for worker, factor in factors.items():
+            if factor < 1.0:
+                raise ValueError(
+                    f"worker {worker} slowdown must be >= 1, got {factor}"
+                )
+        self.factors = dict(factors)
+
+    def factor(self, worker: int, iteration: int) -> float:
+        return self.factors.get(worker, 1.0)
+
+    def describe(self) -> str:
+        inner = ", ".join(f"{w}:{f:g}x" for w, f in sorted(self.factors.items()))
+        return f"deterministic({inner})"
+
+
+class ComposedSlowdown(SlowdownModel):
+    """Product of several slowdown models (random on top of persistent)."""
+
+    def __init__(self, models: Sequence[SlowdownModel]) -> None:
+        if not models:
+            raise ValueError("ComposedSlowdown needs at least one model")
+        self.models = list(models)
+
+    def factor(self, worker: int, iteration: int) -> float:
+        result = 1.0
+        for model in self.models:
+            result *= model.factor(worker, iteration)
+        return result
+
+    def describe(self) -> str:
+        return " * ".join(model.describe() for model in self.models)

@@ -1,0 +1,53 @@
+"""Numerical gradient checking for layers and models."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+
+def numerical_gradient(
+    f: Callable[[np.ndarray], float], x: np.ndarray, eps: float = 1e-6
+) -> np.ndarray:
+    """Central-difference gradient of scalar ``f`` with respect to ``x``."""
+    x = np.asarray(x, dtype=np.float64)
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        original = x[idx]
+        x[idx] = original + eps
+        plus = f(x)
+        x[idx] = original - eps
+        minus = f(x)
+        x[idx] = original
+        grad[idx] = (plus - minus) / (2.0 * eps)
+        it.iternext()
+    return grad
+
+
+def relative_error(a: np.ndarray, b: np.ndarray) -> float:
+    """Max elementwise relative error, safe near zero."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    denominator = np.maximum(np.abs(a) + np.abs(b), 1e-8)
+    return float(np.max(np.abs(a - b) / denominator))
+
+
+def check_model_gradient(model, x, y, eps: float = 1e-6) -> float:
+    """Compare a model's analytic flat gradient to central differences.
+
+    Returns the max relative error (small values = correct backward).
+    """
+    flat0 = model.get_params()
+    _, analytic = model.loss_and_grad(x, y)
+
+    def loss_at(flat: np.ndarray) -> float:
+        model.set_params(flat)
+        value = model.loss_value(x, y)
+        return value
+
+    numeric = numerical_gradient(loss_at, flat0.copy(), eps=eps)
+    model.set_params(flat0)
+    return relative_error(analytic, numeric)

@@ -1,0 +1,357 @@
+"""Neural-network layers with explicit forward/backward passes.
+
+Pure-numpy implementations sized for the simulator: the paper trains
+VGG11 on CIFAR-10; we train a scaled-down VGG-style CNN (same layer
+types: convolution, ReLU, max-pooling, dense) on synthetic images, so
+gradient *dynamics* are real while per-step cost stays laptop-sized.
+
+Every layer implements::
+
+    y = layer.forward(x, training=...)
+    dx = layer.backward(dy)     # also accumulates parameter gradients
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.ml.initializers import he, zeros
+from repro.ml.params import Parameter
+
+
+class Layer:
+    """Base class: stateless layers just override forward/backward."""
+
+    def parameters(self) -> List[Parameter]:
+        return []
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class Dense(Layer):
+    """Fully connected layer: ``y = x @ W.T + b``."""
+
+    def __init__(
+        self, in_features: int, out_features: int, rng: np.random.Generator
+    ) -> None:
+        self.in_features = in_features
+        self.out_features = out_features
+        self.W = Parameter(he((out_features, in_features), rng), "dense.W")
+        self.b = Parameter(zeros((out_features,), rng), "dense.b")
+        self._x: Optional[np.ndarray] = None
+
+    def parameters(self) -> List[Parameter]:
+        return [self.W, self.b]
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"Dense expected (N, {self.in_features}), got {x.shape}"
+            )
+        self._x = x if training else None
+        return x @ self.W.data.T + self.b.data
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward() before forward(training=True)")
+        self.W.grad += dout.T @ self._x
+        self.b.grad += dout.sum(axis=0)
+        return dout @ self.W.data
+
+    def __repr__(self) -> str:
+        return f"Dense({self.in_features}, {self.out_features})"
+
+
+class ReLU(Layer):
+    """Rectified linear activation."""
+
+    def __init__(self) -> None:
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        mask = x > 0
+        self._mask = mask if training else None
+        return x * mask
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward() before forward(training=True)")
+        return dout * self._mask
+
+
+class Tanh(Layer):
+    """Hyperbolic-tangent activation."""
+
+    def __init__(self) -> None:
+        self._out: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        out = np.tanh(x)
+        self._out = out if training else None
+        return out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward() before forward(training=True)")
+        return dout * (1.0 - self._out**2)
+
+
+class Sigmoid(Layer):
+    """Logistic activation."""
+
+    def __init__(self) -> None:
+        self._out: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        out = 1.0 / (1.0 + np.exp(-np.clip(x, -500, 500)))
+        self._out = out if training else None
+        return out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward() before forward(training=True)")
+        return dout * self._out * (1.0 - self._out)
+
+
+class Flatten(Layer):
+    """Collapse all non-batch dimensions."""
+
+    def __init__(self) -> None:
+        self._shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward() before forward()")
+        return dout.reshape(self._shape)
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity at evaluation time."""
+
+    def __init__(self, rate: float, rng: np.random.Generator) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = rng
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return dout
+        return dout * self._mask
+
+    def __repr__(self) -> str:
+        return f"Dropout({self.rate})"
+
+
+def _im2col_indices(
+    x_shape: Tuple[int, int, int, int], kh: int, kw: int, stride: int, pad: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
+    """Index arrays mapping padded input pixels to column positions."""
+    n, c, h, w = x_shape
+    out_h = (h + 2 * pad - kh) // stride + 1
+    out_w = (w + 2 * pad - kw) // stride + 1
+
+    i0 = np.repeat(np.arange(kh), kw)
+    i0 = np.tile(i0, c)
+    i1 = stride * np.repeat(np.arange(out_h), out_w)
+    j0 = np.tile(np.arange(kw), kh * c)
+    j1 = stride * np.tile(np.arange(out_w), out_h)
+    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    k = np.repeat(np.arange(c), kh * kw).reshape(-1, 1)
+    return k, i, j, out_h, out_w
+
+
+class Conv2D(Layer):
+    """2D convolution (im2col), NCHW layout.
+
+    Args:
+        in_channels: Input channel count ``C``.
+        out_channels: Number of filters ``F``.
+        kernel_size: Square kernel side ``K``.
+        rng: Initializer stream.
+        stride: Spatial stride.
+        pad: Zero padding on each side.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        rng: np.random.Generator,
+        stride: int = 1,
+        pad: int = 0,
+    ) -> None:
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.pad = pad
+        self.W = Parameter(
+            he((out_channels, in_channels, kernel_size, kernel_size), rng),
+            "conv.W",
+        )
+        self.b = Parameter(zeros((out_channels,), rng), "conv.b")
+        self._cache: Optional[tuple] = None
+
+    def parameters(self) -> List[Parameter]:
+        return [self.W, self.b]
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"Conv2D expected (N, {self.in_channels}, H, W), got {x.shape}"
+            )
+        n = x.shape[0]
+        k_idx, i_idx, j_idx, out_h, out_w = _im2col_indices(
+            x.shape, self.kernel_size, self.kernel_size, self.stride, self.pad
+        )
+        x_pad = np.pad(
+            x, ((0, 0), (0, 0), (self.pad, self.pad), (self.pad, self.pad))
+        )
+        # cols: (C*K*K, N*out_h*out_w)
+        cols = x_pad[:, k_idx, i_idx, j_idx].transpose(1, 2, 0)
+        cols = cols.reshape(self.in_channels * self.kernel_size**2, -1)
+
+        W_row = self.W.data.reshape(self.out_channels, -1)
+        out = W_row @ cols + self.b.data.reshape(-1, 1)
+        out = out.reshape(self.out_channels, out_h, out_w, n)
+        out = out.transpose(3, 0, 1, 2)
+
+        if training:
+            self._cache = (x.shape, cols, k_idx, i_idx, j_idx)
+        else:
+            self._cache = None
+        return out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward() before forward(training=True)")
+        x_shape, cols, k_idx, i_idx, j_idx = self._cache
+        n, c, h, w = x_shape
+
+        dout_mat = dout.transpose(1, 2, 3, 0).reshape(self.out_channels, -1)
+        self.b.grad += dout_mat.sum(axis=1)
+        self.W.grad += (dout_mat @ cols.T).reshape(self.W.shape)
+
+        W_row = self.W.data.reshape(self.out_channels, -1)
+        dcols = W_row.T @ dout_mat  # (C*K*K, N*out_h*out_w)
+        dcols = dcols.reshape(
+            self.in_channels * self.kernel_size**2, -1, n
+        ).transpose(2, 0, 1)
+
+        dx_pad = np.zeros((n, c, h + 2 * self.pad, w + 2 * self.pad))
+        np.add.at(dx_pad, (slice(None), k_idx, i_idx, j_idx), dcols)
+        if self.pad:
+            return dx_pad[:, :, self.pad : -self.pad, self.pad : -self.pad]
+        return dx_pad
+
+    def __repr__(self) -> str:
+        return (
+            f"Conv2D({self.in_channels}, {self.out_channels}, "
+            f"k={self.kernel_size}, stride={self.stride}, pad={self.pad})"
+        )
+
+
+class AvgPool2D(Layer):
+    """Average pooling with square window and matching stride (NCHW)."""
+
+    def __init__(self, size: int = 2) -> None:
+        if size < 1:
+            raise ValueError("pool size must be >= 1")
+        self.size = size
+        self._shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        n, c, h, w = x.shape
+        s = self.size
+        if h % s or w % s:
+            raise ValueError(f"input {h}x{w} not divisible by pool size {s}")
+        self._shape = x.shape if training else None
+        return x.reshape(n, c, h // s, s, w // s, s).mean(axis=(3, 5))
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward() before forward(training=True)")
+        n, c, h, w = self._shape
+        s = self.size
+        share = dout / (s * s)
+        expanded = np.broadcast_to(
+            share[:, :, :, None, :, None], (n, c, h // s, s, w // s, s)
+        )
+        return expanded.reshape(n, c, h, w)
+
+    def __repr__(self) -> str:
+        return f"AvgPool2D({self.size})"
+
+
+class MaxPool2D(Layer):
+    """Max pooling with square window and matching stride (NCHW)."""
+
+    def __init__(self, size: int = 2) -> None:
+        if size < 1:
+            raise ValueError("pool size must be >= 1")
+        self.size = size
+        self._cache: Optional[tuple] = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        n, c, h, w = x.shape
+        s = self.size
+        if h % s or w % s:
+            raise ValueError(f"input {h}x{w} not divisible by pool size {s}")
+        # windows: (N, C, H/s, W/s, s*s)
+        windows = (
+            x.reshape(n, c, h // s, s, w // s, s)
+            .transpose(0, 1, 2, 4, 3, 5)
+            .reshape(n, c, h // s, w // s, s * s)
+        )
+        out = windows.max(axis=-1)
+        if training:
+            # Break ties deterministically: only the first max gets gradient.
+            first = np.argmax(windows, axis=-1)
+            mask = np.zeros_like(windows, dtype=bool)
+            idx = np.indices(first.shape)
+            mask[idx[0], idx[1], idx[2], idx[3], first] = True
+            self._cache = (x.shape, mask)
+        else:
+            self._cache = None
+        return out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward() before forward(training=True)")
+        x_shape, mask = self._cache
+        n, c, h, w = x_shape
+        s = self.size
+        expanded = dout[..., None] * mask  # (N, C, H/s, W/s, s*s)
+        return (
+            expanded.reshape(n, c, h // s, w // s, s, s)
+            .transpose(0, 1, 2, 4, 3, 5)
+            .reshape(n, c, h, w)
+        )
+
+    def __repr__(self) -> str:
+        return f"MaxPool2D({self.size})"

@@ -1,0 +1,100 @@
+"""Loss functions with analytic gradients.
+
+The paper's two workloads map to :class:`SoftmaxCrossEntropy` (CNN on
+image classification) and :class:`LogisticLoss` (the paper uses "log
+loss for SVM instead of hinge loss"); :class:`HingeLoss` is included
+for completeness / ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from scipy.special import expit
+
+
+class Loss:
+    """Base class: ``value_and_grad`` returns (mean loss, d loss / d scores)."""
+
+    def value_and_grad(
+        self, scores: np.ndarray, targets: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        raise NotImplementedError
+
+    def value(self, scores: np.ndarray, targets: np.ndarray) -> float:
+        return self.value_and_grad(scores, targets)[0]
+
+
+class SoftmaxCrossEntropy(Loss):
+    """Multi-class cross entropy over unnormalized scores.
+
+    ``targets`` are integer class labels of shape ``(N,)``.
+    """
+
+    def value_and_grad(
+        self, scores: np.ndarray, targets: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        n = scores.shape[0]
+        targets = np.asarray(targets, dtype=int)
+        shifted = scores - scores.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        probs = exp / exp.sum(axis=1, keepdims=True)
+        eps = 1e-12
+        loss = float(-np.mean(np.log(probs[np.arange(n), targets] + eps)))
+        dscores = probs.copy()
+        dscores[np.arange(n), targets] -= 1.0
+        dscores /= n
+        return loss, dscores
+
+
+class LogisticLoss(Loss):
+    """Binary log loss over margins (the paper's SVM objective).
+
+    ``scores`` has shape ``(N, 1)`` or ``(N,)``; ``targets`` are
+    in {-1, +1} (0/1 labels are remapped).  The loss is
+    ``mean(log(1 + exp(-y * s)))``.
+    """
+
+    @staticmethod
+    def _signed_targets(targets: np.ndarray) -> np.ndarray:
+        targets = np.asarray(targets, dtype=np.float64).ravel()
+        unique = np.unique(targets)
+        if np.all(np.isin(unique, (0.0, 1.0))):
+            return 2.0 * targets - 1.0
+        if np.all(np.isin(unique, (-1.0, 1.0))):
+            return targets
+        raise ValueError(f"labels must be 0/1 or -1/+1, got {unique}")
+
+    def value_and_grad(
+        self, scores: np.ndarray, targets: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        original_shape = scores.shape
+        s = np.asarray(scores, dtype=np.float64).ravel()
+        y = self._signed_targets(targets)
+        if s.shape != y.shape:
+            raise ValueError(f"scores {s.shape} vs targets {y.shape}")
+        margins = y * s
+        # log(1 + exp(-m)) computed stably.
+        loss = float(np.mean(np.logaddexp(0.0, -margins)))
+        sigma = expit(-margins)  # = exp(-m) / (1 + exp(-m)), overflow-safe
+        dscores = (-y * sigma) / s.size
+        return loss, dscores.reshape(original_shape)
+
+
+class HingeLoss(Loss):
+    """Standard SVM hinge loss ``mean(max(0, 1 - y * s))``."""
+
+    def value_and_grad(
+        self, scores: np.ndarray, targets: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        original_shape = scores.shape
+        s = np.asarray(scores, dtype=np.float64).ravel()
+        y = LogisticLoss._signed_targets(targets)
+        if s.shape != y.shape:
+            raise ValueError(f"scores {s.shape} vs targets {y.shape}")
+        margins = 1.0 - y * s
+        loss = float(np.mean(np.maximum(0.0, margins)))
+        active = (margins > 0).astype(np.float64)
+        dscores = (-y * active) / s.size
+        return loss, dscores.reshape(original_shape)

@@ -1,0 +1,209 @@
+"""Models: a Sequential container, the scaled-down VGG CNN, and the SVM.
+
+The protocol layer talks to models exclusively through the
+:class:`Model` facade (flat parameter vectors, ``loss_and_grad``),
+keeping Hop and all baselines model-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ml.layers import (
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    Layer,
+    MaxPool2D,
+    ReLU,
+)
+from repro.ml.losses import Loss, LogisticLoss, SoftmaxCrossEntropy
+from repro.ml.params import (
+    Parameter,
+    flatten_grads,
+    flatten_params,
+    total_size,
+    unflatten_into,
+)
+
+
+class Sequential:
+    """A stack of layers executed in order."""
+
+    def __init__(self, layers: Sequence[Layer]) -> None:
+        self.layers = list(layers)
+
+    def parameters(self) -> List[Parameter]:
+        params: List[Parameter] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        grad = dout
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(layer) for layer in self.layers)
+        return f"Sequential([{inner}])"
+
+
+class Model:
+    """A trainable model exposed through flat parameter vectors.
+
+    This is the only interface protocol code uses:
+
+    * :attr:`dim` — total parameter count (message sizing),
+    * :meth:`get_params` / :meth:`set_params` — flat vector in/out,
+    * :meth:`loss_and_grad` — minibatch loss and flat gradient,
+    * :meth:`predict` / :meth:`evaluate` — inference.
+
+    Args:
+        network: The layer stack.
+        loss: Loss object mapping scores to (value, dscores).
+        l2: Optional L2 regularization coefficient added to the loss
+            (the paper's "weight decay" is applied in the optimizer; this
+            is for experiments that want it in the objective instead).
+    """
+
+    def __init__(self, network: Sequential, loss: Loss, l2: float = 0.0) -> None:
+        self.network = network
+        self.loss = loss
+        self.l2 = float(l2)
+        self._params = network.parameters()
+        if not self._params:
+            raise ValueError("model has no trainable parameters")
+
+    @property
+    def dim(self) -> int:
+        return total_size(self._params)
+
+    def get_params(self) -> np.ndarray:
+        return flatten_params(self._params)
+
+    def set_params(self, flat: np.ndarray) -> None:
+        unflatten_into(self._params, flat)
+
+    def zero_grad(self) -> None:
+        for p in self._params:
+            p.zero_grad()
+
+    def loss_and_grad(
+        self, x: np.ndarray, y: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        """Mean minibatch loss and the flat gradient at current params."""
+        self.zero_grad()
+        scores = self.network.forward(x, training=True)
+        value, dscores = self.loss.value_and_grad(scores, y)
+        self.network.backward(dscores)
+        grad = flatten_grads(self._params)
+        if self.l2 > 0.0:
+            flat = flatten_params(self._params)
+            value += 0.5 * self.l2 * float(flat @ flat)
+            grad = grad + self.l2 * flat
+        return value, grad
+
+    def loss_value(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Loss without touching gradients (evaluation)."""
+        scores = self.network.forward(x, training=False)
+        value = self.loss.value(scores, y)
+        if self.l2 > 0.0:
+            flat = self.get_params()
+            value += 0.5 * self.l2 * float(flat @ flat)
+        return value
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Class predictions: argmax for multi-class, sign for margins."""
+        scores = self.network.forward(x, training=False)
+        if scores.ndim == 2 and scores.shape[1] > 1:
+            return np.argmax(scores, axis=1)
+        return (scores.ravel() > 0).astype(int)
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray) -> Tuple[float, float]:
+        """Return ``(loss, accuracy)`` on a dataset."""
+        loss = self.loss_value(x, y)
+        predictions = self.predict(x)
+        targets = np.asarray(y).ravel()
+        if set(np.unique(targets)) <= {-1, 1}:
+            targets = ((targets + 1) // 2).astype(int)
+        accuracy = float(np.mean(predictions == targets))
+        return loss, accuracy
+
+    def __repr__(self) -> str:
+        return f"<Model dim={self.dim} loss={type(self.loss).__name__}>"
+
+
+def build_vgg_lite(
+    rng: np.random.Generator,
+    image_size: int = 8,
+    channels: int = 3,
+    n_classes: int = 10,
+    base_filters: int = 8,
+    hidden: int = 32,
+    dropout: float = 0.0,
+) -> Model:
+    """A scaled-down VGG-style CNN (conv-relu-pool blocks + dense head).
+
+    Stands in for the paper's VGG11/CIFAR-10 workload: same layer
+    types and training dynamics, laptop-sized cost.
+    """
+    if image_size % 4 != 0:
+        raise ValueError("image_size must be divisible by 4 (two 2x2 pools)")
+    layers: List[Layer] = [
+        Conv2D(channels, base_filters, 3, rng, pad=1),
+        ReLU(),
+        MaxPool2D(2),
+        Conv2D(base_filters, 2 * base_filters, 3, rng, pad=1),
+        ReLU(),
+        MaxPool2D(2),
+        Flatten(),
+    ]
+    flat_dim = 2 * base_filters * (image_size // 4) ** 2
+    if dropout > 0.0:
+        layers.append(Dropout(dropout, rng))
+    layers.extend(
+        [
+            Dense(flat_dim, hidden, rng),
+            ReLU(),
+            Dense(hidden, n_classes, rng),
+        ]
+    )
+    return Model(Sequential(layers), SoftmaxCrossEntropy())
+
+
+def build_mlp(
+    rng: np.random.Generator,
+    in_features: int,
+    hidden: Sequence[int],
+    n_classes: int,
+) -> Model:
+    """A plain multilayer perceptron (useful for fast integration tests)."""
+    layers: List[Layer] = []
+    prev = in_features
+    for width in hidden:
+        layers.append(Dense(prev, width, rng))
+        layers.append(ReLU())
+        prev = width
+    layers.append(Dense(prev, n_classes, rng))
+    return Model(Sequential(layers), SoftmaxCrossEntropy())
+
+
+def build_svm(
+    rng: np.random.Generator,
+    in_features: int,
+    loss: Optional[Loss] = None,
+) -> Model:
+    """Linear SVM with log loss (the paper's webspam workload)."""
+    network = Sequential([Dense(in_features, 1, rng)])
+    return Model(network, loss or LogisticLoss())

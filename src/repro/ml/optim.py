@@ -1,0 +1,110 @@
+"""Optimizers operating on flat parameter vectors.
+
+The paper's hyper-parameter setup (Section 7.2): SGD with momentum 0.9,
+weight decay (1e-4 for VGG, 1e-7 for SVM), constant learning rate
+(0.1 for VGG, 10 for SVM), batch size 128.
+
+In decentralized training the optimizer state (momentum buffer) is
+*worker-local*; the gradient step is computed against the worker's
+pre-reduce parameters and applied to the post-reduce average, exactly
+as the parallel computation graph (Figure 2b) prescribes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class LRSchedule:
+    """Base learning-rate schedule: ``lr(iteration) -> float``."""
+
+    def __call__(self, iteration: int) -> float:
+        raise NotImplementedError
+
+
+class ConstantLR(LRSchedule):
+    """The paper's choice: no decay."""
+
+    def __init__(self, lr: float) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = float(lr)
+
+    def __call__(self, iteration: int) -> float:
+        return self.lr
+
+
+class StepDecayLR(LRSchedule):
+    """Multiply the rate by ``gamma`` every ``step_size`` iterations."""
+
+    def __init__(self, lr: float, step_size: int, gamma: float = 0.1) -> None:
+        if lr <= 0 or step_size <= 0 or not 0 < gamma <= 1:
+            raise ValueError("invalid StepDecayLR configuration")
+        self.lr = float(lr)
+        self.step_size = int(step_size)
+        self.gamma = float(gamma)
+
+    def __call__(self, iteration: int) -> float:
+        return self.lr * self.gamma ** (iteration // self.step_size)
+
+
+class SGD:
+    """SGD with momentum and (decoupled) weight decay on flat vectors.
+
+    ``step(params, grad, iteration)`` returns the *delta* to add to the
+    parameters; callers decide which parameter vector to apply it to
+    (pre-reduce for the serial graph, post-reduce for the parallel one).
+    """
+
+    def __init__(
+        self,
+        lr: float = 0.1,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        schedule: Optional[LRSchedule] = None,
+    ) -> None:
+        if momentum < 0 or momentum >= 1:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0:
+            raise ValueError(f"weight decay must be >= 0, got {weight_decay}")
+        self.schedule = schedule or ConstantLR(lr)
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self._velocity: Optional[np.ndarray] = None
+
+    def reset(self) -> None:
+        """Forget momentum state (used when a worker skips iterations)."""
+        self._velocity = None
+
+    def step(
+        self, params: np.ndarray, grad: np.ndarray, iteration: int = 0
+    ) -> np.ndarray:
+        """Compute the additive update ``delta`` for this iteration."""
+        grad = np.asarray(grad, dtype=np.float64)
+        if self.weight_decay > 0.0:
+            grad = grad + self.weight_decay * np.asarray(params, dtype=np.float64)
+        if self.momentum > 0.0:
+            if self._velocity is None:
+                self._velocity = np.zeros_like(grad)
+            self._velocity = self.momentum * self._velocity + grad
+            effective = self._velocity
+        else:
+            effective = grad
+        return -self.schedule(iteration) * effective
+
+    def clone(self) -> "SGD":
+        """A fresh optimizer with the same hyper-parameters (new state)."""
+        return SGD(
+            lr=self.schedule(0),
+            momentum=self.momentum,
+            weight_decay=self.weight_decay,
+            schedule=self.schedule,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SGD(lr={self.schedule(0)}, momentum={self.momentum}, "
+            f"weight_decay={self.weight_decay})"
+        )

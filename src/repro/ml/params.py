@@ -1,0 +1,71 @@
+"""Parameters and flat-vector packing.
+
+Decentralized training exchanges *whole parameter vectors* between
+workers (the paper sends parameters, not gradients).  The protocol
+layer therefore works with flat ``numpy`` vectors; this module provides
+the :class:`Parameter` container and pack/unpack helpers between a
+model's parameter list and its flat representation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable tensor with its gradient buffer."""
+
+    def __init__(self, data: np.ndarray, name: str = "param") -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return tuple(self.data.shape)
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:
+        return f"Parameter({self.name!r}, shape={self.shape})"
+
+
+def flatten_params(parameters: Sequence[Parameter]) -> np.ndarray:
+    """Concatenate all parameter data into one flat vector."""
+    if not parameters:
+        return np.zeros(0)
+    return np.concatenate([p.data.ravel() for p in parameters])
+
+
+def flatten_grads(parameters: Sequence[Parameter]) -> np.ndarray:
+    """Concatenate all parameter gradients into one flat vector."""
+    if not parameters:
+        return np.zeros(0)
+    return np.concatenate([p.grad.ravel() for p in parameters])
+
+
+def unflatten_into(parameters: Sequence[Parameter], flat: np.ndarray) -> None:
+    """Write a flat vector back into the parameter tensors (in place)."""
+    flat = np.asarray(flat, dtype=np.float64)
+    expected = sum(p.size for p in parameters)
+    if flat.size != expected:
+        raise ValueError(
+            f"flat vector has {flat.size} entries, parameters need {expected}"
+        )
+    offset = 0
+    for p in parameters:
+        chunk = flat[offset : offset + p.size]
+        p.data[...] = chunk.reshape(p.shape)
+        offset += p.size
+
+
+def total_size(parameters: Iterable[Parameter]) -> int:
+    """Total number of scalar parameters."""
+    return sum(p.size for p in parameters)

@@ -1,0 +1,24 @@
+"""Network substrate: messages, link timing, delivery, NIC contention."""
+
+from repro.net.links import (
+    Link,
+    LinkModel,
+    cluster_links,
+    degraded_links,
+    uniform_links,
+)
+from repro.net.message import CONTROL_SIZE, Message, params_message_size
+from repro.net.network import Network, SharedNic
+
+__all__ = [
+    "CONTROL_SIZE",
+    "Link",
+    "LinkModel",
+    "Message",
+    "Network",
+    "SharedNic",
+    "cluster_links",
+    "degraded_links",
+    "params_message_size",
+    "uniform_links",
+]

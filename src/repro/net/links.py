@@ -1,0 +1,117 @@
+"""Point-to-point link timing model.
+
+A transfer of ``size`` units over a link takes
+``latency + size / bandwidth`` simulated seconds.  Per-edge overrides
+express network heterogeneity (slow cross-machine links, a congested
+worker, ...), which drives the Figure 20/21 topology experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Link:
+    """Latency/bandwidth pair for one directed edge."""
+
+    latency: float = 1e-4
+    bandwidth: float = 125.0  # ~1 Gb/s in MB/s, the paper's cluster NIC
+
+    def transfer_time(self, size: float) -> float:
+        """Seconds to move ``size`` units across this link."""
+        if size < 0:
+            raise ValueError(f"negative message size {size}")
+        return self.latency + size / self.bandwidth
+
+    def scaled(self, factor: float) -> "Link":
+        """A link ``factor`` times slower (latency and bandwidth)."""
+        if factor <= 0:
+            raise ValueError("slowdown factor must be positive")
+        return Link(latency=self.latency * factor, bandwidth=self.bandwidth / factor)
+
+
+class LinkModel:
+    """Maps directed edges to :class:`Link` objects.
+
+    Args:
+        default: Link used when no override matches.
+        overrides: Per-edge overrides ``{(src, dst): Link}``.
+        local: Link used for self-edges (worker to itself); effectively
+            free by default.
+    """
+
+    def __init__(
+        self,
+        default: Optional[Link] = None,
+        overrides: Optional[Dict[Tuple[int, int], Link]] = None,
+        local: Optional[Link] = None,
+    ) -> None:
+        self.default = default or Link()
+        self.overrides = dict(overrides or {})
+        self.local = local or Link(latency=0.0, bandwidth=1e12)
+
+    def link(self, src: int, dst: int) -> Link:
+        if src == dst:
+            return self.local
+        return self.overrides.get((src, dst), self.default)
+
+    def transfer_time(self, src: int, dst: int, size: float) -> float:
+        return self.link(src, dst).transfer_time(size)
+
+    def round_trip(self, src: int, dst: int, size: float = 0.0) -> float:
+        """Request/response latency (token acquisition, inquiries)."""
+        return self.link(src, dst).transfer_time(size) + self.link(
+            dst, src
+        ).transfer_time(0.0)
+
+    def __repr__(self) -> str:
+        return f"<LinkModel default={self.default} overrides={len(self.overrides)}>"
+
+
+def uniform_links(latency: float = 1e-4, bandwidth: float = 125.0) -> LinkModel:
+    """Homogeneous network: every edge identical."""
+    return LinkModel(default=Link(latency=latency, bandwidth=bandwidth))
+
+
+def cluster_links(
+    machine_of_worker: Sequence[int],
+    intra: Optional[Link] = None,
+    inter: Optional[Link] = None,
+) -> LinkModel:
+    """Two-tier cluster network: fast intra-machine, slow inter-machine.
+
+    Models the paper's deployment (several workers per physical
+    machine): co-located workers talk through shared memory / loopback,
+    remote ones through Ethernet.
+
+    Args:
+        machine_of_worker: ``machine_of_worker[i]`` is worker ``i``'s
+            physical machine.
+        intra: Link for co-located pairs (default: 20 us, 10 GB/s).
+        inter: Link for cross-machine pairs (default: 200 us, 125 MB/s
+            i.e. 1 Gb/s Ethernet, the paper's cluster).
+    """
+    intra = intra or Link(latency=2e-5, bandwidth=10_000.0)
+    inter = inter or Link(latency=2e-4, bandwidth=125.0)
+    n = len(machine_of_worker)
+    overrides: Dict[Tuple[int, int], Link] = {}
+    for src in range(n):
+        for dst in range(n):
+            if src == dst:
+                continue
+            same = machine_of_worker[src] == machine_of_worker[dst]
+            overrides[(src, dst)] = intra if same else inter
+    return LinkModel(default=inter, overrides=overrides)
+
+
+def degraded_links(
+    base: LinkModel,
+    slow_edges: Dict[Tuple[int, int], float],
+) -> LinkModel:
+    """Slow selected edges by per-edge factors (link heterogeneity)."""
+    overrides = dict(base.overrides)
+    for edge, factor in slow_edges.items():
+        overrides[edge] = base.link(*edge).scaled(factor)
+    return LinkModel(default=base.default, overrides=overrides, local=base.local)

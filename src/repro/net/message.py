@@ -1,0 +1,48 @@
+"""Message types exchanged between workers.
+
+Sizes are in abstract "units" (think MB): the link model turns a size
+into serialization time via its bandwidth.  Parameter updates dominate
+traffic; control messages (token ops, iteration inquiries) are tiny.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+#: Size of a control message (tokens, ACKs, iteration inquiries).
+CONTROL_SIZE = 1e-4
+
+
+@dataclass
+class Message:
+    """A network message.
+
+    Attributes:
+        src: Sending worker id.
+        dst: Receiving worker id.
+        kind: Message kind tag (``"update"``, ``"token"``, ``"ack"``,
+            ``"control"``...).
+        payload: Arbitrary content (parameter vectors, tags, ...).
+        size: Size in bandwidth units.
+        sent_at: Simulated send time (stamped by the network).
+    """
+
+    src: int
+    dst: int
+    kind: str
+    payload: Any = None
+    size: float = CONTROL_SIZE
+    sent_at: float = field(default=0.0, compare=False)
+
+    def __repr__(self) -> str:
+        return (
+            f"Message({self.kind!r}, {self.src}->{self.dst}, "
+            f"size={self.size:g})"
+        )
+
+
+def params_message_size(dim: int, bytes_per_scalar: int = 4) -> float:
+    """Message size (in MB) for a flat parameter vector of ``dim`` floats."""
+    return dim * bytes_per_scalar / 1e6

@@ -1,0 +1,161 @@
+"""The network: asynchronous delivery of messages between workers.
+
+``Network.send`` is non-blocking (like the paper's Send operation): it
+spawns a delivery process that waits for the link's transfer time and
+then invokes a delivery action (usually an enqueue into the receiver's
+update queue).  ``Network.rpc`` models a blocking request/response
+round trip (token acquisition, iteration inquiries).
+
+A :class:`SharedNic` serializes transfers through a single interface,
+modeling the parameter-server hotspot: when ``n`` workers push to the
+PS at once, their transfers queue up on the PS NIC.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Sequence
+
+from repro.net.links import LinkModel
+from repro.net.message import Message
+from repro.sim.engine import Environment
+from repro.sim.events import Event
+from repro.sim.process import Process
+from repro.sim.resources import Resource
+from repro.sim.trace import StatAccumulator
+
+
+class Network:
+    """Message fabric over a :class:`~repro.net.links.LinkModel`.
+
+    Args:
+        env: Simulation environment.
+        links: Link timing model.
+        egress_nics: Optional per-worker shared egress NICs.  When a
+            message's source has one and the destination is on a
+            different machine, the message's serialization time is paid
+            *through the NIC* (serialized with the machine's other
+            outbound traffic) instead of on a private link — this is
+            how co-located workers contend for their host's uplink.
+        machine_of: Worker -> machine map used to decide whether a
+            transfer leaves the machine.  ``None`` treats every
+            non-self edge as cross-machine.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        links: Optional[LinkModel] = None,
+        egress_nics: Optional[Dict[int, "SharedNic"]] = None,
+        machine_of: Optional[Sequence[int]] = None,
+    ) -> None:
+        self.env = env
+        self.links = links or LinkModel()
+        self.egress_nics = egress_nics or {}
+        self.machine_of = list(machine_of) if machine_of is not None else None
+        self.bytes_sent = StatAccumulator()
+        self.messages_sent = 0
+
+    def _egress_nic(self, src: int, dst: int) -> Optional["SharedNic"]:
+        if src == dst or src not in self.egress_nics:
+            return None
+        if self.machine_of is not None and self.machine_of[src] == self.machine_of[dst]:
+            return None
+        return self.egress_nics[src]
+
+    def send(
+        self,
+        message: Message,
+        deliver: Callable[[Message], None],
+    ) -> Process:
+        """Fire-and-forget delivery after the link transfer time."""
+        message.sent_at = self.env.now
+        self.messages_sent += 1
+        self.bytes_sent.add(message.size)
+        nic = self._egress_nic(message.src, message.dst)
+
+        if nic is None:
+            delay = self.links.transfer_time(
+                message.src, message.dst, message.size
+            )
+
+            def delivery(env: Environment):
+                yield env.timeout(delay)
+                deliver(message)
+
+        else:
+            # Serialization happens at the shared machine uplink; only
+            # the propagation latency remains on the link itself.
+            latency = self.links.link(message.src, message.dst).latency
+
+            def delivery(env: Environment):
+                yield from nic.transfer(message.size)
+                yield env.timeout(latency)
+                deliver(message)
+
+        return self.env.process(
+            delivery(self.env), name=f"deliver-{message.kind}"
+        )
+
+    def transfer(self, src: int, dst: int, size: float) -> Event:
+        """An event that fires when a transfer completes (blocking send)."""
+        self.messages_sent += 1
+        self.bytes_sent.add(size)
+        return self.env.timeout(self.links.transfer_time(src, dst, size))
+
+    def rpc(self, src: int, dst: int, size: float = 0.0) -> Event:
+        """An event that fires after a request/response round trip."""
+        self.messages_sent += 2
+        self.bytes_sent.add(size)
+        return self.env.timeout(self.links.round_trip(src, dst, size))
+
+    def __repr__(self) -> str:
+        return f"<Network messages={self.messages_sent}>"
+
+
+class SharedNic:
+    """A serializing network interface (the PS hotspot model).
+
+    Transfers through the NIC queue up and are served one at a time at
+    the NIC's bandwidth, so ``n`` simultaneous pushes of size ``s``
+    take ``n * s / bandwidth`` — exactly the hotspot behavior that
+    makes decentralized training win Figure 13.
+
+    Usage inside a process::
+
+        yield from nic.transfer(size)
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        bandwidth: float = 125.0,
+        latency: float = 1e-4,
+    ) -> None:
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.env = env
+        self.bandwidth = float(bandwidth)
+        self.latency = float(latency)
+        self._port = Resource(env, capacity=1)
+        self.busy_time = 0.0
+
+    def transfer(self, size: float):
+        """Generator: acquire the NIC, hold it for the serialization time."""
+        if size < 0:
+            raise ValueError(f"negative message size {size}")
+        request = self._port.request()
+        yield request
+        duration = self.latency + size / self.bandwidth
+        try:
+            start = self.env.now
+            yield self.env.timeout(duration)
+            self.busy_time += self.env.now - start
+        finally:
+            self._port.release(request)
+
+    @property
+    def queue_length(self) -> int:
+        return self._port.queue_length
+
+    def __repr__(self) -> str:
+        return f"<SharedNic bw={self.bandwidth} busy={self.busy_time:.3f}>"

@@ -1,0 +1,70 @@
+"""Discrete-event simulation substrate.
+
+A from-scratch, deterministic event/process simulator in the SimPy
+style.  The Hop protocol, all baselines, and the network model run as
+generator processes on this engine against a simulated clock.
+
+Public API::
+
+    from repro.sim import Environment, Store, FilterStore, RngStreams
+
+    env = Environment()
+
+    def worker(env, inbox):
+        item = yield inbox.get()
+        yield env.timeout(1.0)
+        return item
+
+    inbox = Store(env)
+    inbox.put("hello")
+    proc = env.process(worker(env, inbox))
+    env.run()
+"""
+
+from repro.sim.engine import EmptySchedule, Environment
+from repro.sim.events import (
+    AllOf,
+    AnyOf,
+    Condition,
+    ConditionValue,
+    Event,
+    Interrupt,
+    Timeout,
+)
+from repro.sim.process import Process
+from repro.sim.resources import Request, Resource
+from repro.sim.rng import RngStreams, derive_seed
+from repro.sim.store import (
+    FilterStore,
+    PriorityItem,
+    PriorityStore,
+    Store,
+    StoreGet,
+    StorePut,
+)
+from repro.sim.trace import StatAccumulator, Tracer
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "ConditionValue",
+    "EmptySchedule",
+    "Environment",
+    "Event",
+    "FilterStore",
+    "Interrupt",
+    "PriorityItem",
+    "PriorityStore",
+    "Process",
+    "Request",
+    "Resource",
+    "RngStreams",
+    "StatAccumulator",
+    "Store",
+    "StoreGet",
+    "StorePut",
+    "Timeout",
+    "Tracer",
+    "derive_seed",
+]

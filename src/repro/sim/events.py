@@ -1,0 +1,275 @@
+"""Event primitives for the discrete-event simulation engine.
+
+The simulation substrate follows the classic event/process model (as
+popularized by SimPy, re-implemented here from scratch): an
+:class:`Event` is a one-shot occurrence with a value, processes wait on
+events by yielding them, and the :class:`~repro.sim.engine.Environment`
+drives everything from a time-ordered heap.
+
+Only the engine ever *processes* events; user code creates them,
+triggers them (``succeed`` / ``fail``) and waits on them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.sim.engine import Environment
+
+#: Sentinel for "this event has no value yet".
+PENDING = object()
+
+#: Scheduling priority for interrupts and other must-run-first events.
+URGENT = 0
+#: Scheduling priority for ordinary events.
+NORMAL = 1
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it.
+
+    The ``cause`` passed to :meth:`repro.sim.process.Process.interrupt`
+    is available as :attr:`cause`.
+    """
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class StopSimulation(Exception):
+    """Internal control-flow exception used by ``Environment.run(until=...)``."""
+
+    @classmethod
+    def callback(cls, event: "Event") -> None:
+        """Event callback that stops the simulation with the event's value."""
+        if event.ok:
+            raise cls(event.value)
+        raise event.value
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    Lifecycle: *pending* -> *triggered* (value set, scheduled on the
+    event heap) -> *processed* (callbacks executed by the engine).
+
+    Attributes:
+        env: The environment this event belongs to.
+        callbacks: Functions ``cb(event)`` invoked when the event is
+            processed.  ``None`` once processed.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[list] = []
+        self._value: Any = PENDING
+        self._ok: Optional[bool] = None
+        #: Failed events raise out of ``Environment.step`` unless some
+        #: callback marks them as handled ("defused").
+        self.defused = False
+
+    # ------------------------------------------------------------------
+    # State inspection
+    # ------------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is scheduled."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the engine has run this event's callbacks."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._value is PENDING:
+            raise RuntimeError(f"{self!r} has not been triggered")
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception, for failed events)."""
+        if self._value is PENDING:
+            raise RuntimeError(f"{self!r} has not been triggered")
+        return self._value
+
+    # ------------------------------------------------------------------
+    # Triggering
+    # ------------------------------------------------------------------
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self, priority=priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
+        """Trigger the event as failed with ``exception``."""
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self, priority=priority)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Copy the outcome of another (triggered) event onto this one.
+
+        Useful as a callback: ``other.callbacks.append(this.trigger)``.
+        """
+        if event.ok:
+            self.succeed(event.value)
+        else:
+            event.defused = True
+            self.fail(event.value)
+
+    def __repr__(self) -> str:
+        state = (
+            "processed"
+            if self.processed
+            else "triggered"
+            if self.triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically after ``delay`` simulated time units."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self._delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    @property
+    def delay(self) -> float:
+        return self._delay
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self._delay} at {id(self):#x}>"
+
+
+class ConditionValue:
+    """Ordered mapping of the events a condition has collected values from."""
+
+    def __init__(self) -> None:
+        self.events: list = []
+
+    def __getitem__(self, event: Event) -> Any:
+        if event not in self.events:
+            raise KeyError(repr(event))
+        return event.value
+
+    def __contains__(self, event: Event) -> bool:
+        return event in self.events
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ConditionValue):
+            return self.todict() == other.todict()
+        if isinstance(other, dict):
+            return self.todict() == other
+        return NotImplemented
+
+    def todict(self) -> dict:
+        return {event: event.value for event in self.events}
+
+    def __repr__(self) -> str:
+        return f"<ConditionValue {self.todict()!r}>"
+
+
+class Condition(Event):
+    """An event that triggers when ``evaluate(events, n_done)`` is satisfied.
+
+    Used through the :class:`AllOf` / :class:`AnyOf` helpers.  If any
+    constituent event fails, the condition fails with that exception.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        evaluate: Callable[[tuple, int], bool],
+        events: Iterable[Event],
+    ) -> None:
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = tuple(events)
+        self._count = 0
+        self._done: set = set()
+
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("all events must share one environment")
+
+        if self._evaluate(self._events, self._count) and not self.triggered:
+            # Immediately true (e.g. empty AllOf).
+            self.succeed(self._collect_value())
+            return
+
+        for event in self._events:
+            if event.processed:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _collect_value(self) -> ConditionValue:
+        value = ConditionValue()
+        for event in self._events:
+            if event in self._done:
+                value.events.append(event)
+        return value
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event.ok:
+                # Condition already decided; swallow late failures.
+                event.defused = True
+            return
+        self._count += 1
+        if not event.ok:
+            event.defused = True
+            self.fail(event.value)
+            return
+        self._done.add(event)
+        if self._evaluate(self._events, self._count):
+            self.succeed(self._collect_value())
+
+    @staticmethod
+    def all_events(events: tuple, count: int) -> bool:
+        return len(events) == count
+
+    @staticmethod
+    def any_events(events: tuple, count: int) -> bool:
+        return count > 0 or not events
+
+
+class AllOf(Condition):
+    """Triggers once *all* of ``events`` have succeeded."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, Condition.all_events, events)
+
+
+class AnyOf(Condition):
+    """Triggers once *any* of ``events`` has succeeded."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, Condition.any_events, events)

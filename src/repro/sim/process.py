@@ -1,0 +1,148 @@
+"""Generator-based simulation processes.
+
+A process wraps a Python generator.  The generator yields
+:class:`~repro.sim.events.Event` objects; the process resumes when the
+yielded event fires, receiving the event's value at the ``yield``
+expression.  A process is itself an event that triggers when the
+generator returns (with the generator's return value) or raises.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.sim.events import NORMAL, URGENT, Event, Interrupt
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+
+class Process(Event):
+    """A running simulation process.
+
+    Args:
+        env: The owning environment.
+        generator: The generator to execute.
+        name: Optional human-readable name (for debugging/tracing).
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator,
+        name: Optional[str] = None,
+    ) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event this process is currently waiting on.
+        self._target: Optional[Event] = None
+
+        # Kick the process off via an initialization event so that it
+        # starts inside the engine loop, not synchronously at creation.
+        init = Event(env)
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._resume)
+        env.schedule(init, priority=URGENT)
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event the process is waiting on (``None`` if not waiting)."""
+        return self._target
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    # ------------------------------------------------------------------
+    # Resumption
+    # ------------------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        self.env._active_process = self
+        while True:
+            try:
+                if event._ok:
+                    target = self._generator.send(event._value)
+                else:
+                    # The exception is being delivered into the process,
+                    # which counts as handling it.
+                    event.defused = True
+                    target = self._generator.throw(event._value)
+            except StopIteration as stop:
+                self._target = None
+                self.env._active_process = None
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                self._target = None
+                self.env._active_process = None
+                self.fail(exc)
+                return
+
+            if not isinstance(target, Event):
+                self.env._active_process = None
+                error = RuntimeError(
+                    f"process {self.name!r} yielded a non-event: {target!r}"
+                )
+                # Deliver the misuse as a process failure.
+                try:
+                    self._generator.throw(error)
+                except BaseException as exc:
+                    self.fail(exc)
+                return
+
+            if target.processed:
+                # The event already fired and ran its callbacks; continue
+                # synchronously with its stored value.
+                event = target
+                continue
+
+            target.callbacks.append(self._resume)
+            self._target = target
+            self.env._active_process = None
+            return
+
+    # ------------------------------------------------------------------
+    # Interruption
+    # ------------------------------------------------------------------
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process.
+
+        The process receives the interrupt at its current ``yield``
+        and may catch it to handle failure/slowdown injection.
+        """
+        if self.triggered:
+            raise RuntimeError(f"{self.name!r} has already finished")
+        if self._target is None:
+            raise RuntimeError(
+                f"{self.name!r} has not started yet and cannot be interrupted"
+            )
+
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event.defused = True  # prevent engine-level crash if unhandled here
+        event.callbacks.append(self._resume)
+        self.env.schedule(event, priority=URGENT)
+
+    def __repr__(self) -> str:
+        state = (
+            "finished"
+            if self.triggered
+            else f"waiting on {self._target!r}"
+            if self._target is not None
+            else "starting"
+        )
+        return f"<Process {self.name!r} {state}>"

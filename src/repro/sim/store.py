@@ -1,0 +1,211 @@
+"""Blocking stores (FIFO channels) for process communication.
+
+Stores are the rendezvous primitive of the simulation: a producer
+``put``s items, a consumer ``get``s them, and both sides block (their
+events stay untriggered) until the operation can complete.
+
+Three flavors:
+
+* :class:`Store` — plain FIFO with optional capacity.
+* :class:`FilterStore` — consumers ask for the first item matching a
+  predicate (used to implement tag-matched dequeues).
+* :class:`PriorityStore` — items come out smallest-first.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+
+class StorePut(Event):
+    """Event representing a pending ``put``; succeeds when admitted."""
+
+    def __init__(self, store: "Store", item: Any) -> None:
+        super().__init__(store.env)
+        self.item = item
+        self.store = store
+
+    def cancel(self) -> bool:
+        """Withdraw the put if it has not been admitted yet."""
+        return self.store._cancel_put(self)
+
+
+class StoreGet(Event):
+    """Event representing a pending ``get``; succeeds with the item."""
+
+    def __init__(self, store: "Store", filter: Optional[Callable] = None) -> None:
+        super().__init__(store.env)
+        self.filter = filter
+        self.store = store
+
+    def cancel(self) -> bool:
+        """Withdraw the get if it has not been satisfied yet."""
+        return self.store._cancel_get(self)
+
+
+class Store:
+    """A FIFO store with optional capacity.
+
+    Args:
+        env: Owning environment.
+        capacity: Maximum number of items held; ``inf`` by default.
+    """
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: deque = deque()
+        self._put_waiters: deque = deque()
+        self._get_waiters: deque = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def level(self) -> int:
+        """Number of items currently stored."""
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        """Offer ``item``; the returned event succeeds once stored."""
+        event = StorePut(self, item)
+        self._put_waiters.append(event)
+        self._dispatch()
+        return event
+
+    def get(self) -> StoreGet:
+        """Request an item; the returned event succeeds with the item."""
+        event = StoreGet(self)
+        self._get_waiters.append(event)
+        self._dispatch()
+        return event
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _admit(self, item: Any) -> None:
+        self.items.append(item)
+
+    def _match(self, getter: StoreGet) -> Any:
+        """Return the item satisfying ``getter`` or the PENDING sentinel."""
+        if self.items:
+            return self.items.popleft()
+        return _NO_MATCH
+
+    def _dispatch(self) -> None:
+        """Fixpoint: admit puts while there is space, satisfy gets."""
+        progress = True
+        while progress:
+            progress = False
+            while self._put_waiters and len(self.items) < self.capacity:
+                putter = self._put_waiters.popleft()
+                self._admit(putter.item)
+                putter.succeed()
+                progress = True
+            pending = []
+            while self._get_waiters:
+                getter = self._get_waiters.popleft()
+                item = self._match(getter)
+                if item is _NO_MATCH:
+                    pending.append(getter)
+                else:
+                    getter.succeed(item)
+                    progress = True
+            self._get_waiters.extend(pending)
+
+    def _cancel_put(self, event: StorePut) -> bool:
+        try:
+            self._put_waiters.remove(event)
+            return True
+        except ValueError:
+            return False
+
+    def _cancel_get(self, event: StoreGet) -> bool:
+        try:
+            self._get_waiters.remove(event)
+            return True
+        except ValueError:
+            return False
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} items={len(self.items)} "
+            f"waiting_put={len(self._put_waiters)} "
+            f"waiting_get={len(self._get_waiters)}>"
+        )
+
+
+#: Sentinel distinguishing "no matching item" from a stored ``None``.
+_NO_MATCH = object()
+
+
+class FilterStore(Store):
+    """A store whose consumers select items with a predicate.
+
+    ``get(lambda item: ...)`` succeeds with the first stored item (in
+    FIFO order) satisfying the predicate.  Getters that cannot be
+    satisfied yet do not block other getters.
+    """
+
+    def get(self, filter: Callable[[Any], bool] = lambda item: True) -> StoreGet:
+        event = StoreGet(self, filter=filter)
+        self._get_waiters.append(event)
+        self._dispatch()
+        return event
+
+    def _match(self, getter: StoreGet) -> Any:
+        for index, item in enumerate(self.items):
+            if getter.filter(item):
+                del self.items[index]
+                return item
+        return _NO_MATCH
+
+
+class PriorityItem:
+    """Wrap an item with an orderable priority for :class:`PriorityStore`."""
+
+    __slots__ = ("priority", "item")
+
+    def __init__(self, priority: Any, item: Any) -> None:
+        self.priority = priority
+        self.item = item
+
+    def __lt__(self, other: "PriorityItem") -> bool:
+        return self.priority < other.priority
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PriorityItem):
+            return NotImplemented
+        return self.priority == other.priority and self.item == other.item
+
+    def __repr__(self) -> str:
+        return f"PriorityItem({self.priority!r}, {self.item!r})"
+
+
+class PriorityStore(Store):
+    """A store that releases items smallest-first.
+
+    Items must be mutually orderable; use :class:`PriorityItem` to
+    attach explicit priorities.
+    """
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
+        super().__init__(env, capacity)
+        self.items: list = []
+
+    def _admit(self, item: Any) -> None:
+        heapq.heappush(self.items, item)
+
+    def _match(self, getter: StoreGet) -> Any:
+        if self.items:
+            return heapq.heappop(self.items)
+        return _NO_MATCH

@@ -1,0 +1,109 @@
+"""Measurement collection for simulation runs.
+
+:class:`Tracer` records named time-series during a run (loss curves,
+iteration timestamps, queue occupancy, ...); :class:`StatAccumulator`
+keeps streaming summary statistics without storing samples.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+class Tracer:
+    """Records ``(time, value)`` samples under string keys."""
+
+    def __init__(self) -> None:
+        self._records: Dict[str, List[Tuple[float, object]]] = defaultdict(list)
+
+    def log(self, key: str, time: float, value: object = None) -> None:
+        """Append one sample to the series ``key``."""
+        self._records[key].append((time, value))
+
+    def keys(self) -> List[str]:
+        return sorted(self._records.keys())
+
+    def raw(self, key: str) -> List[Tuple[float, object]]:
+        """All samples logged for ``key`` (empty list if none)."""
+        return list(self._records.get(key, []))
+
+    def count(self, key: str) -> int:
+        return len(self._records.get(key, []))
+
+    def last(self, key: str) -> Optional[Tuple[float, object]]:
+        records = self._records.get(key)
+        return records[-1] if records else None
+
+    def series(self, key: str) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(times, values)`` arrays for a numeric series."""
+        records = self._records.get(key, [])
+        if not records:
+            return np.array([]), np.array([])
+        times = np.array([t for t, _ in records], dtype=float)
+        values = np.array([v for _, v in records], dtype=float)
+        return times, values
+
+    def merge(self, other: "Tracer") -> None:
+        """Fold another tracer's records into this one (stable order)."""
+        for key, records in other._records.items():
+            self._records[key].extend(records)
+            self._records[key].sort(key=lambda tv: tv[0])
+
+    def __repr__(self) -> str:
+        return f"<Tracer keys={len(self._records)}>"
+
+
+class StatAccumulator:
+    """Streaming count/mean/min/max/variance (Welford) accumulator."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def variance(self) -> float:
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def total(self) -> float:
+        return self.mean * self.count
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.min if self.count else float("nan"),
+            "max": self.max if self.count else float("nan"),
+        }
+
+    def __repr__(self) -> str:
+        if not self.count:
+            return "<StatAccumulator empty>"
+        return (
+            f"<StatAccumulator n={self.count} mean={self.mean:.4g} "
+            f"min={self.min:.4g} max={self.max:.4g}>"
+        )

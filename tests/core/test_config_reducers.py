@@ -1,0 +1,152 @@
+"""Tests for HopConfig validation and the reduce operators."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    HopConfig,
+    SkipConfig,
+    Update,
+    backup_config,
+    mean_reduce,
+    staleness_config,
+    staleness_weighted_reduce,
+    weighted_reduce,
+)
+
+
+def upd(iteration, sender, value):
+    return Update(np.full(2, float(value)), iteration, sender)
+
+
+class TestHopConfig:
+    def test_defaults_valid(self):
+        config = HopConfig()
+        assert config.mode == "standard"
+        assert config.use_token_queues
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            HopConfig(mode="chaos")
+
+    def test_backup_needs_count(self):
+        with pytest.raises(ValueError):
+            HopConfig(mode="backup")
+
+    def test_backup_requires_token_queues(self):
+        with pytest.raises(ValueError, match="token"):
+            HopConfig(mode="backup", n_backup=1, use_token_queues=False)
+
+    def test_staleness_needs_bound(self):
+        with pytest.raises(ValueError):
+            HopConfig(mode="staleness")
+
+    def test_skip_requires_token_queues(self):
+        with pytest.raises(ValueError, match="token"):
+            HopConfig(
+                mode="backup",
+                n_backup=1,
+                use_token_queues=False,
+                skip=SkipConfig(),
+            )
+
+    def test_skip_rejected_in_standard_mode(self):
+        with pytest.raises(ValueError, match="backup or staleness"):
+            HopConfig(mode="standard", skip=SkipConfig())
+
+    def test_staleness_forces_tagged_queue(self):
+        config = staleness_config(staleness=3)
+        assert config.effective_queue_impl == "tagged"
+
+    def test_invalid_graph_and_impl(self):
+        with pytest.raises(ValueError):
+            HopConfig(computation_graph="quantum")
+        with pytest.raises(ValueError):
+            HopConfig(queue_impl="linked-list")
+
+    def test_skip_config_validation(self):
+        with pytest.raises(ValueError):
+            SkipConfig(max_skip=0)
+        with pytest.raises(ValueError):
+            SkipConfig(trigger_lag=0)
+
+    def test_factories(self):
+        b = backup_config(n_backup=2, max_ig=6)
+        assert b.mode == "backup" and b.n_backup == 2 and b.max_ig == 6
+        s = staleness_config(staleness=4, max_ig=7)
+        assert s.mode == "staleness" and s.staleness == 4
+
+    def test_describe_mentions_knobs(self):
+        desc = backup_config(1, 4, skip=SkipConfig(max_skip=10)).describe()
+        assert "n_buw=1" in desc
+        assert "skip" in desc
+
+
+class TestMeanReduce:
+    def test_averages(self):
+        out = mean_reduce([upd(0, 0, 1.0), upd(0, 1, 3.0)])
+        assert np.allclose(out, 2.0)
+
+    def test_single_update_identity(self):
+        out = mean_reduce([upd(0, 0, 5.0)])
+        assert np.allclose(out, 5.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_reduce([])
+
+
+class TestWeightedReduce:
+    def test_weighted_average(self):
+        out = weighted_reduce([upd(0, 0, 0.0), upd(0, 1, 4.0)], [1.0, 3.0])
+        assert np.allclose(out, 3.0)
+
+    def test_normalization(self):
+        out = weighted_reduce([upd(0, 0, 2.0)], [17.0])
+        assert np.allclose(out, 2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            weighted_reduce([], [])
+        with pytest.raises(ValueError):
+            weighted_reduce([upd(0, 0, 1.0)], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            weighted_reduce([upd(0, 0, 1.0)], [-1.0])
+        with pytest.raises(ValueError):
+            weighted_reduce([upd(0, 0, 1.0)], [0.0])
+
+
+class TestStalenessWeightedReduce:
+    def test_equation_2_weights(self):
+        """weight(u) = Iter(u) - (k - s) + 1."""
+        k, s = 10, 4  # floor = 6
+        updates = [upd(10, 0, 0.0), upd(6, 1, 8.0)]
+        # Weights: 10-6+1=5 for the fresh one, 6-6+1=1 for the stale one.
+        out = staleness_weighted_reduce(updates, iteration=k, staleness=s)
+        assert np.allclose(out, (5 * 0.0 + 1 * 8.0) / 6.0)
+
+    def test_fresher_updates_dominate(self):
+        k, s = 5, 5
+        fresh = upd(5, 0, 1.0)
+        stale = upd(0, 1, -1.0)
+        out = staleness_weighted_reduce([fresh, stale], k, s)
+        assert out[0] > 0  # pulled toward the fresh value
+
+    def test_equal_iterations_reduce_to_mean(self):
+        updates = [upd(3, 0, 1.0), upd(3, 1, 5.0)]
+        out = staleness_weighted_reduce(updates, iteration=3, staleness=2)
+        assert np.allclose(out, 3.0)
+
+    def test_future_updates_allowed(self):
+        # A neighbor ahead of us contributes with a larger weight.
+        updates = [upd(7, 0, 2.0), upd(5, 1, 2.0)]
+        out = staleness_weighted_reduce(updates, iteration=5, staleness=2)
+        assert np.allclose(out, 2.0)
+
+    def test_below_floor_rejected(self):
+        with pytest.raises(ValueError, match="older than the staleness floor"):
+            staleness_weighted_reduce([upd(0, 0, 1.0)], iteration=10, staleness=2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            staleness_weighted_reduce([], 0, 1)

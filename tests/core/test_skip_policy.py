@@ -1,0 +1,67 @@
+"""Tests for the skipping-iterations policy (Section 5)."""
+
+import pytest
+
+from repro.core import SkipConfig, SkipPolicy
+
+
+def policy(max_skip=10, trigger_lag=2, max_ig=5):
+    return SkipPolicy(SkipConfig(max_skip=max_skip, trigger_lag=trigger_lag), max_ig)
+
+
+class TestLag:
+    def test_lag_is_min_size_minus_max_ig(self):
+        p = policy(max_ig=5)
+        # sizes = Iter(j) - Iter(i) + max_ig.
+        assert p.lag_from_token_sizes([9, 7, 12]) == 2
+
+    def test_no_out_neighbors_no_lag(self):
+        assert policy().lag_from_token_sizes([]) == 0
+
+
+class TestDecide:
+    def test_no_jump_below_trigger(self):
+        p = policy(trigger_lag=3, max_ig=5)
+        # lag = 2 < trigger 3.
+        assert p.decide(0, [7, 7], max_iteration=100) is None
+
+    def test_jump_advances_to_lag(self):
+        p = policy(max_skip=10, trigger_lag=2, max_ig=5)
+        decision = p.decide(4, [9, 11], max_iteration=100)  # lag 4
+        assert decision is not None
+        assert decision.advance == 4
+        assert decision.target == 8
+
+    def test_user_cap_on_skip(self):
+        p = policy(max_skip=2, trigger_lag=2, max_ig=5)
+        decision = p.decide(0, [15], max_iteration=100)  # lag 10
+        # advance capped at max_skip + 1 = 3 (2 skipped + 1 normal).
+        assert decision.advance == 3
+        assert decision.target == 3
+
+    def test_never_jumps_past_training_end(self):
+        p = policy(max_skip=10, trigger_lag=2, max_ig=5)
+        decision = p.decide(97, [20], max_iteration=100)
+        assert decision is None or decision.target < 100
+
+    def test_advance_below_two_means_no_jump(self):
+        p = policy(max_skip=10, trigger_lag=1, max_ig=5)
+        # lag 1 -> advance 1 -> not a jump.
+        assert p.decide(0, [6], max_iteration=100) is None
+
+    def test_statistics_accumulate(self):
+        p = policy(max_skip=10, trigger_lag=2, max_ig=5)
+        p.decide(0, [10], max_iteration=100)  # lag 5 -> skip 4
+        p.decide(5, [12], max_iteration=100)  # lag 7 -> advance 7... capped 11? no: min(7, 11) = 7 -> skip 6
+        assert p.jumps_taken == 2
+        assert p.iterations_skipped == 4 + 6
+
+    def test_never_surpasses_slowest_out_neighbor(self):
+        """The paper's intuitive bound: after a jump, Iter(i) <= min_j Iter(j)."""
+        max_ig = 4
+        p = SkipPolicy(SkipConfig(max_skip=100, trigger_lag=1), max_ig)
+        current = 10
+        sizes = [7, 9, 13]  # Iter(j) - current + max_ig
+        decision = p.decide(current, sizes, max_iteration=1000)
+        slowest_neighbor_iteration = current + min(sizes) - max_ig
+        assert decision.target <= slowest_neighbor_iteration

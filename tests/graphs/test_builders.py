@@ -1,0 +1,178 @@
+"""Tests for the topology builders (Figure 11, Figure 21, and generics)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    FIG21_MACHINE_OF_WORKER,
+    TopologyError,
+    bipartite_ring,
+    by_name,
+    chain,
+    circulant,
+    complete,
+    directed_ring,
+    double_ring,
+    fig21_setting1,
+    fig21_setting2,
+    fig21_setting3,
+    hierarchical,
+    ring,
+    ring_based,
+    star,
+)
+
+
+class TestRing:
+    def test_each_node_has_two_neighbors(self):
+        topo = ring(8)
+        for i in range(8):
+            assert topo.in_degree(i, include_self=False) == 2
+
+    def test_strongly_connected_and_regular(self):
+        topo = ring(16)
+        assert topo.is_strongly_connected()
+        assert topo.is_regular()
+        topo.validate(require_doubly_stochastic=True)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(TopologyError):
+            ring(1)
+
+
+class TestRingBased:
+    def test_degree_is_three(self):
+        topo = ring_based(16)
+        for i in range(16):
+            assert topo.in_degree(i, include_self=False) == 3
+
+    def test_distant_chord_present(self):
+        topo = ring_based(16)
+        assert (0, 8) in topo.edges
+        assert (3, 11) in topo.edges
+
+    def test_diameter_smaller_than_ring(self):
+        assert ring_based(16).diameter() < ring(16).diameter()
+
+    def test_odd_n_rejected(self):
+        with pytest.raises(TopologyError):
+            ring_based(7)
+
+
+class TestDoubleRing:
+    def test_structure(self):
+        topo = double_ring(16)
+        # Intra-half ring edge, intra-half chord, inter-half bridge.
+        assert (0, 1) in topo.edges
+        assert (0, 4) in topo.edges
+        assert (0, 8) in topo.edges
+        assert topo.is_strongly_connected()
+
+    def test_denser_than_ring_based(self):
+        dense = double_ring(16)
+        sparse = ring_based(16)
+        assert len(dense.edges) > len(sparse.edges)
+
+    def test_half_must_be_even(self):
+        with pytest.raises(TopologyError):
+            double_ring(10)
+
+
+class TestGenericBuilders:
+    def test_complete_graph_degrees(self):
+        topo = complete(5)
+        for i in range(5):
+            assert topo.in_degree(i, include_self=False) == 4
+
+    def test_star_center_degree(self):
+        topo = star(6, center=2)
+        assert topo.in_degree(2, include_self=False) == 5
+        assert topo.in_degree(0, include_self=False) == 1
+
+    def test_chain_diameter(self):
+        assert chain(7).diameter() == 6.0
+
+    def test_directed_ring_one_way(self):
+        topo = directed_ring(4)
+        assert (0, 1) in topo.edges
+        assert (1, 0) not in topo.edges
+
+    def test_circulant_offsets(self):
+        topo = circulant(8, [1, 4])
+        assert (0, 1) in topo.edges
+        assert (0, 4) in topo.edges
+        assert (0, 2) not in topo.edges
+
+    def test_circulant_rejects_zero_offsets(self):
+        with pytest.raises(TopologyError):
+            circulant(8, [0, 8])
+
+    def test_bipartite_ring_is_bipartite(self):
+        assert bipartite_ring(8).is_bipartite()
+        with pytest.raises(TopologyError):
+            bipartite_ring(7)
+
+    def test_by_name_resolves(self):
+        assert by_name("ring", 8).name == "ring(8)"
+        assert by_name("ring-based", 8).name == "ring_based(8)"
+        with pytest.raises(TopologyError):
+            by_name("nonsense", 8)
+
+
+class TestHierarchical:
+    def test_intra_machine_complete(self):
+        topo = hierarchical((3, 3, 2))
+        # Workers 0, 1, 2 on machine 0 are all connected.
+        for a in range(3):
+            for b in range(3):
+                if a != b:
+                    assert (a, b) in topo.edges
+
+    def test_inter_machine_edges_exist(self):
+        topo = hierarchical((3, 3, 2))
+        cross = [
+            (a, b)
+            for (a, b) in topo.edges
+            if a != b and FIG21_MACHINE_OF_WORKER[a] != FIG21_MACHINE_OF_WORKER[b]
+        ]
+        assert len(cross) == 6  # 3 machine pairs, bidirectional
+
+    def test_doubly_stochastic_despite_irregularity(self):
+        topo = hierarchical((3, 3, 2))
+        assert not topo.is_regular()
+        assert topo.is_doubly_stochastic()
+
+    def test_shared_vs_distinct_gateways_differ(self):
+        shared = hierarchical((3, 3, 2), shared_gateway=True)
+        distinct = hierarchical((3, 3, 2), shared_gateway=False)
+        assert shared.edges != distinct.edges
+
+    def test_validation_errors(self):
+        with pytest.raises(TopologyError):
+            hierarchical((5,))
+        with pytest.raises(TopologyError):
+            hierarchical((3, 0, 2))
+
+
+class TestFig21:
+    def test_setting1_has_paper_spectral_gap(self):
+        from repro.graphs import spectral_gap
+
+        assert spectral_gap(fig21_setting1()) == pytest.approx(2.0 / 3.0, abs=1e-9)
+
+    def test_settings_2_and_3_much_smaller_gap(self):
+        from repro.graphs import spectral_gap
+
+        gap1 = spectral_gap(fig21_setting1())
+        gap2 = spectral_gap(fig21_setting2())
+        gap3 = spectral_gap(fig21_setting3())
+        # Paper: 0.6667 vs 0.2682 / 0.2688 — the machine-aware graphs
+        # have much smaller gaps but similar to one another.
+        assert gap2 < gap1 / 2
+        assert gap3 < gap1 / 2
+        assert abs(gap2 - gap3) < 0.15
+
+    def test_all_settings_connected_and_valid(self):
+        for topo in (fig21_setting1(), fig21_setting2(), fig21_setting3()):
+            topo.validate()
+            assert topo.n == 8

@@ -1,0 +1,106 @@
+"""Tests for the extended topology builders (torus, hypercube, random-regular)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    TopologyError,
+    by_name,
+    hypercube,
+    random_regular,
+    ring,
+    spectral_gap,
+    torus,
+)
+
+
+class TestTorus:
+    def test_degree_four_everywhere(self):
+        topo = torus(3, 4)
+        for node in range(12):
+            assert topo.in_degree(node, include_self=False) == 4
+
+    def test_wraparound_edges(self):
+        topo = torus(3, 3)
+        assert (0, 2) in topo.edges  # row wrap
+        assert (0, 6) in topo.edges  # column wrap
+
+    def test_connected_and_doubly_stochastic(self):
+        topo = torus(4, 4)
+        topo.validate(require_doubly_stochastic=True)
+
+    def test_diameter_formula(self):
+        assert torus(4, 4).diameter() == 4.0  # rows//2 + cols//2
+
+    def test_validation(self):
+        with pytest.raises(TopologyError):
+            torus(1, 5)
+
+    def test_degenerate_two_by_two(self):
+        topo = torus(2, 2)
+        assert topo.is_strongly_connected()
+
+
+class TestHypercube:
+    def test_log_degree(self):
+        topo = hypercube(4)
+        assert topo.n == 16
+        for node in range(16):
+            assert topo.in_degree(node, include_self=False) == 4
+
+    def test_log_diameter(self):
+        assert hypercube(4).diameter() == 4.0
+
+    def test_neighbors_differ_by_one_bit(self):
+        topo = hypercube(3)
+        for a, b in topo.edges:
+            if a != b:
+                assert bin(a ^ b).count("1") == 1
+
+    def test_better_mixing_than_ring_at_same_size(self):
+        assert spectral_gap(hypercube(4)) > spectral_gap(ring(16))
+
+    def test_bipartite(self):
+        assert hypercube(3).is_bipartite()
+
+    def test_by_name_resolves_power_of_two(self):
+        assert by_name("hypercube", 8).n == 8
+        with pytest.raises(TopologyError):
+            by_name("hypercube", 12)
+
+    def test_validation(self):
+        with pytest.raises(TopologyError):
+            hypercube(0)
+
+
+class TestRandomRegular:
+    def test_regular_and_connected(self):
+        topo = random_regular(12, 3, seed=1)
+        assert topo.is_regular()
+        assert topo.is_strongly_connected()
+        assert topo.is_doubly_stochastic()
+
+    def test_deterministic_given_seed(self):
+        a = random_regular(10, 3, seed=5)
+        b = random_regular(10, 3, seed=5)
+        assert a.edges == b.edges
+
+    def test_different_seeds_differ(self):
+        a = random_regular(12, 3, seed=1)
+        b = random_regular(12, 3, seed=2)
+        assert a.edges != b.edges
+
+    def test_parity_validation(self):
+        with pytest.raises(TopologyError):
+            random_regular(5, 3)  # odd n * odd degree
+
+    def test_degree_bounds(self):
+        with pytest.raises(TopologyError):
+            random_regular(6, 1)
+        with pytest.raises(TopologyError):
+            random_regular(6, 6)
+
+    def test_expander_like_gap(self):
+        """Random regular graphs mix much better than rings."""
+        topo = random_regular(16, 4, seed=3)
+        assert spectral_gap(topo) > spectral_gap(ring(16))

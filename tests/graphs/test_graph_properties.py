@@ -1,0 +1,109 @@
+"""Property-based tests for graph invariants (hypothesis)."""
+
+import networkx as nx
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    Topology,
+    circulant,
+    is_doubly_stochastic,
+    metropolis_hastings_weights,
+    ring,
+    spectral_gap,
+    uniform_weights,
+)
+
+
+@given(n=st.integers(min_value=2, max_value=24))
+def test_ring_always_valid(n):
+    topo = ring(n)
+    topo.validate(require_doubly_stochastic=True)
+    assert topo.diameter() == n // 2
+
+
+@given(
+    n=st.integers(min_value=3, max_value=16),
+    offsets=st.lists(st.integers(min_value=1, max_value=15), min_size=1, max_size=4),
+)
+def test_circulant_regular_and_doubly_stochastic(n, offsets):
+    offsets = [o % n for o in offsets if o % n != 0]
+    if not offsets:
+        return
+    topo = circulant(n, offsets)
+    assert topo.is_regular()
+    assert topo.is_doubly_stochastic()
+    assert topo.is_strongly_connected() == nx.is_strongly_connected(
+        nx.DiGraph([(a, b) for a, b in topo.edges if a != b])
+    )
+
+
+@st.composite
+def random_connected_undirected(draw):
+    """A random connected undirected graph as a bidirectional Topology."""
+    n = draw(st.integers(min_value=2, max_value=12))
+    # A random spanning tree guarantees connectivity.
+    edges = set()
+    for node in range(1, n):
+        parent = draw(st.integers(min_value=0, max_value=node - 1))
+        edges.add((parent, node))
+        edges.add((node, parent))
+    # Extra random edges.
+    n_extra = draw(st.integers(min_value=0, max_value=n))
+    for _ in range(n_extra):
+        a = draw(st.integers(min_value=0, max_value=n - 1))
+        b = draw(st.integers(min_value=0, max_value=n - 1))
+        if a != b:
+            edges.add((a, b))
+            edges.add((b, a))
+    return Topology(n, edges, name="random")
+
+
+@settings(max_examples=40)
+@given(topo=random_connected_undirected())
+def test_metropolis_hastings_doubly_stochastic_on_random_graphs(topo):
+    W = metropolis_hastings_weights(topo)
+    assert is_doubly_stochastic(W)
+    assert np.allclose(W, W.T)
+
+
+@settings(max_examples=40)
+@given(topo=random_connected_undirected())
+def test_uniform_weights_column_stochastic_on_random_graphs(topo):
+    W = uniform_weights(topo)
+    assert np.allclose(W.sum(axis=0), 1.0)
+    assert np.all(W >= 0)
+
+
+@settings(max_examples=40)
+@given(topo=random_connected_undirected())
+def test_path_matrix_matches_networkx(topo):
+    D = topo.shortest_path_matrix()
+    g = nx.DiGraph()
+    g.add_nodes_from(range(topo.n))
+    g.add_edges_from((a, b) for a, b in topo.edges if a != b)
+    lengths = dict(nx.all_pairs_shortest_path_length(g))
+    for i in range(topo.n):
+        for j in range(topo.n):
+            expected = lengths.get(i, {}).get(j, np.inf)
+            assert D[i, j] == expected
+
+
+@settings(max_examples=40)
+@given(topo=random_connected_undirected())
+def test_spectral_gap_in_unit_interval(topo):
+    W = metropolis_hastings_weights(topo)
+    gap = spectral_gap(W)
+    assert -1e-9 <= gap <= 1.0 + 1e-9
+
+
+@settings(max_examples=30)
+@given(topo=random_connected_undirected())
+def test_triangle_inequality_on_shortest_paths(topo):
+    D = topo.shortest_path_matrix()
+    n = topo.n
+    for i in range(n):
+        for j in range(n):
+            for k in range(n):
+                assert D[i, j] <= D[i, k] + D[k, j] + 1e-9

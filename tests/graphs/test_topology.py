@@ -1,0 +1,142 @@
+"""Tests for the Topology class: structure, paths, validation."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import Topology, TopologyError, ring
+
+
+def triangle():
+    return Topology(3, [(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0)])
+
+
+def test_self_loops_always_present():
+    topo = Topology(3, [(0, 1), (1, 2), (2, 0)])
+    for i in range(3):
+        assert (i, i) in topo.edges
+
+
+def test_in_and_out_neighbors():
+    topo = Topology(3, [(0, 1), (1, 2), (2, 0)])
+    assert topo.in_neighbors(1) == (0, 1)
+    assert topo.in_neighbors(1, include_self=False) == (0,)
+    assert topo.out_neighbors(1) == (1, 2)
+    assert topo.out_neighbors(1, include_self=False) == (2,)
+
+
+def test_degrees():
+    topo = triangle()
+    assert topo.in_degree(0) == 3  # self + 1 + 2
+    assert topo.in_degree(0, include_self=False) == 2
+    assert topo.max_degree() == 2
+
+
+def test_edge_out_of_range_rejected():
+    with pytest.raises(TopologyError):
+        Topology(2, [(0, 5)])
+
+
+def test_n_must_be_positive():
+    with pytest.raises(TopologyError):
+        Topology(0, [])
+
+
+def test_uniform_weights_are_eq1():
+    topo = Topology(3, [(0, 1), (1, 2), (2, 0)])
+    # Node 1 has in-neighbors {0, 1}; each gets 1/2.
+    assert topo.W[0, 1] == pytest.approx(0.5)
+    assert topo.W[1, 1] == pytest.approx(0.5)
+    assert topo.W[2, 1] == 0.0
+
+
+def test_uniform_weights_columns_sum_to_one():
+    topo = triangle()
+    assert np.allclose(topo.W.sum(axis=0), 1.0)
+
+
+def test_explicit_weights_validated_against_edges():
+    bad = np.full((2, 2), 0.5)
+    with pytest.raises(TopologyError, match="non-edge"):
+        Topology(2, [(0, 1)], weights=bad)  # (1, 0) is not an edge
+
+
+def test_negative_weights_rejected():
+    W = np.array([[1.5, 0.0], [-0.5, 1.0]])
+    with pytest.raises(TopologyError, match="negative"):
+        Topology(2, [(0, 1), (1, 0)], weights=W)
+
+
+def test_weight_shape_validated():
+    with pytest.raises(TopologyError, match="shape"):
+        Topology(2, [(0, 1), (1, 0)], weights=np.eye(3))
+
+
+def test_with_weights_replaces_matrix():
+    topo = triangle()
+    W = np.eye(3)
+    other = topo.with_weights(W)
+    assert np.array_equal(other.W, W)
+    assert other.n == topo.n
+
+
+class TestPaths:
+    def test_directed_ring_distances(self):
+        topo = Topology(4, [(i, (i + 1) % 4) for i in range(4)])
+        D = topo.shortest_path_matrix()
+        assert D[0, 1] == 1
+        assert D[0, 3] == 3
+        assert D[3, 0] == 1
+        assert D[0, 0] == 0
+
+    def test_path_length_accessor(self):
+        topo = Topology(4, [(i, (i + 1) % 4) for i in range(4)])
+        assert topo.path_length(0, 2) == 2.0
+
+    def test_diameter_of_bidirectional_ring(self):
+        assert ring(6).diameter() == 3.0
+
+    def test_unreachable_gives_inf(self):
+        topo = Topology(3, [(0, 1)])  # 2 is isolated except self-loop
+        assert topo.path_length(0, 2) == float("inf")
+        assert not topo.is_strongly_connected()
+
+    def test_strong_connectivity_directed_ring(self):
+        topo = Topology(5, [(i, (i + 1) % 5) for i in range(5)])
+        assert topo.is_strongly_connected()
+
+
+class TestValidation:
+    def test_validate_accepts_ring(self):
+        ring(8).validate(require_doubly_stochastic=True)
+
+    def test_validate_rejects_disconnected(self):
+        topo = Topology(3, [(0, 1), (1, 0)])
+        with pytest.raises(TopologyError, match="connected"):
+            topo.validate()
+
+    def test_doubly_stochastic_detection(self):
+        assert ring(6).is_doubly_stochastic()
+        irregular = Topology(3, [(0, 1), (1, 0), (1, 2), (2, 1)])
+        assert not irregular.is_doubly_stochastic()
+
+    def test_regularity(self):
+        assert ring(5).is_regular()
+        star_like = Topology(3, [(0, 1), (1, 0), (0, 2), (2, 0)])
+        assert not star_like.is_regular()
+
+
+class TestBipartite:
+    def test_even_ring_is_bipartite(self):
+        assert ring(6).is_bipartite()
+
+    def test_odd_ring_is_not(self):
+        assert not ring(5).is_bipartite()
+
+    def test_bipartite_sets_partition(self):
+        zeros, ones = ring(6).bipartite_sets()
+        assert sorted(zeros + ones) == list(range(6))
+        assert set(zeros) == {0, 2, 4}
+
+    def test_bipartite_sets_raises_on_odd_ring(self):
+        with pytest.raises(TopologyError):
+            ring(5).bipartite_sets()

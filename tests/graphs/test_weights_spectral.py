@@ -1,0 +1,134 @@
+"""Tests for weight constructions and spectral analysis."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    Topology,
+    chain,
+    complete,
+    consensus_distance,
+    eigenvalue_moduli,
+    hierarchical,
+    is_column_stochastic,
+    is_doubly_stochastic,
+    lazy_weights,
+    metropolis_hastings_weights,
+    mixing_rounds,
+    ring,
+    ring_based,
+    second_eigenvalue_modulus,
+    spectral_gap,
+    uniform_weights,
+)
+
+
+class TestUniformWeights:
+    def test_matches_topology_default(self):
+        topo = ring(6)
+        assert np.allclose(uniform_weights(topo), topo.W)
+
+    def test_without_self_loop(self):
+        topo = ring(6)
+        W = uniform_weights(topo, include_self=False)
+        assert W[0, 0] == 0.0
+        assert W[1, 0] == pytest.approx(0.5)
+
+    def test_column_stochastic_always(self):
+        topo = chain(5)
+        assert is_column_stochastic(uniform_weights(topo))
+
+    def test_doubly_stochastic_only_when_regular(self):
+        assert is_doubly_stochastic(uniform_weights(ring(6)))
+        assert not is_doubly_stochastic(uniform_weights(chain(5)))
+
+
+class TestMetropolisHastings:
+    def test_doubly_stochastic_on_irregular_graph(self):
+        topo = chain(6)
+        W = metropolis_hastings_weights(topo)
+        assert is_doubly_stochastic(W)
+
+    def test_symmetric(self):
+        W = metropolis_hastings_weights(hierarchical((3, 3, 2)))
+        assert np.allclose(W, W.T)
+
+    def test_rejects_asymmetric_edges(self):
+        topo = Topology(3, [(0, 1), (1, 2), (2, 0)])  # directed cycle
+        with pytest.raises(ValueError, match="symmetric"):
+            metropolis_hastings_weights(topo)
+
+    def test_self_loop_absorbs_remainder(self):
+        topo = ring(4)
+        W = metropolis_hastings_weights(topo)
+        assert np.allclose(W.sum(axis=0), 1.0)
+        assert np.all(np.diag(W) > 0)
+
+
+class TestLazyWeights:
+    def test_halfway_blend(self):
+        W = uniform_weights(ring(4))
+        lazy = lazy_weights(W, 0.5)
+        assert np.allclose(lazy, 0.5 * np.eye(4) + 0.5 * W)
+
+    def test_preserves_double_stochasticity(self):
+        W = uniform_weights(ring(6))
+        assert is_doubly_stochastic(lazy_weights(W, 0.3))
+
+    def test_laziness_bounds(self):
+        with pytest.raises(ValueError):
+            lazy_weights(np.eye(2), 0.0)
+        with pytest.raises(ValueError):
+            lazy_weights(np.eye(2), 1.5)
+
+
+class TestSpectral:
+    def test_complete_graph_with_self_loops_mixes_instantly(self):
+        topo = complete(4)
+        # W = J/4: one eigenvalue 1, rest 0.
+        assert spectral_gap(topo) == pytest.approx(1.0)
+        assert second_eigenvalue_modulus(topo) == pytest.approx(0.0, abs=1e-9)
+
+    def test_ring_gap_shrinks_with_size(self):
+        assert spectral_gap(ring(16)) < spectral_gap(ring(8))
+
+    def test_ring_based_beats_ring(self):
+        assert spectral_gap(ring_based(16)) > spectral_gap(ring(16))
+
+    def test_eigenvalue_moduli_sorted_descending(self):
+        moduli = eigenvalue_moduli(ring(8))
+        assert moduli[0] == pytest.approx(1.0)
+        assert np.all(np.diff(moduli) <= 1e-12)
+
+    def test_mixing_rounds_finite_for_connected_aperiodic(self):
+        rounds = mixing_rounds(ring(8))
+        assert 0 < rounds < np.inf
+
+    def test_mixing_rounds_infinite_without_gap(self):
+        # Identity never mixes.
+        assert mixing_rounds(np.eye(4)) == np.inf
+
+    def test_mixing_rounds_zero_for_instant(self):
+        assert mixing_rounds(complete(4)) == 0.0
+
+    def test_spectral_gap_accepts_raw_matrix(self):
+        W = uniform_weights(ring(6))
+        assert spectral_gap(W) == pytest.approx(spectral_gap(ring(6)))
+
+
+class TestConsensusDistance:
+    def test_zero_when_identical(self):
+        x = np.ones((4, 10))
+        assert consensus_distance(x) == 0.0
+
+    def test_positive_when_spread(self):
+        x = np.array([[0.0, 0.0], [2.0, 2.0]])
+        assert consensus_distance(x) == pytest.approx(1.0)
+
+    def test_shrinks_under_gossip_averaging(self):
+        rng = np.random.default_rng(0)
+        topo = ring(8)
+        x = rng.normal(size=(8, 5))
+        before = consensus_distance(x)
+        after = consensus_distance(topo.W.T @ x)
+        assert after < before

@@ -1,0 +1,22 @@
+"""Smoke tests for the ablation studies."""
+
+import pytest
+
+from repro.harness.ablations import ALL_ABLATIONS
+
+
+@pytest.mark.parametrize("name", sorted(ALL_ABLATIONS))
+def test_ablation_passes_at_smoke_scale(name):
+    result = ALL_ABLATIONS[name](preset="smoke")
+    assert result.passed(), result.render()
+    assert result.rows
+
+
+def test_registry_complete():
+    assert set(ALL_ABLATIONS) == {
+        "stale_reduce",
+        "computation_graph",
+        "max_ig",
+        "queue_impl",
+        "vs_adpsgd",
+    }

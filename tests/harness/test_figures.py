@@ -1,0 +1,55 @@
+"""Smoke tests for the figure harness: every figure runs and passes.
+
+The heavier figures are exercised at the ``smoke`` preset; the
+benchmark harness runs them at full ``bench`` scale.
+"""
+
+import pytest
+
+from repro.harness import ALL_FIGURES, FigureResult, fig21_spectral_gaps, table1_gap_bounds
+
+
+class TestFigureResult:
+    def test_check_and_passed(self):
+        result = FigureResult("f", "t")
+        result.check("ok", True)
+        assert result.passed()
+        result.check("bad", False, "why")
+        assert not result.passed()
+        assert result.failures() == ["bad"]
+
+    def test_render_includes_everything(self):
+        result = FigureResult("fig0", "demo title")
+        result.rows.append({"a": 1})
+        result.check("claim", True, "detail")
+        result.notes = "a note"
+        text = result.render()
+        assert "fig0" in text and "demo title" in text
+        assert "[PASS] claim" in text
+        assert "a note" in text
+
+
+class TestFastFigures:
+    def test_fig21_passes(self):
+        result = fig21_spectral_gaps()
+        assert result.passed(), result.render()
+
+    def test_table1_passes(self):
+        result = table1_gap_bounds("smoke")
+        assert result.passed(), result.render()
+
+
+@pytest.mark.parametrize("figure_id", sorted(ALL_FIGURES))
+def test_every_figure_passes_at_smoke_scale(figure_id):
+    function = ALL_FIGURES[figure_id]
+    result = function() if figure_id == "fig21" else function("smoke")
+    assert result.passed(), result.render()
+    assert result.rows or result.series
+
+
+def test_registry_covers_the_evaluation_section():
+    expected = {
+        "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+        "fig18", "fig19", "fig20", "fig21", "table1",
+    }
+    assert set(ALL_FIGURES) == expected

@@ -1,0 +1,128 @@
+"""Tests for run/figure serialization and the CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.graphs import ring_based
+from repro.harness import ExperimentSpec, run_spec, svm_workload, table1_gap_bounds
+from repro.harness.io import (
+    figure_to_dict,
+    load_run_summary,
+    run_to_dict,
+    save_figure,
+    save_run,
+)
+
+
+@pytest.fixture(scope="module")
+def run():
+    workload = svm_workload("smoke")
+    return run_spec(
+        ExperimentSpec("io", workload, ring_based(8), max_iter=12, seed=0)
+    )
+
+
+class TestRunSerialization:
+    def test_run_to_dict_is_json_safe(self, run):
+        payload = run_to_dict(run)
+        text = json.dumps(payload)  # raises if not JSON-safe
+        assert "hop" in text
+
+    def test_round_trip_through_disk(self, run, tmp_path):
+        path = save_run(run, tmp_path / "run.json")
+        loaded = load_run_summary(path)
+        assert loaded["protocol"] == "hop"
+        assert loaded["n_workers"] == 8
+        assert loaded["wall_time"] == pytest.approx(run.wall_time)
+        assert len(loaded["loss_curve"]["times"]) == len(
+            loaded["loss_curve"]["losses"]
+        )
+
+    def test_worker_stats_preserved(self, run, tmp_path):
+        loaded = load_run_summary(save_run(run, tmp_path / "r.json"))
+        assert len(loaded["worker_stats"]) == 8
+        assert loaded["worker_stats"][0]["iterations_completed"] == 12
+
+    def test_creates_parent_directories(self, run, tmp_path):
+        path = save_run(run, tmp_path / "deep" / "nested" / "run.json")
+        assert path.exists()
+
+
+class TestFigureSerialization:
+    def test_figure_round_trip(self, tmp_path):
+        result = table1_gap_bounds("smoke")
+        payload = figure_to_dict(result)
+        json.dumps(payload)
+        assert payload["passed"] is True
+        assert payload["figure_id"] == "table1"
+        path = save_figure(result, tmp_path / "table1.json")
+        assert json.loads(path.read_text())["checks"]
+
+
+class TestCLI:
+    def test_graphs_command(self, capsys):
+        assert main(["graphs", "--graph", "ring", "--workers", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "spectral gap" in out
+        assert "ring(8)" in out
+
+    def test_train_command_writes_summary(self, tmp_path, capsys):
+        code = main(
+            [
+                "train",
+                "--workload", "svm",
+                "--workers", "6",
+                "--iterations", "8",
+                "--out", str(tmp_path / "out.json"),
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "out.json").exists()
+        assert "wall_time" in capsys.readouterr().out
+
+    def test_train_with_backup_and_slowdown(self, capsys):
+        code = main(
+            [
+                "train",
+                "--mode", "backup",
+                "--slowdown", "straggler",
+                "--workers", "6",
+                "--iterations", "8",
+            ]
+        )
+        assert code == 0
+        assert "backup" in capsys.readouterr().out
+
+    def test_figures_command_single(self, capsys):
+        assert main(["figures", "--only", "fig21"]) == 0
+        out = capsys.readouterr().out
+        assert "spectral gaps" in out.lower()
+        assert "all shape checks passed" in out
+
+    def test_figures_unknown_id(self, capsys):
+        assert main(["figures", "--only", "fig99"]) == 2
+
+    def test_ablations_unknown_id(self, capsys):
+        assert main(["ablations", "--only", "nope"]) == 2
+
+    def test_figures_json_dump(self, tmp_path, capsys):
+        code = main(
+            ["figures", "--only", "fig21", "--json-dir", str(tmp_path)]
+        )
+        assert code == 0
+        assert (tmp_path / "fig21.json").exists()
+
+    def test_skip_requires_non_standard_mode(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "train",
+                    "--skip",
+                    "--mode", "standard",
+                    "--workers", "6",
+                    "--iterations", "4",
+                ]
+            )

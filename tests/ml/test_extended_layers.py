@@ -1,0 +1,101 @@
+"""Tests for the extended activation and pooling layers."""
+
+import numpy as np
+import pytest
+
+from repro.ml import AvgPool2D, Sigmoid, Tanh, numerical_gradient, relative_error
+
+
+RNG = lambda: np.random.default_rng(7)  # noqa: E731 - test brevity
+
+
+def input_gradcheck(layer, x, tol=1e-6):
+    out = layer.forward(x.copy(), training=True)
+    dx = layer.backward(np.ones_like(out))
+
+    def f(x_flat):
+        return float(np.sum(layer.forward(x_flat, training=True)))
+
+    numeric = numerical_gradient(f, x.copy())
+    assert relative_error(dx, numeric) < tol
+
+
+class TestTanh:
+    def test_range(self):
+        out = Tanh().forward(RNG().normal(size=(3, 5)) * 10)
+        assert np.all(np.abs(out) <= 1.0)
+
+    def test_zero_maps_to_zero(self):
+        assert Tanh().forward(np.zeros((1, 1)))[0, 0] == 0.0
+
+    def test_gradcheck(self):
+        input_gradcheck(Tanh(), RNG().normal(size=(4, 6)))
+
+    def test_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            Tanh().backward(np.ones((1, 1)))
+
+
+class TestSigmoid:
+    def test_range(self):
+        out = Sigmoid().forward(RNG().normal(size=(3, 5)) * 10)
+        assert np.all((out > 0) & (out < 1))
+
+    def test_zero_maps_to_half(self):
+        assert Sigmoid().forward(np.zeros((1, 1)))[0, 0] == pytest.approx(0.5)
+
+    def test_extreme_inputs_stable(self):
+        out = Sigmoid().forward(np.array([[1000.0, -1000.0]]))
+        assert np.all(np.isfinite(out))
+
+    def test_gradcheck(self):
+        input_gradcheck(Sigmoid(), RNG().normal(size=(4, 6)))
+
+
+class TestAvgPool2D:
+    def test_forward_averages(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = AvgPool2D(2).forward(x)
+        assert out[0, 0, 0, 0] == pytest.approx((0 + 1 + 4 + 5) / 4)
+
+    def test_backward_distributes_evenly(self):
+        layer = AvgPool2D(2)
+        x = RNG().normal(size=(1, 1, 4, 4))
+        layer.forward(x, training=True)
+        dx = layer.backward(np.ones((1, 1, 2, 2)))
+        assert np.allclose(dx, 0.25)
+
+    def test_gradcheck(self):
+        input_gradcheck(AvgPool2D(2), RNG().normal(size=(2, 3, 4, 4)))
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ValueError):
+            AvgPool2D(2).forward(np.ones((1, 1, 5, 4)))
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            AvgPool2D(0)
+
+    def test_in_a_small_network(self):
+        """AvgPool composes with conv layers end to end."""
+        from repro.ml import Conv2D, Dense, Flatten, Model, ReLU, Sequential
+        from repro.ml.losses import SoftmaxCrossEntropy
+
+        rng = RNG()
+        model = Model(
+            Sequential(
+                [
+                    Conv2D(1, 2, 3, rng, pad=1),
+                    ReLU(),
+                    AvgPool2D(2),
+                    Flatten(),
+                    Dense(2 * 4, 3, rng),
+                ]
+            ),
+            SoftmaxCrossEntropy(),
+        )
+        x = rng.normal(size=(4, 1, 4, 4))
+        y = rng.integers(0, 3, size=4)
+        loss, grad = model.loss_and_grad(x, y)
+        assert np.isfinite(loss)
+        assert grad.shape == (model.dim,)

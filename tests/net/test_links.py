@@ -1,0 +1,86 @@
+"""Tests for link timing and link-model construction."""
+
+import pytest
+
+from repro.net import (
+    Link,
+    LinkModel,
+    cluster_links,
+    degraded_links,
+    params_message_size,
+    uniform_links,
+)
+
+
+class TestLink:
+    def test_transfer_time_formula(self):
+        link = Link(latency=0.01, bandwidth=100.0)
+        assert link.transfer_time(50.0) == pytest.approx(0.01 + 0.5)
+
+    def test_zero_size_costs_latency(self):
+        link = Link(latency=0.02, bandwidth=10.0)
+        assert link.transfer_time(0.0) == pytest.approx(0.02)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Link().transfer_time(-1.0)
+
+    def test_scaled_slows_both_terms(self):
+        link = Link(latency=0.01, bandwidth=100.0)
+        slow = link.scaled(4.0)
+        assert slow.latency == pytest.approx(0.04)
+        assert slow.bandwidth == pytest.approx(25.0)
+        assert slow.transfer_time(10.0) > link.transfer_time(10.0)
+
+    def test_scaled_validates_factor(self):
+        with pytest.raises(ValueError):
+            Link().scaled(0.0)
+
+
+class TestLinkModel:
+    def test_default_and_override(self):
+        fast = Link(latency=0.0, bandwidth=1000.0)
+        model = LinkModel(default=Link(), overrides={(0, 1): fast})
+        assert model.link(0, 1) is fast
+        assert model.link(1, 0) is model.default
+
+    def test_self_edges_essentially_free(self):
+        model = LinkModel()
+        assert model.transfer_time(3, 3, 100.0) < 1e-6
+
+    def test_round_trip_adds_return_latency(self):
+        model = LinkModel(default=Link(latency=0.1, bandwidth=1e9))
+        assert model.round_trip(0, 1) == pytest.approx(0.2)
+
+
+class TestUniformLinks:
+    def test_all_pairs_identical(self):
+        model = uniform_links(latency=0.001, bandwidth=10.0)
+        assert model.transfer_time(0, 5, 1.0) == model.transfer_time(7, 2, 1.0)
+
+
+class TestClusterLinks:
+    def test_intra_faster_than_inter(self):
+        machines = [0, 0, 1, 1]
+        model = cluster_links(machines)
+        intra = model.transfer_time(0, 1, 10.0)
+        inter = model.transfer_time(0, 2, 10.0)
+        assert intra < inter
+
+    def test_respects_machine_map(self):
+        machines = [0, 1, 0]
+        model = cluster_links(machines)
+        assert model.transfer_time(0, 2, 1.0) < model.transfer_time(0, 1, 1.0)
+
+
+class TestDegradedLinks:
+    def test_slows_selected_edges_only(self):
+        base = uniform_links()
+        degraded = degraded_links(base, {(0, 1): 10.0})
+        assert degraded.transfer_time(0, 1, 1.0) > base.transfer_time(0, 1, 1.0)
+        assert degraded.transfer_time(1, 0, 1.0) == base.transfer_time(1, 0, 1.0)
+
+
+def test_params_message_size():
+    # 1M float32 parameters = 4 MB.
+    assert params_message_size(1_000_000) == pytest.approx(4.0)

@@ -1,0 +1,221 @@
+"""Tests for process semantics: chaining, return values, interrupts."""
+
+import pytest
+
+from repro.sim import Environment, Interrupt
+
+
+def test_process_return_value_is_event_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1)
+        return 99
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 99
+
+
+def test_process_is_alive_until_done():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(5)
+
+    p = env.process(proc(env))
+    env.run(until=2)
+    assert p.is_alive
+    env.run()
+    assert not p.is_alive
+
+
+def test_waiting_on_another_process_gets_its_return():
+    env = Environment()
+    results = []
+
+    def child(env):
+        yield env.timeout(2)
+        return "child-result"
+
+    def parent(env):
+        value = yield env.process(child(env))
+        results.append((env.now, value))
+
+    env.process(parent(env))
+    env.run()
+    assert results == [(2.0, "child-result")]
+
+
+def test_waiting_on_already_finished_process():
+    env = Environment()
+    results = []
+
+    def child(env):
+        yield env.timeout(1)
+        return "early"
+
+    def parent(env, child_proc):
+        yield env.timeout(10)
+        value = yield child_proc  # already processed by now
+        results.append((env.now, value))
+
+    child_proc = env.process(child(env))
+    env.process(parent(env, child_proc))
+    env.run()
+    assert results == [(10.0, "early")]
+
+
+def test_yielding_non_event_fails_process():
+    env = Environment()
+
+    def bad(env):
+        yield 42
+
+    env.process(bad(env))
+    with pytest.raises(RuntimeError, match="non-event"):
+        env.run()
+
+
+def test_rejects_non_generator():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.process(lambda: None)
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+    log = []
+
+    def victim(env):
+        try:
+            yield env.timeout(100)
+        except Interrupt as interrupt:
+            log.append((env.now, interrupt.cause))
+
+    def attacker(env, target):
+        yield env.timeout(3)
+        target.interrupt(cause="preempted")
+
+    target = env.process(victim(env))
+    env.process(attacker(env, target))
+    env.run()
+    assert log == [(3.0, "preempted")]
+
+
+def test_interrupted_process_can_rewait():
+    """A process can catch an interrupt and resume waiting."""
+    env = Environment()
+    log = []
+
+    def victim(env):
+        deadline = env.timeout(10)
+        try:
+            yield deadline
+        except Interrupt:
+            log.append(("interrupted", env.now))
+            yield env.timeout(1)
+            log.append(("recovered", env.now))
+
+    def attacker(env, target):
+        yield env.timeout(4)
+        target.interrupt()
+
+    target = env.process(victim(env))
+    env.process(attacker(env, target))
+    env.run()
+    assert log == [("interrupted", 4.0), ("recovered", 5.0)]
+
+
+def test_interrupt_finished_process_raises():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1)
+
+    p = env.process(quick(env))
+    env.run()
+    with pytest.raises(RuntimeError, match="finished"):
+        p.interrupt()
+
+
+def test_interrupt_unstarted_process_raises():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1)
+
+    p = env.process(proc(env))
+    # The engine has not run yet, so the process never started.
+    with pytest.raises(RuntimeError, match="not started"):
+        p.interrupt()
+
+
+def test_uncaught_interrupt_fails_the_process():
+    env = Environment()
+
+    def victim(env):
+        yield env.timeout(100)
+
+    def attacker(env, target):
+        yield env.timeout(1)
+        target.interrupt(cause="fatal")
+
+    target = env.process(victim(env))
+    env.process(attacker(env, target))
+    with pytest.raises(Interrupt):
+        env.run()
+
+
+def test_nested_process_chain():
+    env = Environment()
+
+    def level3(env):
+        yield env.timeout(1)
+        return 3
+
+    def level2(env):
+        value = yield env.process(level3(env))
+        return value + 2
+
+    def level1(env):
+        value = yield env.process(level2(env))
+        return value + 1
+
+    p = env.process(level1(env))
+    env.run()
+    assert p.value == 6
+    assert env.now == 1.0
+
+
+def test_exception_propagates_through_waiters():
+    env = Environment()
+    caught = []
+
+    def child(env):
+        yield env.timeout(1)
+        raise KeyError("inner")
+
+    def parent(env):
+        try:
+            yield env.process(child(env))
+        except KeyError as exc:
+            caught.append(str(exc))
+
+    env.process(parent(env))
+    env.run()
+    assert caught == ["'inner'"]
+
+
+def test_active_process_tracking():
+    env = Environment()
+    seen = []
+
+    def proc(env):
+        seen.append(env.active_process)
+        yield env.timeout(1)
+
+    p = env.process(proc(env))
+    env.run()
+    assert seen == [p]
+    assert env.active_process is None

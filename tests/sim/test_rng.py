@@ -1,0 +1,67 @@
+"""Tests for named RNG streams."""
+
+import numpy as np
+
+from repro.sim import RngStreams, derive_seed
+
+
+def test_same_seed_same_key_same_draws():
+    a = RngStreams(seed=7).stream("worker", 0).random(5)
+    b = RngStreams(seed=7).stream("worker", 0).random(5)
+    assert np.array_equal(a, b)
+
+
+def test_different_keys_give_independent_streams():
+    streams = RngStreams(seed=7)
+    a = streams.stream("worker", 0).random(5)
+    b = streams.stream("worker", 1).random(5)
+    assert not np.array_equal(a, b)
+
+
+def test_different_seeds_give_different_draws():
+    a = RngStreams(seed=1).stream("x").random(5)
+    b = RngStreams(seed=2).stream("x").random(5)
+    assert not np.array_equal(a, b)
+
+
+def test_stream_is_cached():
+    streams = RngStreams(seed=0)
+    assert streams.stream("a") is streams.stream("a")
+
+
+def test_fresh_returns_replayable_generator():
+    streams = RngStreams(seed=3)
+    first = streams.fresh("component").random(4)
+    second = streams.fresh("component").random(4)
+    assert np.array_equal(first, second)
+
+
+def test_key_joins_parts():
+    streams = RngStreams(seed=0)
+    assert streams.key("a", 1, "b") == "a/1/b"
+
+
+def test_spawn_creates_namespaced_registry():
+    parent = RngStreams(seed=9)
+    child_a = parent.spawn("experiment", 1)
+    child_b = parent.spawn("experiment", 2)
+    assert child_a.seed != child_b.seed
+    # Deterministic: same spawn path gives the same child seed.
+    again = RngStreams(seed=9).spawn("experiment", 1)
+    assert again.seed == child_a.seed
+
+
+def test_derive_seed_stability():
+    assert derive_seed(5, "abc") == derive_seed(5, "abc")
+    assert derive_seed(5, "abc") != derive_seed(5, "abd")
+    assert derive_seed(5, "abc") != derive_seed(6, "abc")
+
+
+def test_adding_new_stream_does_not_perturb_existing():
+    streams_one = RngStreams(seed=11)
+    draws_before = streams_one.stream("data").random(3)
+
+    streams_two = RngStreams(seed=11)
+    streams_two.stream("slowdown").random(100)  # extra consumer
+    draws_after = streams_two.stream("data").random(3)
+    assert np.array_equal(draws_before, draws_after)

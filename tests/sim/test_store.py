@@ -1,0 +1,253 @@
+"""Tests for Store / FilterStore / PriorityStore blocking semantics."""
+
+import pytest
+
+from repro.sim import (
+    Environment,
+    FilterStore,
+    PriorityItem,
+    PriorityStore,
+    Store,
+)
+
+
+class TestStore:
+    def test_put_then_get_fifo(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def consumer(env, store):
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item)
+
+        for item in ("a", "b", "c"):
+            store.put(item)
+        env.process(consumer(env, store))
+        env.run()
+        assert got == ["a", "b", "c"]
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def consumer(env, store):
+            item = yield store.get()
+            got.append((env.now, item))
+
+        def producer(env, store):
+            yield env.timeout(5)
+            store.put("late")
+
+        env.process(consumer(env, store))
+        env.process(producer(env, store))
+        env.run()
+        assert got == [(5.0, "late")]
+
+    def test_put_blocks_at_capacity(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        log = []
+
+        def producer(env, store):
+            yield store.put("first")
+            log.append(("put-first", env.now))
+            yield store.put("second")
+            log.append(("put-second", env.now))
+
+        def consumer(env, store):
+            yield env.timeout(10)
+            item = yield store.get()
+            log.append(("got", item, env.now))
+
+        env.process(producer(env, store))
+        env.process(consumer(env, store))
+        env.run()
+        assert log == [
+            ("put-first", 0.0),
+            ("got", "first", 10.0),
+            ("put-second", 10.0),
+        ]
+
+    def test_level_and_len(self):
+        env = Environment()
+        store = Store(env)
+        store.put(1)
+        store.put(2)
+        env.run()
+        assert store.level == 2
+        assert len(store) == 2
+
+    def test_capacity_must_be_positive(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Store(env, capacity=0)
+
+    def test_multiple_blocked_getters_fifo(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def consumer(env, store, name):
+            item = yield store.get()
+            got.append((name, item))
+
+        env.process(consumer(env, store, "first"))
+        env.process(consumer(env, store, "second"))
+
+        def producer(env, store):
+            yield env.timeout(1)
+            store.put("x")
+            store.put("y")
+
+        env.process(producer(env, store))
+        env.run()
+        assert got == [("first", "x"), ("second", "y")]
+
+    def test_cancel_get(self):
+        env = Environment()
+        store = Store(env)
+        get_event = store.get()
+        assert get_event.cancel()
+        store.put("item")
+        env.run()
+        # The cancelled getter never consumed the item.
+        assert store.level == 1
+        assert not get_event.triggered
+
+    def test_cancel_put(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        store.put("a")
+        blocked = store.put("b")
+        assert blocked.cancel()
+
+        def consumer(env, store):
+            item = yield store.get()
+            return item
+
+        p = env.process(consumer(env, store))
+        env.run()
+        assert p.value == "a"
+        assert store.level == 0
+
+    def test_cancel_after_satisfaction_returns_false(self):
+        env = Environment()
+        store = Store(env)
+        store.put("a")
+        get_event = store.get()
+        assert get_event.triggered
+        assert not get_event.cancel()
+
+    def test_none_is_a_valid_item(self):
+        env = Environment()
+        store = Store(env)
+        store.put(None)
+
+        def consumer(env, store):
+            item = yield store.get()
+            return item is None
+
+        p = env.process(consumer(env, store))
+        env.run()
+        assert p.value is True
+
+
+class TestFilterStore:
+    def test_get_matching_item(self):
+        env = Environment()
+        store = FilterStore(env)
+        for value in (1, 2, 3, 4):
+            store.put(value)
+
+        def consumer(env, store):
+            even = yield store.get(lambda x: x % 2 == 0)
+            return even
+
+        p = env.process(consumer(env, store))
+        env.run()
+        assert p.value == 2
+        assert list(store.items) == [1, 3, 4]
+
+    def test_unmatched_getter_does_not_block_others(self):
+        env = Environment()
+        store = FilterStore(env)
+        got = []
+
+        def want(env, store, predicate, name):
+            item = yield store.get(predicate)
+            got.append((name, item))
+
+        env.process(want(env, store, lambda x: x == "never", "blocked"))
+        env.process(want(env, store, lambda x: x == "yes", "served"))
+
+        def producer(env, store):
+            yield env.timeout(1)
+            store.put("yes")
+
+        env.process(producer(env, store))
+        env.run(until=10)
+        assert got == [("served", "yes")]
+
+    def test_default_filter_accepts_anything(self):
+        env = Environment()
+        store = FilterStore(env)
+        store.put("x")
+
+        def consumer(env, store):
+            return (yield store.get())
+
+        p = env.process(consumer(env, store))
+        env.run()
+        assert p.value == "x"
+
+    def test_fifo_among_matches(self):
+        env = Environment()
+        store = FilterStore(env)
+        for value in (5, 6, 7, 8):
+            store.put(value)
+
+        def consumer(env, store):
+            return (yield store.get(lambda x: x > 5))
+
+        p = env.process(consumer(env, store))
+        env.run()
+        assert p.value == 6
+
+
+class TestPriorityStore:
+    def test_items_come_out_sorted(self):
+        env = Environment()
+        store = PriorityStore(env)
+        for value in (3, 1, 2):
+            store.put(value)
+        got = []
+
+        def consumer(env, store):
+            for _ in range(3):
+                got.append((yield store.get()))
+
+        env.process(consumer(env, store))
+        env.run()
+        assert got == [1, 2, 3]
+
+    def test_priority_item_wrapper(self):
+        env = Environment()
+        store = PriorityStore(env)
+        store.put(PriorityItem(2, "low"))
+        store.put(PriorityItem(1, "high"))
+
+        def consumer(env, store):
+            first = yield store.get()
+            return first.item
+
+        p = env.process(consumer(env, store))
+        env.run()
+        assert p.value == "high"
+
+    def test_priority_item_equality(self):
+        assert PriorityItem(1, "a") == PriorityItem(1, "a")
+        assert PriorityItem(1, "a") != PriorityItem(2, "a")
+        assert PriorityItem(1, "a") < PriorityItem(2, "a")

@@ -1,0 +1,83 @@
+"""Tests for tracing and streaming statistics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim import StatAccumulator, Tracer
+
+
+class TestTracer:
+    def test_log_and_series(self):
+        tracer = Tracer()
+        tracer.log("loss", 0.0, 2.0)
+        tracer.log("loss", 1.0, 1.5)
+        times, values = tracer.series("loss")
+        assert np.array_equal(times, [0.0, 1.0])
+        assert np.array_equal(values, [2.0, 1.5])
+
+    def test_empty_series(self):
+        times, values = Tracer().series("missing")
+        assert times.size == 0 and values.size == 0
+
+    def test_count_and_last(self):
+        tracer = Tracer()
+        assert tracer.count("k") == 0
+        assert tracer.last("k") is None
+        tracer.log("k", 1.0, "a")
+        tracer.log("k", 2.0, "b")
+        assert tracer.count("k") == 2
+        assert tracer.last("k") == (2.0, "b")
+
+    def test_keys_sorted(self):
+        tracer = Tracer()
+        tracer.log("b", 0.0)
+        tracer.log("a", 0.0)
+        assert tracer.keys() == ["a", "b"]
+
+    def test_raw_returns_copy(self):
+        tracer = Tracer()
+        tracer.log("k", 0.0, 1)
+        raw = tracer.raw("k")
+        raw.append((9.9, 99))
+        assert tracer.count("k") == 1
+
+    def test_merge_interleaves_by_time(self):
+        one, two = Tracer(), Tracer()
+        one.log("k", 0.0, "a")
+        one.log("k", 2.0, "c")
+        two.log("k", 1.0, "b")
+        one.merge(two)
+        assert [v for _, v in one.raw("k")] == ["a", "b", "c"]
+
+
+class TestStatAccumulator:
+    def test_empty(self):
+        acc = StatAccumulator()
+        assert acc.count == 0
+        assert acc.variance == 0.0
+        assert math.isnan(acc.as_dict()["min"])
+
+    def test_mean_min_max(self):
+        acc = StatAccumulator()
+        for value in (1.0, 2.0, 3.0, 4.0):
+            acc.add(value)
+        assert acc.count == 4
+        assert acc.mean == pytest.approx(2.5)
+        assert acc.min == 1.0
+        assert acc.max == 4.0
+        assert acc.total == pytest.approx(10.0)
+
+    def test_variance_matches_numpy(self):
+        values = [3.1, -2.0, 7.7, 0.4, 5.5]
+        acc = StatAccumulator()
+        for value in values:
+            acc.add(value)
+        assert acc.variance == pytest.approx(np.var(values, ddof=1))
+        assert acc.std == pytest.approx(np.std(values, ddof=1))
+
+    def test_single_value_has_zero_variance(self):
+        acc = StatAccumulator()
+        acc.add(42.0)
+        assert acc.variance == 0.0
