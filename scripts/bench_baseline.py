@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Measure the perf baseline and write BENCH_BASELINE.json.
+
+Records the wall-clock of the acceptance workload —
+``fig12_heterogeneity(preset="bench", workload_name="cnn")`` — plus
+microbenchmarks of the conv/pool kernels, alongside the frozen numbers
+measured at the seed commit on the same class of machine.  Future PRs
+rerun this script and compare against ``current`` to keep a perf
+trajectory (regressions show up as a shrinking ``speedup_vs_seed``).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_baseline.py [--output BENCH_BASELINE.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.harness.figures import fig12_heterogeneity
+from repro.harness.parallel import default_jobs
+from repro.ml.layers import Conv2D, MaxPool2D
+
+#: Measured at the seed commit (46021bc) on the 1-CPU reference
+#: container, sequential figures, float64 conv path with np.add.at
+#: col2im recomputing im2col indices every call.
+SEED_BASELINE = {
+    "fig12_bench_cnn_seconds": 8.41,
+    "conv_forward_us": 158.6,
+    "conv_backward_us": 562.0,
+    "maxpool_forward_us": 171.3,
+    "maxpool_backward_us": 37.8,
+}
+
+# Bench-preset CNN first-block shapes, matching the profile hot spot.
+CONV_SHAPE = dict(n=32, c=3, h=8, filters=4, k=3, pad=1)
+POOL_SHAPE = dict(n=32, c=4, h=8, size=2)
+
+
+def _time_us(fn, reps: int = 2000) -> float:
+    fn()  # warm caches (index plans, BLAS init)
+    start = time.perf_counter()
+    for _ in range(reps):
+        fn()
+    return (time.perf_counter() - start) / reps * 1e6
+
+
+def conv_microbench() -> dict:
+    rng = np.random.default_rng(0)
+    s = CONV_SHAPE
+    layer = Conv2D(s["c"], s["filters"], s["k"], rng, pad=s["pad"])
+    layer.W.data = layer.W.data.astype(np.float32)
+    layer.b.data = layer.b.data.astype(np.float32)
+    layer.W.grad = np.zeros_like(layer.W.data)
+    layer.b.grad = np.zeros_like(layer.b.data)
+    x = rng.normal(size=(s["n"], s["c"], s["h"], s["h"])).astype(np.float32)
+    out = layer.forward(x, training=True)
+    dout = rng.normal(size=out.shape).astype(np.float32)
+    forward_us = _time_us(lambda: layer.forward(x, training=True))
+    backward_us = _time_us(lambda: layer.backward(dout))
+    return {"conv_forward_us": forward_us, "conv_backward_us": backward_us}
+
+
+def pool_microbench() -> dict:
+    rng = np.random.default_rng(0)
+    s = POOL_SHAPE
+    layer = MaxPool2D(s["size"])
+    x = rng.normal(size=(s["n"], s["c"], s["h"], s["h"])).astype(np.float32)
+    out = layer.forward(x, training=True)
+    dout = rng.normal(size=out.shape).astype(np.float32)
+    forward_us = _time_us(lambda: layer.forward(x, training=True))
+    backward_us = _time_us(lambda: layer.backward(dout))
+    return {"maxpool_forward_us": forward_us, "maxpool_backward_us": backward_us}
+
+
+def figure_bench() -> dict:
+    start = time.perf_counter()
+    result = fig12_heterogeneity(preset="bench", workload_name="cnn")
+    elapsed = time.perf_counter() - start
+    if not result.passed():
+        raise SystemExit(
+            f"fig12 shape checks failed: {result.failures()}"
+        )
+    return {"fig12_bench_cnn_seconds": round(elapsed, 3)}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_BASELINE.json"),
+    )
+    args = parser.parse_args(argv)
+
+    current = {}
+    current.update(figure_bench())
+    current.update(conv_microbench())
+    current.update(pool_microbench())
+    current = {key: round(value, 2) for key, value in current.items()}
+
+    report = {
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "default_jobs": default_jobs(),
+        },
+        "workload": "fig12_heterogeneity(preset='bench', workload_name='cnn')"
+                    " + bench-preset conv/pool kernel shapes (float32)",
+        "seed": SEED_BASELINE,
+        "current": current,
+        "speedup_vs_seed": {
+            key: round(SEED_BASELINE[key] / value, 2)
+            for key, value in current.items()
+            if key in SEED_BASELINE and value > 0
+        },
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# CI gate: tier-1 tests plus a quick benchmark smoke figure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1: unit/property tests =="
+python -m pytest -x -q
+
+echo "== bench smoke: fig21 (instant) + fig16 at smoke preset =="
+python -m pytest -x -q benchmarks/test_fig21_spectral_gaps.py
+python -m repro figures --preset smoke --only fig16
+
+echo "CI OK"

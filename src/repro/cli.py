@@ -24,11 +24,20 @@ from repro.graphs import by_name as graph_by_name
 from repro.graphs import spectral_gap
 from repro.harness import ALL_FIGURES, ExperimentSpec, RANDOM_6X, SlowdownSpec
 from repro.harness.ablations import ALL_ABLATIONS
+from repro.harness.parallel import set_default_jobs
 from repro.harness.spec import deterministic_straggler, run_spec
 from repro.harness.workloads import by_name as workload_by_name
 
 
+def _jobs_arg(value: str) -> int:
+    jobs = int(value)
+    if jobs < 0:
+        raise argparse.ArgumentTypeError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
+    set_default_jobs(args.jobs)
     names = args.only or sorted(ALL_FIGURES)
     failed = []
     for name in names:
@@ -53,6 +62,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 
 
 def _cmd_ablations(args: argparse.Namespace) -> int:
+    set_default_jobs(args.jobs)
     names = args.only or sorted(ALL_ABLATIONS)
     failed = []
     for name in names:
@@ -149,12 +159,22 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=("smoke", "bench", "paper"))
     figures.add_argument("--only", nargs="*", help="figure ids (e.g. fig16)")
     figures.add_argument("--json-dir", help="also dump JSON artifacts here")
+    figures.add_argument(
+        "--jobs", type=_jobs_arg, default=None,
+        help="worker processes for a figure's independent series "
+             "(default: REPRO_JOBS env var, then CPU count; 1 = sequential)",
+    )
     figures.set_defaults(func=_cmd_figures)
 
     ablations = sub.add_parser("ablations", help="run ablation studies")
     ablations.add_argument("--preset", default="smoke",
                            choices=("smoke", "bench", "paper"))
     ablations.add_argument("--only", nargs="*")
+    ablations.add_argument(
+        "--jobs", type=_jobs_arg, default=None,
+        help="worker processes for an ablation's independent series "
+             "(default: REPRO_JOBS env var, then CPU count; 1 = sequential)",
+    )
     ablations.set_defaults(func=_cmd_ablations)
 
     train = sub.add_parser("train", help="run one training configuration")

@@ -40,6 +40,12 @@ from repro.harness.results import (
     time_to_loss_speedup,
     wall_time_speedup,
 )
+from repro.harness.parallel import (
+    default_jobs,
+    resolve_jobs,
+    run_specs,
+    set_default_jobs,
+)
 from repro.harness.spec import (
     RANDOM_6X,
     ExperimentSpec,
@@ -85,6 +91,7 @@ __all__ = [
     "by_name",
     "cnn_workload",
     "compare_runs",
+    "default_jobs",
     "deterministic_straggler",
     "fig12_heterogeneity",
     "fig13_vs_ps",
@@ -104,8 +111,11 @@ __all__ = [
     "render_curve",
     "render_series_table",
     "render_table",
+    "resolve_jobs",
     "run_spec",
+    "run_specs",
     "run_to_dict",
+    "set_default_jobs",
     "save_figure",
     "save_run",
     "straggler_slowdown_ratio",

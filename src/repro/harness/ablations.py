@@ -30,11 +30,11 @@ from repro.core.config import (
 from repro.graphs import bipartite_ring, ring_based
 from repro.harness.figures import FigureResult, _scale
 from repro.harness.results import final_smoothed_loss, wall_time_speedup
+from repro.harness.parallel import run_specs
 from repro.harness.spec import (
     RANDOM_6X,
     ExperimentSpec,
     deterministic_straggler,
-    run_spec,
 )
 from repro.harness.workloads import by_name
 
@@ -51,25 +51,27 @@ def ablation_stale_reduce(
         f"({workload_name}, 6x random slowdown)",
     )
     seeds = [seed, seed + 1] if preset == "smoke" else [seed, seed + 1, seed + 2]
+    flavors = (("eq2_weighted", "weighted"), ("uniform", "uniform"))
+    runs = run_specs({
+        f"{label}@{run_seed}": ExperimentSpec(
+            label,
+            workload,
+            ring_based(n),
+            config=staleness_config(
+                staleness=5, max_ig=8, stale_reduce=flavor
+            ),
+            slowdown=RANDOM_6X,
+            max_iter=max_iter,
+            seed=run_seed,
+        )
+        for run_seed in seeds
+        for label, flavor in flavors
+    })
     losses: Dict[str, list] = {"eq2_weighted": [], "uniform": []}
     wall_times: Dict[str, list] = {"eq2_weighted": [], "uniform": []}
     for run_seed in seeds:
-        for label, flavor in (
-            ("eq2_weighted", "weighted"),
-            ("uniform", "uniform"),
-        ):
-            spec = ExperimentSpec(
-                label,
-                workload,
-                ring_based(n),
-                config=staleness_config(
-                    staleness=5, max_ig=8, stale_reduce=flavor
-                ),
-                slowdown=RANDOM_6X,
-                max_iter=max_iter,
-                seed=run_seed,
-            )
-            run = run_spec(spec)
+        for label, _ in flavors:
+            run = runs[f"{label}@{run_seed}"]
             losses[label].append(final_smoothed_loss(run))
             wall_times[label].append(run.wall_time)
     for label in ("eq2_weighted", "uniform"):
@@ -107,9 +109,8 @@ def ablation_computation_graph(
         "ablation_computation_graph",
         f"Parallel vs serial computation graph ({workload_name})",
     )
-    runs = {}
-    for label in ("parallel", "serial"):
-        spec = ExperimentSpec(
+    runs = run_specs({
+        label: ExperimentSpec(
             label,
             workload,
             ring_based(n),
@@ -117,8 +118,9 @@ def ablation_computation_graph(
             max_iter=max_iter,
             seed=seed,
         )
-        runs[label] = run_spec(spec)
-        steps, losses = runs[label].loss_vs_steps(window=16)
+        for label in ("parallel", "serial")
+    })
+    for label in ("parallel", "serial"):
         result.rows.append(
             {
                 "graph": label,
@@ -153,9 +155,8 @@ def ablation_max_ig(
         f"max_ig sweep under a 4x straggler ({workload_name}, backup mode)",
     )
     straggler = deterministic_straggler(worker=0, factor=4.0)
-    walls: Dict[int, float] = {}
-    for max_ig in (1, 2, 4, 8):
-        spec = ExperimentSpec(
+    runs = run_specs({
+        max_ig: ExperimentSpec(
             f"max_ig={max_ig}",
             workload,
             ring_based(n),
@@ -164,7 +165,10 @@ def ablation_max_ig(
             max_iter=max_iter,
             seed=seed,
         )
-        run = run_spec(spec)
+        for max_ig in (1, 2, 4, 8)
+    })
+    walls: Dict[int, float] = {}
+    for max_ig, run in runs.items():
         walls[max_ig] = run.wall_time
         result.rows.append(
             {
@@ -198,9 +202,8 @@ def ablation_queue_impl(
         "Rotating (Sec 6.1) vs tagged update-queue implementations "
         f"({workload_name}, 6x random slowdown)",
     )
-    runs = {}
-    for impl in ("rotating", "tagged"):
-        spec = ExperimentSpec(
+    runs = run_specs({
+        impl: ExperimentSpec(
             impl,
             workload,
             ring_based(n),
@@ -209,7 +212,9 @@ def ablation_queue_impl(
             max_iter=max_iter,
             seed=seed,
         )
-        runs[impl] = run_spec(spec)
+        for impl in ("rotating", "tagged")
+    })
+    for impl in ("rotating", "tagged"):
         result.rows.append(
             {
                 "impl": impl,
@@ -245,8 +250,8 @@ def ablation_vs_adpsgd(
         "ablation_vs_adpsgd",
         f"Hop (backup) vs AD-PSGD under 6x random slowdown ({workload_name})",
     )
-    hop = run_spec(
-        ExperimentSpec(
+    runs = run_specs({
+        "hop": ExperimentSpec(
             "hop",
             workload,
             ring_based(n),
@@ -254,10 +259,8 @@ def ablation_vs_adpsgd(
             slowdown=RANDOM_6X,
             max_iter=max_iter,
             seed=seed,
-        )
-    )
-    adpsgd = run_spec(
-        ExperimentSpec(
+        ),
+        "adpsgd": ExperimentSpec(
             "adpsgd",
             workload,
             bipartite_ring(n),
@@ -265,8 +268,9 @@ def ablation_vs_adpsgd(
             slowdown=RANDOM_6X,
             max_iter=max_iter,
             seed=seed,
-        )
-    )
+        ),
+    })
+    hop, adpsgd = runs["hop"], runs["adpsgd"]
     for label, run in (("hop/backup", hop), ("adpsgd", adpsgd)):
         result.rows.append(
             {

@@ -46,12 +46,12 @@ from repro.harness.results import (
     straggler_slowdown_ratio,
     wall_time_speedup,
 )
+from repro.harness.parallel import run_specs
 from repro.harness.spec import (
     RANDOM_6X,
     ExperimentSpec,
     SlowdownSpec,
     deterministic_straggler,
-    run_spec,
 )
 from repro.harness.workloads import Workload, by_name
 from repro.net.links import Link, cluster_links
@@ -117,25 +117,31 @@ def fig12_heterogeneity(
     )
     graphs = [("ring", ring(n)), ("ring_based", ring_based(n)),
               ("double_ring", double_ring(n))]
-    ratios = {}
-    for label, topology in graphs:
-        runs = {}
+    specs = {
+        f"{label}/{slow_label}": ExperimentSpec(
+            name=f"{label}/{slow_label}",
+            workload=workload,
+            topology=topology,
+            slowdown=slowdown,
+            max_iter=max_iter,
+            seed=seed,
+        )
+        for label, topology in graphs
         for slow_label, slowdown in (
             ("clean", SlowdownSpec()),
             ("slowdown", RANDOM_6X),
-        ):
-            spec = ExperimentSpec(
-                name=f"{label}/{slow_label}",
-                workload=workload,
-                topology=topology,
-                slowdown=slowdown,
-                max_iter=max_iter,
-                seed=seed,
-            )
-            runs[slow_label] = run_spec(spec)
-            result.series[f"{label}/{slow_label}"] = binned_loss_curve(
-                runs[slow_label]
-            )
+        )
+    }
+    all_runs = run_specs(specs)
+    result.series = {
+        key: binned_loss_curve(run) for key, run in all_runs.items()
+    }
+    ratios = {}
+    for label, _ in graphs:
+        runs = {
+            slow_label: all_runs[f"{label}/{slow_label}"]
+            for slow_label in ("clean", "slowdown")
+        }
         ratio = runs["slowdown"].wall_time / runs["clean"].wall_time
         ratios[label] = ratio
         result.rows.append(
@@ -196,7 +202,7 @@ def fig13_vs_ps(
             seed=seed,
         ),
     }
-    runs = {label: run_spec(spec) for label, spec in specs.items()}
+    runs = run_specs(specs)
     for label, run in runs.items():
         result.series[label] = binned_loss_curve(run)
     result.rows = compare_runs(
@@ -232,27 +238,29 @@ def _backup_runs(
 ) -> Tuple[Workload, Dict[str, Dict[str, object]]]:
     n, max_iter = _scale(preset)
     workload = by_name(workload_name, preset)
-    out: Dict[str, Dict[str, object]] = {}
-    for graph_label, topology in (
-        ("ring_based", ring_based(n)),
-        ("double_ring", double_ring(n)),
-    ):
-        runs = {}
-        for config_label, config in (
-            ("standard", STANDARD),
-            ("backup", backup_config(n_backup=1, max_ig=4)),
-        ):
-            spec = ExperimentSpec(
-                name=f"{graph_label}/{config_label}",
-                workload=workload,
-                topology=topology,
-                config=config,
-                slowdown=RANDOM_6X,
-                max_iter=max_iter,
-                seed=seed,
-            )
-            runs[config_label] = run_spec(spec)
-        out[graph_label] = runs
+    graphs = (("ring_based", ring_based(n)), ("double_ring", double_ring(n)))
+    configs = (("standard", STANDARD), ("backup", backup_config(n_backup=1, max_ig=4)))
+    specs = {
+        f"{graph_label}/{config_label}": ExperimentSpec(
+            name=f"{graph_label}/{config_label}",
+            workload=workload,
+            topology=topology,
+            config=config,
+            slowdown=RANDOM_6X,
+            max_iter=max_iter,
+            seed=seed,
+        )
+        for graph_label, topology in graphs
+        for config_label, config in configs
+    }
+    all_runs = run_specs(specs)
+    out: Dict[str, Dict[str, object]] = {
+        graph_label: {
+            config_label: all_runs[f"{graph_label}/{config_label}"]
+            for config_label, _ in configs
+        }
+        for graph_label, _ in graphs
+    }
     return workload, out
 
 
@@ -334,12 +342,8 @@ def fig16_iteration_speed(
         f"Backup workers: iteration speed over 6x slowdown ({workload_name})",
     )
     topology = ring_based(n)
-    runs = {}
-    for label, config in (
-        ("standard", STANDARD),
-        ("backup", backup_config(n_backup=1, max_ig=4)),
-    ):
-        spec = ExperimentSpec(
+    runs = run_specs({
+        label: ExperimentSpec(
             label,
             workload,
             topology,
@@ -348,7 +352,11 @@ def fig16_iteration_speed(
             max_iter=max_iter,
             seed=seed,
         )
-        runs[label] = run_spec(spec)
+        for label, config in (
+            ("standard", STANDARD),
+            ("backup", backup_config(n_backup=1, max_ig=4)),
+        )
+    })
     speedup = iteration_rate_speedup(runs["standard"], runs["backup"])
     for label, run in runs.items():
         result.rows.append(
@@ -387,13 +395,8 @@ def fig17_staleness(
         f"Bounded staleness (s=5) under 6x random slowdown ({workload_name})",
     )
     topology = ring_based(n)
-    runs = {}
-    for label, config in (
-        ("standard", STANDARD),
-        ("backup", backup_config(n_backup=1, max_ig=4)),
-        ("staleness", staleness_config(staleness=5, max_ig=8)),
-    ):
-        spec = ExperimentSpec(
+    runs = run_specs({
+        label: ExperimentSpec(
             label,
             workload,
             topology,
@@ -402,8 +405,14 @@ def fig17_staleness(
             max_iter=max_iter,
             seed=seed,
         )
-        runs[label] = run_spec(spec)
-        result.series[label] = binned_loss_curve(runs[label])
+        for label, config in (
+            ("standard", STANDARD),
+            ("backup", backup_config(n_backup=1, max_ig=4)),
+            ("staleness", staleness_config(staleness=5, max_ig=8)),
+        )
+    })
+    for label, run in runs.items():
+        result.series[label] = binned_loss_curve(run)
     result.rows = compare_runs(
         runs, target_loss=workload.target_loss, baseline="standard"
     )
@@ -439,30 +448,24 @@ def fig18_skip_duration(
     topology = ring_based(n)
     straggler = deterministic_straggler(worker=0, factor=4.0)
     base_config = backup_config(n_backup=1, max_ig=5)
-    runs = {
-        "clean": run_spec(
-            ExperimentSpec(
-                "clean", workload, topology, config=base_config,
-                max_iter=max_iter, seed=seed,
-            )
+    runs = run_specs({
+        "clean": ExperimentSpec(
+            "clean", workload, topology, config=base_config,
+            max_iter=max_iter, seed=seed,
         ),
-        "straggler/no_skip": run_spec(
-            ExperimentSpec(
-                "no-skip", workload, topology, config=base_config,
-                slowdown=straggler, max_iter=max_iter, seed=seed,
-            )
+        "straggler/no_skip": ExperimentSpec(
+            "no-skip", workload, topology, config=base_config,
+            slowdown=straggler, max_iter=max_iter, seed=seed,
         ),
-        "straggler/skip": run_spec(
-            ExperimentSpec(
-                "skip", workload, topology,
-                config=backup_config(
-                    n_backup=1, max_ig=5,
-                    skip=SkipConfig(max_skip=10, trigger_lag=2),
-                ),
-                slowdown=straggler, max_iter=max_iter, seed=seed,
-            )
+        "straggler/skip": ExperimentSpec(
+            "skip", workload, topology,
+            config=backup_config(
+                n_backup=1, max_ig=5,
+                skip=SkipConfig(max_skip=10, trigger_lag=2),
+            ),
+            slowdown=straggler, max_iter=max_iter, seed=seed,
         ),
-    }
+    })
     no_skip_ratio = straggler_slowdown_ratio(
         runs["straggler/no_skip"], runs["clean"]
     )
@@ -530,14 +533,15 @@ def fig19_skip_convergence(
             n_backup=1, max_ig=5, skip=SkipConfig(max_skip=10, trigger_lag=2)
         ),
     }
-    runs = {}
-    for label, config in configs.items():
-        spec = ExperimentSpec(
+    runs = run_specs({
+        label: ExperimentSpec(
             label, workload, topology, config=config,
             slowdown=straggler, max_iter=max_iter, seed=seed,
         )
-        runs[label] = run_spec(spec)
-        result.series[label] = binned_loss_curve(runs[label])
+        for label, config in configs.items()
+    })
+    for label, run in runs.items():
+        result.series[label] = binned_loss_curve(run)
     result.rows = compare_runs(
         runs, target_loss=workload.target_loss, baseline="backup_only"
     )
@@ -593,14 +597,15 @@ def fig20_topology(
         "setting2": fig21_setting2(),
         "setting3": fig21_setting3(),
     }
-    runs = {}
-    for label, topology in settings.items():
-        spec = ExperimentSpec(
+    runs = run_specs({
+        label: ExperimentSpec(
             label, workload, topology, config=STANDARD,
             slowdown=load, max_iter=max_iter, seed=seed, links=links,
             machines=machine_of,
         )
-        runs[label] = run_spec(spec)
+        for label, topology in settings.items()
+    })
+    for label, topology in settings.items():
         result.series[label] = binned_loss_curve(runs[label])
         result.rows.append(
             {
@@ -714,8 +719,8 @@ def table1_gap_bounds(preset: str = "bench", seed: int = 0) -> FigureResult:
             ),
         ),
     }
-    for label, (config, protocol, bounds) in settings.items():
-        spec = ExperimentSpec(
+    runs = run_specs({
+        label: ExperimentSpec(
             label,
             workload,
             topology,
@@ -725,7 +730,10 @@ def table1_gap_bounds(preset: str = "bench", seed: int = 0) -> FigureResult:
             max_iter=max_iter,
             seed=seed,
         )
-        run = run_spec(spec)
+        for label, (config, protocol, _) in settings.items()
+    })
+    for label, (config, protocol, bounds) in settings.items():
+        run = runs[label]
         violations = run.gap.violations(bounds)
         finite = bounds[np.isfinite(bounds)]
         result.rows.append(

@@ -11,8 +11,9 @@ from dataclasses import replace
 from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.core.cluster import TrainingRun
+from repro.harness.parallel import run_specs
 from repro.harness.results import final_smoothed_loss
-from repro.harness.spec import ExperimentSpec, run_spec
+from repro.harness.spec import ExperimentSpec
 
 
 def sweep(
@@ -22,6 +23,9 @@ def sweep(
     label: str = "value",
 ) -> List[dict]:
     """Run ``base`` once per value, transformed by ``vary``.
+
+    The per-value runs are independent, so they fan out across the
+    parallel runner (``--jobs``/``REPRO_JOBS``) like figure series.
 
     Args:
         base: The spec every run starts from.
@@ -33,12 +37,14 @@ def sweep(
         One summary row per value: wall time, iteration rate, final
         smoothed loss, max observed gap, accuracy.
     """
-    rows: List[dict] = []
-    for value in values:
-        spec = vary(base, value)
-        run = run_spec(spec)
-        rows.append(summary_row(run, extra={label: value}))
-    return rows
+    values = list(values)
+    runs = run_specs({
+        index: vary(base, value) for index, value in enumerate(values)
+    })
+    return [
+        summary_row(runs[index], extra={label: value})
+        for index, value in enumerate(values)
+    ]
 
 
 def summary_row(run: TrainingRun, extra: Optional[Dict] = None) -> dict:

@@ -13,12 +13,18 @@ Every layer implements::
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.ml.initializers import he, zeros
 from repro.ml.params import Parameter
+
+try:  # optional: sparse col2im operator (bincount fallback below)
+    from scipy import sparse as _sparse
+except ImportError:  # pragma: no cover - scipy is present in CI
+    _sparse = None
 
 
 class Layer:
@@ -147,17 +153,22 @@ class Dropout(Layer):
         self.rate = rate
         self._rng = rng
         self._mask: Optional[np.ndarray] = None
+        self._trained = False
 
     def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
         if not training or self.rate == 0.0:
             self._mask = None
+            self._trained = training
             return x
         keep = 1.0 - self.rate
         self._mask = (self._rng.random(x.shape) < keep) / keep
+        self._trained = True
         return x * self._mask
 
     def backward(self, dout: np.ndarray) -> np.ndarray:
-        if self._mask is None:
+        if not self._trained:
+            raise RuntimeError("backward() before forward(training=True)")
+        if self._mask is None:  # rate == 0: identity
             return dout
         return dout * self._mask
 
@@ -165,23 +176,66 @@ class Dropout(Layer):
         return f"Dropout({self.rate})"
 
 
-def _im2col_indices(
+@lru_cache(maxsize=256)
+def _conv_plan(
     x_shape: Tuple[int, int, int, int], kh: int, kw: int, stride: int, pad: int
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
-    """Index arrays mapping padded input pixels to column positions."""
-    n, c, h, w = x_shape
-    out_h = (h + 2 * pad - kh) // stride + 1
-    out_w = (w + 2 * pad - kw) // stride + 1
+) -> Tuple[int, int, np.ndarray]:
+    """Cached im2col/col2im index plan for one (input shape, kernel) pair.
 
-    i0 = np.repeat(np.arange(kh), kw)
-    i0 = np.tile(i0, c)
-    i1 = stride * np.repeat(np.arange(out_h), out_w)
+    Returns ``(out_h, out_w, scatter)`` where ``scatter`` holds, for
+    every im2col column entry, its flat destination index in the padded
+    input — ordered ``(c*kh*kw, n, out_h*out_w)`` to line up with
+    ``W.T @ dout_mat`` in :meth:`Conv2D.backward` without a transpose.
+    The plan depends only on shapes, so each (layer, input-shape) pair
+    computes it once per process instead of on every forward pass.
+    """
+    n, c, h, w = x_shape
+    hp, wp = h + 2 * pad, w + 2 * pad
+    out_h = (hp - kh) // stride + 1
+    out_w = (wp - kw) // stride + 1
+
+    i0 = np.tile(np.repeat(np.arange(kh), kw), c)
     j0 = np.tile(np.arange(kw), kh * c)
+    k0 = np.repeat(np.arange(c), kh * kw)
+    i1 = stride * np.repeat(np.arange(out_h), out_w)
     j1 = stride * np.tile(np.arange(out_w), out_h)
-    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
-    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
-    k = np.repeat(np.arange(c), kh * kw).reshape(-1, 1)
-    return k, i, j, out_h, out_w
+    # (c*kh*kw, out_h*out_w) flat offsets within one padded sample.
+    within = (k0[:, None] * hp + i0[:, None] + i1[None, :]) * wp
+    within += j0[:, None] + j1[None, :]
+    offsets = np.arange(n) * (c * hp * wp)
+    indices = (within[:, None, :] + offsets[None, :, None]).ravel()
+    indices.setflags(write=False)
+    return out_h, out_w, indices
+
+
+@lru_cache(maxsize=256)
+def _col2im_operator(
+    x_shape: Tuple[int, int, int, int], kh: int, kw: int, stride: int, pad: int
+):
+    """Cached sparse col2im scatter matrix, or ``None`` without scipy.
+
+    ``op @ dcols.ravel()`` sums every column entry into its padded-input
+    pixel — the same accumulation as the bincount fallback, but in one
+    CSR matvec that preserves float32.
+    """
+    if _sparse is None:
+        return None
+    _, _, plan = _conv_plan(x_shape, kh, kw, stride, pad)
+    n, c, h, w = x_shape
+    m = n * c * (h + 2 * pad) * (w + 2 * pad)
+    nnz = plan.size
+    return _sparse.csr_matrix(
+        (np.ones(nnz, dtype=np.float32), (plan, np.arange(nnz))),
+        shape=(m, nnz),
+    )
+
+
+@lru_cache(maxsize=64)
+def _flat_arange(size: int) -> np.ndarray:
+    """Cached row indices for the pooling gather/scatter fast path."""
+    indices = np.arange(size)
+    indices.setflags(write=False)
+    return indices
 
 
 class Conv2D(Layer):
@@ -225,24 +279,29 @@ class Conv2D(Layer):
             raise ValueError(
                 f"Conv2D expected (N, {self.in_channels}, H, W), got {x.shape}"
             )
-        n = x.shape[0]
-        k_idx, i_idx, j_idx, out_h, out_w = _im2col_indices(
-            x.shape, self.kernel_size, self.kernel_size, self.stride, self.pad
+        n, c, h, w = x.shape
+        k, stride, pad = self.kernel_size, self.stride, self.pad
+        out_h, out_w, plan = _conv_plan(x.shape, k, k, stride, pad)
+        if pad:
+            x_pad = np.zeros(
+                (n, c, h + 2 * pad, w + 2 * pad), dtype=x.dtype
+            )
+            x_pad[:, :, pad : h + pad, pad : w + pad] = x
+        else:
+            x_pad = np.ascontiguousarray(x)
+        # im2col as one flat gather through the cached index plan.
+        # cols: (C*K*K, N*out_h*out_w), columns ordered (n, out_h, out_w).
+        cols = x_pad.ravel().take(plan).reshape(
+            c * k * k, n * out_h * out_w
         )
-        x_pad = np.pad(
-            x, ((0, 0), (0, 0), (self.pad, self.pad), (self.pad, self.pad))
-        )
-        # cols: (C*K*K, N*out_h*out_w)
-        cols = x_pad[:, k_idx, i_idx, j_idx].transpose(1, 2, 0)
-        cols = cols.reshape(self.in_channels * self.kernel_size**2, -1)
 
         W_row = self.W.data.reshape(self.out_channels, -1)
         out = W_row @ cols + self.b.data.reshape(-1, 1)
-        out = out.reshape(self.out_channels, out_h, out_w, n)
-        out = out.transpose(3, 0, 1, 2)
+        out = out.reshape(self.out_channels, n, out_h, out_w)
+        out = out.transpose(1, 0, 2, 3)
 
         if training:
-            self._cache = (x.shape, cols, k_idx, i_idx, j_idx)
+            self._cache = (x.shape, x.dtype, cols)
         else:
             self._cache = None
         return out
@@ -250,23 +309,35 @@ class Conv2D(Layer):
     def backward(self, dout: np.ndarray) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward() before forward(training=True)")
-        x_shape, cols, k_idx, i_idx, j_idx = self._cache
+        x_shape, x_dtype, cols = self._cache
         n, c, h, w = x_shape
+        k, pad = self.kernel_size, self.pad
 
-        dout_mat = dout.transpose(1, 2, 3, 0).reshape(self.out_channels, -1)
+        # dout columns ordered (n, out_h, out_w) to match `cols`.
+        dout_mat = dout.transpose(1, 0, 2, 3).reshape(self.out_channels, -1)
         self.b.grad += dout_mat.sum(axis=1)
         self.W.grad += (dout_mat @ cols.T).reshape(self.W.shape)
 
         W_row = self.W.data.reshape(self.out_channels, -1)
         dcols = W_row.T @ dout_mat  # (C*K*K, N*out_h*out_w)
-        dcols = dcols.reshape(
-            self.in_channels * self.kernel_size**2, -1, n
-        ).transpose(2, 0, 1)
 
-        dx_pad = np.zeros((n, c, h + 2 * self.pad, w + 2 * self.pad))
-        np.add.at(dx_pad, (slice(None), k_idx, i_idx, j_idx), dcols)
-        if self.pad:
-            return dx_pad[:, :, self.pad : -self.pad, self.pad : -self.pad]
+        # col2im: scatter-add every column entry back to its input pixel
+        # through the cached index plan — a sparse matvec when scipy is
+        # available, otherwise one bincount (which accumulates in
+        # float64, then restores the input dtype).  Both replace the
+        # old elementwise np.add.at scatter.
+        hp, wp = h + 2 * pad, w + 2 * pad
+        operator = _col2im_operator(x_shape, k, k, self.stride, pad)
+        if operator is not None:
+            dx_pad = operator @ dcols.ravel()
+        else:
+            _, _, scatter = _conv_plan(x_shape, k, k, self.stride, pad)
+            dx_pad = np.bincount(
+                scatter, weights=dcols.ravel(), minlength=n * c * hp * wp
+            )
+        dx_pad = dx_pad.reshape(n, c, hp, wp).astype(x_dtype, copy=False)
+        if pad:
+            return dx_pad[:, :, pad:-pad, pad:-pad]
         return dx_pad
 
     def __repr__(self) -> str:
@@ -328,25 +399,23 @@ class MaxPool2D(Layer):
             .transpose(0, 1, 2, 4, 3, 5)
             .reshape(n, c, h // s, w // s, s * s)
         )
-        out = windows.max(axis=-1)
-        if training:
-            # Break ties deterministically: only the first max gets gradient.
-            first = np.argmax(windows, axis=-1)
-            mask = np.zeros_like(windows, dtype=bool)
-            idx = np.indices(first.shape)
-            mask[idx[0], idx[1], idx[2], idx[3], first] = True
-            self._cache = (x.shape, mask)
-        else:
-            self._cache = None
+        # Ties break deterministically: only the first max gets gradient.
+        first = np.argmax(windows, axis=-1)
+        rows = _flat_arange(first.size)
+        out = windows.reshape(first.size, s * s)[rows, first.ravel()]
+        out = out.reshape(first.shape)
+        self._cache = (x.shape, first) if training else None
         return out
 
     def backward(self, dout: np.ndarray) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward() before forward(training=True)")
-        x_shape, mask = self._cache
+        x_shape, first = self._cache
         n, c, h, w = x_shape
         s = self.size
-        expanded = dout[..., None] * mask  # (N, C, H/s, W/s, s*s)
+        expanded = np.zeros((first.size, s * s), dtype=dout.dtype)
+        rows = _flat_arange(first.size)
+        expanded[rows, first.ravel()] = dout.ravel()
         return (
             expanded.reshape(n, c, h // s, w // s, s, s)
             .transpose(0, 1, 2, 4, 3, 5)

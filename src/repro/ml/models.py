@@ -123,6 +123,17 @@ class Model:
             value += 0.5 * self.l2 * float(flat @ flat)
         return value
 
+    def astype(self, dtype) -> "Model":
+        """Cast all parameters (and grad buffers) to ``dtype``, in place.
+
+        The layers honor input dtype end-to-end, so a float32 model fed
+        float32 inputs trains entirely in float32.
+        """
+        for p in self._params:
+            p.data = p.data.astype(dtype, copy=False)
+            p.grad = np.zeros_like(p.data)
+        return self
+
     def predict(self, x: np.ndarray) -> np.ndarray:
         """Class predictions: argmax for multi-class, sign for margins."""
         scores = self.network.forward(x, training=False)

@@ -18,7 +18,10 @@ class Parameter:
     """A trainable tensor with its gradient buffer."""
 
     def __init__(self, data: np.ndarray, name: str = "param") -> None:
-        self.data = np.asarray(data, dtype=np.float64)
+        data = np.asarray(data)
+        if data.dtype.kind != "f":
+            data = data.astype(np.float64)
+        self.data = data
         self.grad = np.zeros_like(self.data)
         self.name = name
 
