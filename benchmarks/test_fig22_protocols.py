@@ -1,0 +1,18 @@
+"""Figure 22 (extension): registry-wide protocol comparison.
+
+Claims under the paper's 6x random slowdown: Prague-style partial
+all-reduce degrades less than global all-reduce (group-local barriers),
+and momentum-tracking gossip converges at least as well as plain
+AD-PSGD (SVM workload).
+"""
+
+from repro.harness import fig22_protocols
+
+
+def test_fig22_protocols(benchmark, record_figure):
+    result = benchmark.pedantic(
+        lambda: fig22_protocols(preset="bench", workload_name="svm"),
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Protocol shoot-out: Hop vs every baseline in this repository.
+"""Protocol shoot-out: every protocol in the registry, head to head.
 
 Runs the SVM workload under identical conditions on:
 
@@ -9,6 +9,10 @@ Runs the SVM workload under identical conditions on:
 * an async parameter server and SSP,
 * synchronous ring all-reduce,
 * AD-PSGD (bipartite asynchronous gossip),
+* Prague-style partial all-reduce (randomized conflict-free groups,
+  arXiv:1909.08029) plus its static-group ablation,
+* momentum-tracking gossip (arXiv:2209.15505) and its quasi-global
+  momentum variant (arXiv:2102.04761),
 
 in both a homogeneous cluster and one with the paper's 6x random
 slowdown, and prints the full comparison table.
@@ -58,6 +62,26 @@ def main() -> None:
         (
             "adpsgd",
             dict(protocol="adpsgd", topology_override=bipartite_ring(n)),
+        ),
+        ("partial-allreduce", dict(protocol="partial-allreduce")),
+        (
+            "partial-allreduce/static",
+            dict(protocol="partial-allreduce", static_groups=True),
+        ),
+        (
+            "momentum-tracking",
+            dict(
+                protocol="momentum-tracking",
+                topology_override=bipartite_ring(n),
+            ),
+        ),
+        (
+            "momentum-tracking/qg",
+            dict(
+                protocol="momentum-tracking",
+                momentum_mode="quasi-global",
+                topology_override=bipartite_ring(n),
+            ),
         ),
     ]
 

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Docs check: the code in README.md and docs/ARCHITECTURE.md must run.
+
+Two kinds of fenced code blocks are verified:
+
+* ``python`` blocks are executed for real (they are written against the
+  ``smoke`` preset, so the whole check stays fast).  A failure means
+  the documented API drifted from the implementation.
+* ``console`` blocks: every ``$ python -m repro ...`` line is passed
+  through the real CLI argument parser (without executing the command),
+  so documented flags that no longer exist fail the check.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_docs.py
+"""
+
+from __future__ import annotations
+
+import re
+import shlex
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DOCS = [REPO / "README.md", REPO / "docs" / "ARCHITECTURE.md"]
+
+FENCE = re.compile(r"^```(\w*)\s*$")
+
+
+def extract_blocks(path: Path):
+    """Yield ``(language, first_line_no, source)`` for fenced blocks."""
+    language = None
+    start = 0
+    lines: list = []
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        match = FENCE.match(line)
+        if match and language is None:
+            language = match.group(1) or "text"
+            start = lineno + 1
+            lines = []
+        elif line.strip() == "```" and language is not None:
+            yield language, start, "\n".join(lines)
+            language = None
+        elif language is not None:
+            lines.append(line)
+
+
+def run_python_block(label: str, source: str) -> None:
+    print(f"  exec {label}")
+    namespace: dict = {"__name__": "__docs__"}
+    exec(compile(source, label, "exec"), namespace)  # noqa: S102
+
+
+def parse_console_block(label: str, source: str) -> None:
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    for line in source.splitlines():
+        line = line.strip()
+        if not line.startswith("$ python -m repro "):
+            continue
+        argv = shlex.split(line[len("$ python -m repro ") :], comments=True)
+        print(f"  parse {label}: repro {' '.join(argv)}")
+        parser.parse_args(argv)  # SystemExit on unknown flags
+
+
+def main() -> int:
+    failures = 0
+    for doc in DOCS:
+        print(f"== {doc.relative_to(REPO)} ==")
+        for language, lineno, source in extract_blocks(doc):
+            label = f"{doc.name}:{lineno}"
+            try:
+                if language == "python":
+                    run_python_block(label, source)
+                elif language == "console":
+                    parse_console_block(label, source)
+            except SystemExit as error:
+                print(f"FAIL {label}: CLI rejected documented command "
+                      f"({error})")
+                failures += 1
+            except Exception as error:  # noqa: BLE001
+                print(f"FAIL {label}: {type(error).__name__}: {error}")
+                failures += 1
+    if failures:
+        print(f"docs check FAILED ({failures} block(s))")
+        return 1
+    print("docs check OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

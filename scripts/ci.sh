@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# CI gate: tier-1 tests plus a quick benchmark smoke figure.
+# CI gate: tier-1 tests, a benchmark smoke figure, and the docs check.
+# `ci.sh --protocols` additionally smoke-runs the protocol-comparison
+# figure (Hop vs partial-allreduce vs momentum-tracking vs baselines).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -11,5 +13,15 @@ python -m pytest -x -q
 echo "== bench smoke: fig21 (instant) + fig16 at smoke preset =="
 python -m pytest -x -q benchmarks/test_fig21_spectral_gaps.py
 python -m repro figures --preset smoke --only fig16
+
+echo "== docs: README / ARCHITECTURE code blocks =="
+python scripts/check_docs.py
+
+if [[ "${1:-}" == "--protocols" ]]; then
+    echo "== protocols smoke: fig22 (hop vs partial-allreduce vs" \
+         "momentum-tracking vs baselines) =="
+    python -m repro figures --preset smoke --only fig22
+    python -m repro ablations --preset smoke --only partial_groups
+fi
 
 echo "CI OK"

@@ -10,11 +10,15 @@ Subpackages:
 * :mod:`repro.hetero` — compute-time models and slowdown injection.
 * :mod:`repro.core` — the Hop protocol (update/token queues, gap
   theory, backup workers, bounded staleness, skipping, NOTIFY-ACK).
+* :mod:`repro.protocols` — the protocol base class and registry, plus
+  the follow-up protocols (Prague-style partial all-reduce,
+  momentum-tracking gossip).
 * :mod:`repro.baselines` — parameter server, ring all-reduce, AD-PSGD.
 * :mod:`repro.harness` — workloads, experiment specs, figure
   reproduction, sweeps, reports.
 
-Command line: ``python -m repro --help``.
+Command line: ``python -m repro --help`` (``python -m repro protocols``
+lists every registered training protocol with citations).
 """
 
 __version__ = "1.0.0"

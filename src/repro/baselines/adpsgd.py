@@ -11,49 +11,49 @@ communication graph to be bipartite.
 We implement exactly that active/passive bipartite scheme: passive
 workers' parameters are guarded by locks; active workers grab the lock,
 pay a parameter round trip, and write back the average.
+
+:class:`ADPSGDCluster` is registered as protocol ``"adpsgd"``; the
+momentum-tracking protocol (:mod:`repro.protocols.momentum_tracking`)
+reuses its gossip pattern.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.cluster import DeadlockError, TrainingRun
-from repro.core.gap import GapTracker
-from repro.graphs.spectral import consensus_distance
 from repro.graphs.topology import Topology
-from repro.hetero.compute import ComputeModel
-from repro.ml.data import Batcher, Dataset
+from repro.ml.data import Batcher
 from repro.ml.optim import SGD
 from repro.net.links import LinkModel, uniform_links
-from repro.net.message import params_message_size
-from repro.sim.engine import Environment
+from repro.protocols.base import ProtocolCluster, ProtocolRuntime
+from repro.protocols.registry import register_protocol, spec_common_kwargs
 from repro.sim.resources import Resource
-from repro.sim.rng import RngStreams
-from repro.sim.trace import StatAccumulator, Tracer
 
 
-class ADPSGDCluster:
+class ADPSGDCluster(ProtocolCluster):
     """Asynchronous decentralized parallel SGD on a bipartite graph.
 
     Args:
         topology: Must be bipartite (checked); the two color classes
             become the active and passive sets.
         model_factory / dataset / optimizer: Same conventions as
-            :class:`HopCluster`.
+            :class:`~repro.protocols.base.ProtocolCluster`.
         links: Network timing for the gossip round trips.
         compute_model: Worker compute-time oracle.
     """
 
+    protocol = "adpsgd"
+
     def __init__(
         self,
         topology: Topology,
-        model_factory: Callable[[np.random.Generator], object],
-        dataset: Dataset,
+        model_factory,
+        dataset,
         optimizer: Optional[SGD] = None,
         links: Optional[LinkModel] = None,
-        compute_model: Optional[ComputeModel] = None,
+        compute_model=None,
         batch_size: int = 32,
         max_iter: int = 100,
         seed: int = 0,
@@ -62,48 +62,90 @@ class ADPSGDCluster:
     ) -> None:
         topology.validate()
         self.active_set, self.passive_set = topology.bipartite_sets()
-        self.topology = topology
-        self.model_factory = model_factory
-        self.dataset = dataset
-        self.optimizer_proto = optimizer or SGD(lr=0.1, momentum=0.9)
-        self.links = links or uniform_links()
-        self.batch_size = batch_size
-        self.max_iter = max_iter
-        self.seed = seed
-        self.streams = RngStreams(seed)
-        self.compute_model = compute_model or ComputeModel(
-            base_time=0.1, n_workers=topology.n
+        super().__init__(
+            n_workers=topology.n,
+            model_factory=model_factory,
+            dataset=dataset,
+            optimizer=optimizer,
+            batch_size=batch_size,
+            compute_model=compute_model,
+            max_iter=max_iter,
+            seed=seed,
+            update_size=update_size,
+            evaluate=evaluate,
         )
-        self._update_size = update_size
-        self.evaluate = evaluate
+        self.topology = topology
+        self.links = links or uniform_links()
 
-    def _worker(
-        self,
-        wid: int,
-        env: Environment,
-        params: Dict[int, np.ndarray],
-        locks: Dict[int, Resource],
-        model,
-        optimizer,
-        batcher: Batcher,
-        tracer: Tracer,
-        gap: GapTracker,
-        done: np.ndarray,
-        update_size: float,
-        gossip_count: List[int],
-    ):
+    # ------------------------------------------------------------------
+    # Gossip machinery (shared with MomentumTrackingCluster)
+    # ------------------------------------------------------------------
+    def _passive_partners(self, wid: int) -> Tuple[bool, List[int]]:
+        """``(is_active, eligible passive neighbors)`` for ``wid``."""
         is_active = wid in self.active_set
-        rng = self.streams.stream("gossip", wid)
         neighbors = [
             j
             for j in self.topology.out_neighbors(wid, include_self=False)
             if (j in self.passive_set) == is_active or not is_active
         ]
-        passive_neighbors = [j for j in neighbors if j in self.passive_set]
+        return is_active, [j for j in neighbors if j in self.passive_set]
+
+    def gossip_payload(self, update_size: float) -> float:
+        """Bytes sent per gossip direction (subclasses may enlarge)."""
+        return update_size
+
+    def _average_state(
+        self, wid: int, partner: int, params: Dict[int, np.ndarray]
+    ) -> None:
+        """Write back the pairwise average (the atomic-averaging step)."""
+        average = 0.5 * (params[wid] + params[partner])
+        params[wid] = average.copy()
+        params[partner] = average.copy()
+
+    def _gossip(
+        self,
+        runtime: ProtocolRuntime,
+        wid: int,
+        partner: int,
+        params: Dict[int, np.ndarray],
+        locks: Dict[int, Resource],
+        gossip_count: List[int],
+    ):
+        """Lock ``partner``, pay the round trip, average, release."""
+        request = locks[partner].request()
+        yield request
+        try:
+            yield runtime.env.timeout(
+                self.links.round_trip(
+                    wid, partner, self.gossip_payload(runtime.update_size)
+                )
+            )
+            self._average_state(wid, partner, params)
+            gossip_count[0] += 1
+        finally:
+            locks[partner].release(request)
+
+    # ------------------------------------------------------------------
+    # Gossip worker process
+    # ------------------------------------------------------------------
+    def _worker(
+        self,
+        wid: int,
+        runtime: ProtocolRuntime,
+        params: Dict[int, np.ndarray],
+        locks: Dict[int, Resource],
+        model,
+        optimizer: SGD,
+        batcher: Batcher,
+        gossip_count: List[int],
+    ):
+        env = runtime.env
+        rng = self.streams.stream("gossip", wid)
+        is_active, passive_neighbors = self._passive_partners(wid)
 
         for k in range(self.max_iter):
             start = env.now
-            gap.record(wid, k)
+            runtime.gap.record(wid, k)
             model.set_params(params[wid])
             xb, yb = batcher.next_batch()
             loss, grad = model.loss_and_grad(xb, yb)
@@ -114,118 +156,76 @@ class ADPSGDCluster:
                 partner = int(
                     passive_neighbors[rng.integers(0, len(passive_neighbors))]
                 )
-                request = locks[partner].request()
-                yield request
-                try:
-                    yield env.timeout(
-                        self.links.round_trip(wid, partner, update_size)
-                    )
-                    average = 0.5 * (params[wid] + params[partner])
-                    params[wid] = average.copy()
-                    params[partner] = average.copy()
-                    gossip_count[0] += 1
-                finally:
-                    locks[partner].release(request)
+                yield from self._gossip(
+                    runtime, wid, partner, params, locks, gossip_count
+                )
 
             # Apply the (pre-averaging) gradient to the averaged params.
             params[wid] = params[wid] + optimizer.step(params[wid], grad, k)
-            tracer.log(f"loss/{wid}", env.now, loss)
-            tracer.log(f"duration/{wid}", env.now, env.now - start)
-        done[wid] = True
+            runtime.tracer.log(f"loss/{wid}", env.now, loss)
+            runtime.tracer.log(f"duration/{wid}", env.now, env.now - start)
+        runtime.done[wid] = True
 
-    def run(self) -> TrainingRun:
-        env = Environment()
-        tracer = Tracer()
-        n = self.topology.n
-        gap = GapTracker(n)
-        models = [
-            self.model_factory(self.streams.fresh("model-init"))
-            for _ in range(n)
-        ]
-        update_size = (
-            self._update_size
-            if self._update_size is not None
-            else params_message_size(models[0].dim)
-        )
-        params: Dict[int, np.ndarray] = {
-            wid: models[wid].get_params() for wid in range(n)
+    # ------------------------------------------------------------------
+    # ProtocolCluster hooks
+    # ------------------------------------------------------------------
+    def _start(self, runtime: ProtocolRuntime) -> None:
+        env = runtime.env
+        self._params: Dict[int, np.ndarray] = {
+            wid: runtime.models[wid].get_params()
+            for wid in range(self.n_workers)
         }
-        locks = {wid: Resource(env, capacity=1) for wid in self.passive_set}
-        done = np.zeros(n, dtype=bool)
-        gossip_count = [0]
-        durations: List[StatAccumulator] = []
-
-        for wid in range(n):
-            durations.append(StatAccumulator())
+        locks = {
+            wid: Resource(env, capacity=1) for wid in self.passive_set
+        }
+        self._gossip_count = [0]
+        for wid in range(self.n_workers):
             env.process(
                 self._worker(
                     wid,
-                    env,
-                    params,
+                    runtime,
+                    self._params,
                     locks,
-                    models[wid],
+                    runtime.models[wid],
                     self.optimizer_proto.clone(),
-                    Batcher(
-                        self.dataset.x_train,
-                        self.dataset.y_train,
-                        self.batch_size,
-                        self.streams.stream("data", wid),
-                    ),
-                    tracer,
-                    gap,
-                    done,
-                    update_size,
-                    gossip_count,
+                    self._make_batcher(wid),
+                    self._gossip_count,
                 ),
                 name=f"adpsgd-{wid}",
             )
-        env.run()
-        if not done.all():
-            raise DeadlockError("AD-PSGD workers never finished")
 
-        final_stack = np.stack([params[wid] for wid in range(n)])
-        final_params = final_stack.mean(axis=0)
-        final_loss = final_accuracy = None
-        if self.evaluate:
-            models[0].set_params(final_params)
-            final_loss, final_accuracy = models[0].evaluate(
-                self.dataset.x_test, self.dataset.y_test
-            )
-
-        worker_stats = []
-        for wid in range(n):
-            records = tracer.raw(f"duration/{wid}")
-            values = [v for _, v in records]
-            worker_stats.append(
-                {
-                    "wid": wid,
-                    "iterations_completed": self.max_iter,
-                    "iteration_duration_mean": float(np.mean(values)),
-                    "iteration_duration_max": float(np.max(values)),
-                    "recv_wait_mean": 0.0,
-                    "loss_mean": 0.0,
-                }
-            )
-
-        return TrainingRun(
-            protocol="adpsgd",
-            config_description=(
-                f"AD-PSGD bipartite gossip, |active|={len(self.active_set)}, "
-                f"gossips={gossip_count[0]}"
-            ),
-            topology_name=self.topology.name,
-            n_workers=n,
-            max_iter=self.max_iter,
-            wall_time=env.now,
-            tracer=tracer,
-            gap=gap,
-            iterations_completed=[self.max_iter] * n,
-            iterations_skipped=[0] * n,
-            messages_sent=2 * gossip_count[0],
-            bytes_sent=2.0 * gossip_count[0] * update_size,
-            final_params=final_params,
-            final_loss=final_loss,
-            final_accuracy=final_accuracy,
-            consensus=consensus_distance(final_stack),
-            worker_stats=worker_stats,
+    def _final_param_stack(self, runtime: ProtocolRuntime) -> np.ndarray:
+        return np.stack(
+            [self._params[wid] for wid in range(self.n_workers)]
         )
+
+    def _config_description(self) -> str:
+        return (
+            f"AD-PSGD bipartite gossip, |active|={len(self.active_set)}, "
+            f"gossips={self._gossip_count[0]}"
+        )
+
+    def _topology_name(self) -> str:
+        return self.topology.name
+
+    def _message_totals(self, runtime: ProtocolRuntime) -> Tuple[int, float]:
+        gossips = self._gossip_count[0]
+        return (
+            2 * gossips,
+            2.0 * gossips * self.gossip_payload(runtime.update_size),
+        )
+
+
+def _build_adpsgd(spec) -> ADPSGDCluster:
+    return ADPSGDCluster(
+        topology=spec.topology, links=spec.links, **spec_common_kwargs(spec)
+    )
+
+
+register_protocol(
+    "adpsgd",
+    _build_adpsgd,
+    summary="AD-PSGD: asynchronous bipartite gossip averaging "
+    "(unbounded gap)",
+    paper="Lian et al. — ICML 2018 (arXiv:1710.06952)",
+)

@@ -6,46 +6,46 @@ iteration every worker computes a gradient, then the ring performs
 ``M/n`` data per link.  All workers stay in lockstep, so one straggler
 stalls the whole ring — the inflexibility the paper contrasts Hop
 against (Section 2.3: backup workers are impossible here).
+
+Registered as protocol ``"allreduce"``.  The Prague-style *partial*
+all-reduce (:mod:`repro.protocols.partial_allreduce`) relaxes exactly
+this global barrier into independent, randomized groups.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.cluster import TrainingRun
-from repro.core.gap import GapTracker
-from repro.hetero.compute import ComputeModel
-from repro.ml.data import Batcher, Dataset
-from repro.ml.optim import SGD
 from repro.net.links import Link
-from repro.net.message import params_message_size
-from repro.sim.engine import Environment
-from repro.sim.rng import RngStreams
-from repro.sim.trace import StatAccumulator, Tracer
+from repro.protocols.base import ProtocolCluster, ProtocolRuntime
+from repro.protocols.registry import register_protocol, spec_common_kwargs
 
 
-class RingAllReduceCluster:
+class RingAllReduceCluster(ProtocolCluster):
     """Synchronous ring all-reduce training.
 
     Args:
         n_workers: Ring size.
-        model_factory: Same convention as :class:`HopCluster`.
+        model_factory: Same convention as
+            :class:`~repro.protocols.base.ProtocolCluster`.
         dataset: Training/test data.
         optimizer: One logical optimizer (all replicas are identical).
         link: Per-hop link model for the ring.
         compute_model: Worker compute-time oracle.
     """
 
+    protocol = "allreduce"
+
     def __init__(
         self,
         n_workers: int,
-        model_factory: Callable[[np.random.Generator], object],
-        dataset: Dataset,
-        optimizer: Optional[SGD] = None,
+        model_factory,
+        dataset,
+        optimizer=None,
         link: Optional[Link] = None,
-        compute_model: Optional[ComputeModel] = None,
+        compute_model=None,
         batch_size: int = 32,
         max_iter: int = 100,
         seed: int = 0,
@@ -54,112 +54,90 @@ class RingAllReduceCluster:
     ) -> None:
         if n_workers < 2:
             raise ValueError("ring all-reduce needs >= 2 workers")
-        self.n = n_workers
-        self.model_factory = model_factory
-        self.dataset = dataset
-        self.optimizer = optimizer or SGD(lr=0.1, momentum=0.9)
-        self.link = link or Link()
-        self.batch_size = batch_size
-        self.max_iter = max_iter
-        self.seed = seed
-        self.streams = RngStreams(seed)
-        self.compute_model = compute_model or ComputeModel(
-            base_time=0.1, n_workers=n_workers
+        super().__init__(
+            n_workers=n_workers,
+            model_factory=model_factory,
+            dataset=dataset,
+            optimizer=optimizer,
+            batch_size=batch_size,
+            compute_model=compute_model,
+            max_iter=max_iter,
+            seed=seed,
+            update_size=update_size,
+            evaluate=evaluate,
         )
-        self._update_size = update_size
-        self.evaluate = evaluate
+        self.link = link or Link()
 
     def communication_time(self, update_size: float) -> float:
         """2(n-1) chunk steps of size M/n each (bandwidth-optimal)."""
-        chunk = update_size / self.n
-        return 2 * (self.n - 1) * self.link.transfer_time(chunk)
+        chunk = update_size / self.n_workers
+        return 2 * (self.n_workers - 1) * self.link.transfer_time(chunk)
 
-    def run(self) -> TrainingRun:
-        env = Environment()
-        tracer = Tracer()
-        gap = GapTracker(self.n)
-        models = [
-            self.model_factory(self.streams.fresh("model-init"))
-            for _ in range(self.n)
-        ]
-        update_size = (
-            self._update_size
-            if self._update_size is not None
-            else params_message_size(models[0].dim)
-        )
-        batchers = [
-            Batcher(
-                self.dataset.x_train,
-                self.dataset.y_train,
-                self.batch_size,
-                self.streams.stream("data", wid),
-            )
-            for wid in range(self.n)
-        ]
-        params = models[0].get_params()
-        durations = StatAccumulator()
-        comm_time = self.communication_time(update_size)
+    # ------------------------------------------------------------------
+    # ProtocolCluster hooks
+    # ------------------------------------------------------------------
+    def _start(self, runtime: ProtocolRuntime) -> None:
+        env = runtime.env
+        n = self.n_workers
+        batchers = [self._make_batcher(wid) for wid in range(n)]
+        self._params: List[np.ndarray] = [runtime.models[0].get_params()]
+        comm_time = self.communication_time(runtime.update_size)
+        optimizer = self.optimizer_proto
 
-        def driver(env: Environment):
-            nonlocal params
+        def driver(env):
+            params = self._params
             for k in range(self.max_iter):
                 start = env.now
-                gap.record_many(k)
+                runtime.gap.record_many(k)
                 grads = []
-                for wid in range(self.n):
-                    models[wid].set_params(params)
+                for wid in range(n):
+                    runtime.models[wid].set_params(params[0])
                     xb, yb = batchers[wid].next_batch()
-                    loss, grad = models[wid].loss_and_grad(xb, yb)
+                    loss, grad = runtime.models[wid].loss_and_grad(xb, yb)
                     grads.append(grad)
-                    tracer.log(f"loss/{wid}", env.now, loss)
+                    runtime.tracer.log(f"loss/{wid}", env.now, loss)
                 # Lockstep: the slowest worker gates the ring.
                 slowest = max(
-                    self.compute_model.duration(wid, k)
-                    for wid in range(self.n)
+                    self.compute_model.duration(wid, k) for wid in range(n)
                 )
                 yield env.timeout(slowest + comm_time)
                 mean_grad = np.mean(grads, axis=0)
-                params = params + self.optimizer.step(params, mean_grad, k)
-                durations.add(env.now - start)
-                for wid in range(self.n):
-                    tracer.log(f"duration/{wid}", env.now, env.now - start)
+                params[0] = params[0] + optimizer.step(params[0], mean_grad, k)
+                for wid in range(n):
+                    runtime.tracer.log(
+                        f"duration/{wid}", env.now, env.now - start
+                    )
+            runtime.done[:] = True
 
         env.process(driver(env), name="allreduce-driver")
-        env.run()
 
-        final_loss = final_accuracy = None
-        if self.evaluate:
-            models[0].set_params(params)
-            final_loss, final_accuracy = models[0].evaluate(
-                self.dataset.x_test, self.dataset.y_test
-            )
+    def _final_param_stack(self, runtime: ProtocolRuntime) -> np.ndarray:
+        return self._params[0][None, :]
 
-        return TrainingRun(
-            protocol="allreduce",
-            config_description="ring all-reduce (synchronous, chunked)",
-            topology_name=f"ring({self.n})",
-            n_workers=self.n,
-            max_iter=self.max_iter,
-            wall_time=env.now,
-            tracer=tracer,
-            gap=gap,
-            iterations_completed=[self.max_iter] * self.n,
-            iterations_skipped=[0] * self.n,
-            messages_sent=2 * (self.n - 1) * self.n * self.max_iter,
-            bytes_sent=2 * (self.n - 1) * update_size * self.max_iter,
-            final_params=params,
-            final_loss=final_loss,
-            final_accuracy=final_accuracy,
-            consensus=0.0,
-            worker_stats=[
-                {
-                    "wid": wid,
-                    "iterations_completed": self.max_iter,
-                    "iteration_duration_mean": durations.mean,
-                    "iteration_duration_max": durations.max,
-                    "recv_wait_mean": 0.0,
-                    "loss_mean": 0.0,
-                }
-                for wid in range(self.n)
-            ],
+    def _config_description(self) -> str:
+        return "ring all-reduce (synchronous, chunked)"
+
+    def _topology_name(self) -> str:
+        return f"ring({self.n_workers})"
+
+    def _message_totals(self, runtime: ProtocolRuntime) -> Tuple[int, float]:
+        n, chunks = self.n_workers, 2 * (self.n_workers - 1)
+        return (
+            chunks * n * self.max_iter,
+            chunks * runtime.update_size * self.max_iter,
         )
+
+
+def _build_allreduce(spec) -> RingAllReduceCluster:
+    return RingAllReduceCluster(
+        n_workers=spec.topology.n, **spec_common_kwargs(spec)
+    )
+
+
+register_protocol(
+    "allreduce",
+    _build_allreduce,
+    summary="Synchronous chunked ring all-reduce (global lockstep "
+    "barrier)",
+    paper="Patarasuk & Yuan — JPDC 2009",
+)

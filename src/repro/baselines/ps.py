@@ -16,25 +16,22 @@ The communication hotspot is modeled by a single
 serialize through it, so PS traffic scales with the worker count while
 each decentralized worker's traffic scales with its degree — the shape
 behind the paper's Figure 13.
+
+Registered as protocols ``"ps-bsp"`` (alias ``"ps"``), ``"ps-async"``
+and ``"ps-ssp"``.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.cluster import DeadlockError, TrainingRun
-from repro.core.gap import GapTracker
-from repro.hetero.compute import ComputeModel
-from repro.ml.data import Batcher, Dataset
-from repro.ml.optim import SGD
-from repro.net.message import params_message_size
 from repro.net.network import SharedNic
+from repro.protocols.base import ProtocolCluster, ProtocolRuntime
+from repro.protocols.registry import register_protocol, spec_common_kwargs
 from repro.sim.engine import Environment
 from repro.sim.events import Event
-from repro.sim.rng import RngStreams
-from repro.sim.trace import StatAccumulator, Tracer
 
 
 class _ServerState:
@@ -85,13 +82,14 @@ class _ServerState:
         return event
 
 
-class ParameterServerCluster:
+class ParameterServerCluster(ProtocolCluster):
     """Centralized training deployment.
 
     Args:
         n_workers: Worker count.
         mode: ``"bsp"``, ``"async"``, or ``"ssp"``.
-        model_factory: Same convention as :class:`HopCluster`.
+        model_factory: Same convention as
+            :class:`~repro.protocols.base.ProtocolCluster`.
         dataset: Training/test data.
         optimizer: Applied at the PS to aggregated gradients.
         n_backup: BSP backup workers (gradients needed = n - n_backup).
@@ -105,15 +103,15 @@ class ParameterServerCluster:
     def __init__(
         self,
         n_workers: int,
-        model_factory: Callable[[np.random.Generator], object],
-        dataset: Dataset,
+        model_factory,
+        dataset,
         mode: str = "bsp",
-        optimizer: Optional[SGD] = None,
+        optimizer=None,
         n_backup: int = 0,
         staleness: int = 0,
         ps_bandwidth: float = 125.0,
         ps_latency: float = 1e-4,
-        compute_model: Optional[ComputeModel] = None,
+        compute_model=None,
         batch_size: int = 32,
         max_iter: int = 100,
         seed: int = 0,
@@ -122,53 +120,47 @@ class ParameterServerCluster:
     ) -> None:
         if mode not in ("bsp", "async", "ssp"):
             raise ValueError(f"unknown PS mode {mode!r}")
-        if n_workers < 1:
-            raise ValueError("need at least one worker")
         if n_backup < 0 or n_backup >= n_workers:
             raise ValueError("n_backup must be in [0, n_workers)")
         if mode == "ssp" and staleness < 1:
             raise ValueError("ssp needs staleness >= 1")
-        self.n = n_workers
+        super().__init__(
+            n_workers=n_workers,
+            model_factory=model_factory,
+            dataset=dataset,
+            optimizer=optimizer,
+            batch_size=batch_size,
+            compute_model=compute_model,
+            max_iter=max_iter,
+            seed=seed,
+            update_size=update_size,
+            evaluate=evaluate,
+        )
         self.mode = mode
-        self.model_factory = model_factory
-        self.dataset = dataset
-        self.optimizer = optimizer or SGD(lr=0.1, momentum=0.9)
+        self.protocol = f"ps-{mode}"
         self.n_backup = n_backup
         self.staleness = staleness
         self.ps_bandwidth = ps_bandwidth
         self.ps_latency = ps_latency
-        self.batch_size = batch_size
-        self.max_iter = max_iter
-        self.seed = seed
-        self.streams = RngStreams(seed)
-        self.compute_model = compute_model or ComputeModel(
-            base_time=0.1, n_workers=n_workers
-        )
-        self._update_size = update_size
-        self.evaluate = evaluate
 
     # ------------------------------------------------------------------
     def _worker(
         self,
         wid: int,
-        env: Environment,
+        runtime: ProtocolRuntime,
         server: _ServerState,
         nic: SharedNic,
         model,
-        batcher: Batcher,
+        batcher,
         grads_inbox,
-        tracer: Tracer,
-        gap: GapTracker,
-        state: Dict[str, np.ndarray],
-        update_size: float,
-        stats: dict,
+        notify: List[Event],
     ):
         """One PS worker process: pull -> compute -> push."""
-        durations = stats["durations"]
+        env = runtime.env
         for k in range(self.max_iter):
             start = env.now
             server.record_worker_iteration(wid, k)
-            gap.record(wid, k)
+            runtime.gap.record(wid, k)
 
             # SSP: block while we are too far ahead of the slowest worker.
             if self.mode == "ssp":
@@ -176,7 +168,7 @@ class ParameterServerCluster:
                     yield server.wait_min_advance()
 
             # Pull parameters through the PS NIC (download).
-            yield from nic.transfer(update_size)
+            yield from nic.transfer(runtime.update_size)
             pulled_version = server.version
             x = server.params.copy()
 
@@ -187,34 +179,34 @@ class ParameterServerCluster:
             yield env.timeout(self.compute_model.duration(wid, k))
 
             # Push the gradient through the PS NIC (upload).
-            yield from nic.transfer(update_size)
+            yield from nic.transfer(runtime.update_size)
             grads_inbox.append((wid, pulled_version, grad))
-            server_notify = state["notify"]
-            if not server_notify[0].triggered:
-                server_notify[0].succeed()
+            if not notify[0].triggered:
+                notify[0].succeed()
 
             if self.mode == "bsp":
                 # Wait for the PS to fold this iteration and move on.
                 yield server.version_event(pulled_version)
 
-            tracer.log(f"loss/{wid}", env.now, loss)
-            durations.add(env.now - start)
-            tracer.log(f"duration/{wid}", env.now, env.now - start)
-        state["done"][wid] = True
+            runtime.tracer.log(f"loss/{wid}", env.now, loss)
+            runtime.tracer.log(f"duration/{wid}", env.now, env.now - start)
+        runtime.done[wid] = True
 
     def _server(
         self,
-        env: Environment,
+        runtime: ProtocolRuntime,
         server: _ServerState,
         grads_inbox: list,
-        state: Dict[str, np.ndarray],
+        notify: List[Event],
     ):
         """The PS process: aggregate gradients and update parameters."""
+        env = runtime.env
+        optimizer = self.optimizer_proto
         pending: List[np.ndarray] = []
-        while not state["done"].all() or grads_inbox:
+        while not runtime.done.all() or grads_inbox:
             if not grads_inbox:
-                state["notify"][0] = Event(env)
-                yield state["notify"][0]
+                notify[0] = Event(env)
+                yield notify[0]
                 continue
             wid, version, grad = grads_inbox.pop(0)
             if self.mode == "bsp":
@@ -225,11 +217,11 @@ class ParameterServerCluster:
                 # Once fast workers retire, the quorum shrinks to the
                 # remaining active workers (else stragglers would wait
                 # forever for gradients nobody will send).
-                active = int((~state["done"]).sum())
-                need = max(1, min(self.n - self.n_backup, active))
+                active = int((~runtime.done).sum())
+                need = max(1, min(self.n_workers - self.n_backup, active))
                 if len(pending) >= need:
                     mean_grad = np.mean(pending, axis=0)
-                    delta = self.optimizer.step(
+                    delta = optimizer.step(
                         server.params, mean_grad, server.version
                     )
                     server.params = server.params + delta
@@ -238,108 +230,96 @@ class ParameterServerCluster:
                     server.advance_version()
             else:
                 # async / ssp: apply immediately.
-                delta = self.optimizer.step(server.params, grad, version)
+                delta = optimizer.step(server.params, grad, version)
                 server.params = server.params + delta
                 server.gradients_applied += 1
                 server.advance_version()
 
     # ------------------------------------------------------------------
-    def run(self) -> TrainingRun:
-        env = Environment()
-        tracer = Tracer()
-        gap = GapTracker(self.n)
+    # ProtocolCluster hooks
+    # ------------------------------------------------------------------
+    def _start(self, runtime: ProtocolRuntime) -> None:
+        env = runtime.env
         nic = SharedNic(
             env, bandwidth=self.ps_bandwidth, latency=self.ps_latency
         )
-        models = [
-            self.model_factory(self.streams.fresh("model-init"))
-            for _ in range(self.n)
-        ]
-        update_size = (
-            self._update_size
-            if self._update_size is not None
-            else params_message_size(models[0].dim)
+        self._nic = nic
+        server = _ServerState(
+            env, runtime.models[0].get_params(), self.n_workers
         )
-        server = _ServerState(env, models[0].get_params(), self.n)
+        self._server_state = server
         grads_inbox: list = []
-        state = {
-            "done": np.zeros(self.n, dtype=bool),
-            "notify": [Event(env)],
-        }
+        notify: List[Event] = [Event(env)]
 
-        worker_stats = []
-        for wid in range(self.n):
-            stats = {"durations": StatAccumulator()}
-            worker_stats.append(stats)
-            batcher = Batcher(
-                self.dataset.x_train,
-                self.dataset.y_train,
-                self.batch_size,
-                self.streams.stream("data", wid),
-            )
+        for wid in range(self.n_workers):
             env.process(
                 self._worker(
                     wid,
-                    env,
+                    runtime,
                     server,
                     nic,
-                    models[wid],
-                    batcher,
+                    runtime.models[wid],
+                    self._make_batcher(wid),
                     grads_inbox,
-                    tracer,
-                    gap,
-                    state,
-                    update_size,
-                    stats,
+                    notify,
                 ),
                 name=f"ps-worker-{wid}",
             )
         env.process(
-            self._server(env, server, grads_inbox, state), name="ps-server"
+            self._server(runtime, server, grads_inbox, notify),
+            name="ps-server",
         )
-        env.run()
 
-        if not state["done"].all():
-            raise DeadlockError("PS workers never finished")
+    def _final_param_stack(self, runtime: ProtocolRuntime) -> np.ndarray:
+        return self._server_state.params[None, :]
 
-        final_loss = final_accuracy = None
-        if self.evaluate:
-            models[0].set_params(server.params)
-            final_loss, final_accuracy = models[0].evaluate(
-                self.dataset.x_test, self.dataset.y_test
-            )
-
+    def _config_description(self) -> str:
         mode_desc = self.mode
         if self.mode == "bsp" and self.n_backup:
             mode_desc += f"+backup({self.n_backup})"
         if self.mode == "ssp":
             mode_desc += f"(s={self.staleness})"
-        return TrainingRun(
-            protocol=f"ps-{self.mode}",
-            config_description=f"parameter server, {mode_desc}",
-            topology_name=f"star({self.n}+PS)",
-            n_workers=self.n,
-            max_iter=self.max_iter,
-            wall_time=env.now,
-            tracer=tracer,
-            gap=gap,
-            iterations_completed=[self.max_iter] * self.n,
-            iterations_skipped=[0] * self.n,
-            messages_sent=2 * self.n * self.max_iter,
-            bytes_sent=2 * self.n * self.max_iter * update_size,
-            final_params=server.params,
-            final_loss=final_loss,
-            final_accuracy=final_accuracy,
-            consensus=0.0,
-            worker_stats=[
-                {
-                    "wid": wid,
-                    "iterations_completed": self.max_iter,
-                    "iteration_duration_mean": stats["durations"].mean,
-                    "iteration_duration_max": stats["durations"].max,
-                    "recv_wait_mean": 0.0,
-                    "loss_mean": 0.0,
-                }
-                for wid, stats in enumerate(worker_stats)
-            ],
+        return f"parameter server, {mode_desc}"
+
+    def _topology_name(self) -> str:
+        return f"star({self.n_workers}+PS)"
+
+    def _message_totals(self, runtime: ProtocolRuntime) -> Tuple[int, float]:
+        transfers = 2 * self.n_workers * self.max_iter
+        return transfers, transfers * runtime.update_size
+
+
+def _builder(mode: str):
+    def _build(spec) -> ParameterServerCluster:
+        return ParameterServerCluster(
+            n_workers=spec.topology.n,
+            mode=mode,
+            n_backup=spec.ps_backup,
+            staleness=spec.ps_staleness,
+            **spec_common_kwargs(spec),
         )
+
+    return _build
+
+
+register_protocol(
+    "ps-bsp",
+    _builder("bsp"),
+    summary="Parameter server, bulk-synchronous (optional backup "
+    "workers) behind a shared-NIC hotspot",
+    paper="Li et al. — OSDI 2014; Chen et al. — arXiv:1604.00981",
+    aliases=("ps",),
+)
+register_protocol(
+    "ps-async",
+    _builder("async"),
+    summary="Parameter server, fully asynchronous (Hogwild-style)",
+    paper="Dean et al. — NeurIPS 2012",
+)
+register_protocol(
+    "ps-ssp",
+    _builder("ssp"),
+    summary="Parameter server, stale-synchronous (global staleness "
+    "bound)",
+    paper="Ho et al. — NeurIPS 2013",
+)

@@ -4,8 +4,14 @@ Commands:
 
 * ``figures``  — reproduce paper figures/tables and print the renders.
 * ``ablations`` — run the ablation studies.
-* ``train``    — one training run with a chosen protocol/topology.
+* ``train``    — one training run with any registered protocol.
 * ``graphs``   — inspect a topology (spectral gap, diameter, degrees).
+* ``protocols`` — list every protocol in the registry with citations.
+
+``train --protocol`` accepts any name from the protocol registry
+(:mod:`repro.protocols.registry`): ``hop``, ``notify_ack``, ``ps``
+(= ``ps-bsp``), ``ps-async``, ``ps-ssp``, ``allreduce``, ``adpsgd``,
+``partial-allreduce`` (= ``prague``) and ``momentum-tracking``.
 """
 
 from __future__ import annotations
@@ -27,6 +33,7 @@ from repro.harness.ablations import ALL_ABLATIONS
 from repro.harness.parallel import set_default_jobs
 from repro.harness.spec import deterministic_straggler, run_spec
 from repro.harness.workloads import by_name as workload_by_name
+from repro.protocols import protocol_table, registered_protocols
 
 
 def _jobs_arg(value: str) -> int:
@@ -121,6 +128,9 @@ def _cmd_train(args: argparse.Namespace) -> int:
         max_iter=args.iterations,
         seed=args.seed,
         ps_staleness=args.staleness if args.protocol == "ps-ssp" else 0,
+        group_size=args.group_size,
+        static_groups=args.static_groups,
+        momentum_mode=args.momentum_mode,
     )
     run = run_spec(spec)
     print(run.summary())
@@ -129,6 +139,18 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
         path = save_run(run, args.out)
         print(f"run summary written to {path}")
+    return 0
+
+
+def _cmd_protocols(args: argparse.Namespace) -> int:
+    print("registered protocols:")
+    for row in protocol_table():
+        name = row["name"]
+        if row["aliases"]:
+            name += f" (alias: {row['aliases']})"
+        print(f"* {name}")
+        print(f"    {row['summary']}")
+        print(f"    [{row['paper']}]")
     return 0
 
 
@@ -184,10 +206,8 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument(
         "--protocol",
         default="hop",
-        choices=(
-            "hop", "notify_ack", "ps-bsp", "ps-async", "ps-ssp",
-            "allreduce", "adpsgd",
-        ),
+        choices=tuple(registered_protocols(include_aliases=True)),
+        help="any protocol in the registry (see `python -m repro protocols`)",
     )
     train.add_argument("--graph", default="ring_based")
     train.add_argument("--workers", type=int, default=8)
@@ -203,6 +223,19 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument(
         "--slowdown", default="none", choices=("none", "random", "straggler")
     )
+    train.add_argument(
+        "--group-size", type=int, default=4,
+        help="partial-allreduce: workers per randomized group",
+    )
+    train.add_argument(
+        "--static-groups", action="store_true",
+        help="partial-allreduce: freeze the round-0 partition (ablation)",
+    )
+    train.add_argument(
+        "--momentum-mode", default="tracking",
+        choices=("tracking", "quasi-global"),
+        help="momentum-tracking: buffer-gossip or quasi-global variant",
+    )
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--out", help="write a JSON run summary here")
     train.set_defaults(func=_cmd_train)
@@ -211,6 +244,11 @@ def build_parser() -> argparse.ArgumentParser:
     graphs.add_argument("--graph", default="ring_based")
     graphs.add_argument("--workers", type=int, default=16)
     graphs.set_defaults(func=_cmd_graphs)
+
+    protocols = sub.add_parser(
+        "protocols", help="list the protocol registry"
+    )
+    protocols.set_defaults(func=_cmd_protocols)
 
     return parser
 

@@ -1,5 +1,12 @@
 """Hop: the paper's heterogeneity-aware decentralized training protocol.
 
+:class:`HopCluster` (registered as protocols ``"hop"`` and
+``"notify_ack"``) builds on the shared scaffolding in
+:mod:`repro.protocols`; the Hop-specific machinery lives here — update
+and token queues, the iteration-gap theory (Theorems 1 & 2), backup
+workers, bounded staleness, iteration skipping, and the NOTIFY-ACK
+baseline.
+
 Public API::
 
     from repro.core import HopCluster, HopConfig, backup_config

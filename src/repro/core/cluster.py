@@ -3,141 +3,47 @@
 The cluster wires together every substrate — topology, queues, token
 queues, network, compute model, per-worker model replicas and data
 streams — starts one worker process per node, runs the simulation to
-completion, and packages the results as a :class:`TrainingRun`.
+completion, and packages the results as a
+:class:`~repro.protocols.base.TrainingRun`.
 
 Protocols: ``"hop"`` (the paper's system, all modes of
 :class:`~repro.core.config.HopConfig`) and ``"notify_ack"``
-(the Section 3.3 baseline).
+(the Section 3.3 baseline).  Both are registered with the protocol
+registry (:mod:`repro.protocols.registry`); ``TrainingRun`` and
+``DeadlockError`` are re-exported here for backward compatibility with
+their original home.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.config import HopConfig
-from repro.core.gap import GapTracker, update_queue_capacity_bound
+from repro.core.gap import update_queue_capacity_bound
 from repro.core.notify_ack import NotifyAckWorker, build_ack_queues
 from repro.core.queues import RotatingUpdateQueue, TokenQueue, UpdateQueue
 from repro.core.skip import SkipPolicy
 from repro.core.worker import ClusterState, HopWorker
-from repro.graphs.spectral import consensus_distance
 from repro.graphs.topology import Topology
-from repro.hetero.compute import ComputeModel
-from repro.ml.data import Batcher, Dataset
-from repro.ml.metrics import smooth_series
-from repro.ml.optim import SGD
-from repro.net.links import Link, LinkModel, uniform_links
-from repro.net.message import CONTROL_SIZE, params_message_size
+from repro.net.links import Link, uniform_links
+from repro.net.message import CONTROL_SIZE
 from repro.net.network import Network, SharedNic
+from repro.protocols.base import (
+    DeadlockError,
+    ProtocolCluster,
+    ProtocolRuntime,
+    TrainingRun,
+)
+from repro.protocols.registry import register_protocol, spec_common_kwargs
 from repro.sim.engine import Environment
-from repro.sim.rng import RngStreams
-from repro.sim.trace import Tracer
+
+__all__ = ["DeadlockError", "HopCluster", "TrainingRun"]
 
 
-class DeadlockError(RuntimeError):
-    """The simulation ran out of events before all workers finished.
-
-    Attributes:
-        stuck: ``(worker_id, iteration)`` pairs for unfinished workers.
-    """
-
-    def __init__(self, message: str, stuck=None) -> None:
-        super().__init__(message)
-        self.stuck = list(stuck or [])
-
-
-@dataclass
-class TrainingRun:
-    """Everything measured during one training run."""
-
-    protocol: str
-    config_description: str
-    topology_name: str
-    n_workers: int
-    max_iter: int
-    wall_time: float
-    tracer: Tracer
-    gap: GapTracker
-    iterations_completed: List[int]
-    iterations_skipped: List[int]
-    messages_sent: int
-    bytes_sent: float
-    final_params: np.ndarray
-    final_loss: Optional[float] = None
-    final_accuracy: Optional[float] = None
-    consensus: float = 0.0
-    worker_stats: List[dict] = field(default_factory=list)
-
-    # ------------------------------------------------------------------
-    # Convergence analysis
-    # ------------------------------------------------------------------
-    def loss_series(self) -> Tuple[np.ndarray, np.ndarray]:
-        """All per-iteration training losses, merged and time-sorted."""
-        pairs: List[Tuple[float, float]] = []
-        for wid in range(self.n_workers):
-            pairs.extend(self.tracer.raw(f"loss/{wid}"))
-        pairs.sort(key=lambda tv: tv[0])
-        if not pairs:
-            return np.array([]), np.array([])
-        times = np.array([t for t, _ in pairs])
-        losses = np.array([v for _, v in pairs])
-        return times, losses
-
-    def smoothed_loss_series(
-        self, window: int = 32
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        times, losses = self.loss_series()
-        return times, smooth_series(losses, window)
-
-    def loss_vs_steps(self, window: int = 32) -> Tuple[np.ndarray, np.ndarray]:
-        """Mean loss per global step index (Figure 15's x-axis)."""
-        _, losses = self.loss_series()
-        return np.arange(losses.size), smooth_series(losses, window)
-
-    def time_to_loss(self, target: float, window: int = 32) -> float:
-        """First time the smoothed training loss reaches ``target``."""
-        times, losses = self.smoothed_loss_series(window)
-        below = np.nonzero(losses <= target)[0]
-        if below.size == 0:
-            return float("inf")
-        return float(times[below[0]])
-
-    def iteration_rate(self) -> float:
-        """Aggregate completed iterations per simulated second."""
-        total = sum(self.iterations_completed)
-        if self.wall_time <= 0:
-            return 0.0
-        return total / self.wall_time
-
-    def mean_iteration_duration(self) -> float:
-        """Average per-iteration wall time across workers."""
-        durations = [
-            stats["iteration_duration_mean"] for stats in self.worker_stats
-        ]
-        return float(np.mean(durations)) if durations else 0.0
-
-    def summary(self) -> str:
-        lines = [
-            f"protocol={self.protocol} ({self.config_description})",
-            f"topology={self.topology_name} workers={self.n_workers}",
-            f"wall_time={self.wall_time:.3f}s "
-            f"rate={self.iteration_rate():.2f} iter/s",
-            f"max_gap={self.gap.max_observed():g} "
-            f"messages={self.messages_sent}",
-        ]
-        if self.final_loss is not None:
-            lines.append(
-                f"final_loss={self.final_loss:.4f} "
-                f"final_accuracy={self.final_accuracy:.3f}"
-            )
-        return "\n".join(lines)
-
-
-class HopCluster:
-    """Build-and-run facade for decentralized training experiments.
+class HopCluster(ProtocolCluster):
+    """Build-and-run facade for Hop / NOTIFY-ACK training experiments.
 
     Args:
         topology: Communication graph (validated on construction).
@@ -162,18 +68,22 @@ class HopCluster:
             round; derived from ``links`` when omitted.
         evaluate: Whether to evaluate the averaged final model on the
             test split.
+        machines: Optional worker -> machine placement; co-located
+            workers then share their host's uplink NIC.
+        machine_uplink: The shared per-machine uplink.
+        crash_at: ``{worker: iteration}`` fail-stop injection (hop only).
     """
 
     def __init__(
         self,
         topology: Topology,
         config: HopConfig,
-        model_factory: Callable[[np.random.Generator], object],
-        dataset: Dataset,
-        optimizer: Optional[SGD] = None,
+        model_factory,
+        dataset,
+        optimizer=None,
         batch_size: int = 32,
-        compute_model: Optional[ComputeModel] = None,
-        links: Optional[LinkModel] = None,
+        compute_model=None,
+        links=None,
         protocol: str = "hop",
         max_iter: int = 100,
         seed: int = 0,
@@ -186,9 +96,19 @@ class HopCluster:
     ) -> None:
         if protocol not in ("hop", "notify_ack"):
             raise ValueError(f"unknown protocol {protocol!r}")
-        if max_iter < 1:
-            raise ValueError("max_iter must be >= 1")
         topology.validate()
+        super().__init__(
+            n_workers=topology.n,
+            model_factory=model_factory,
+            dataset=dataset,
+            optimizer=optimizer,
+            batch_size=batch_size,
+            compute_model=compute_model,
+            max_iter=max_iter,
+            seed=seed,
+            update_size=update_size,
+            evaluate=evaluate,
+        )
         if config.mode == "backup":
             min_in = min(
                 topology.in_degree(i, include_self=True)
@@ -201,21 +121,9 @@ class HopCluster:
                 )
         self.topology = topology
         self.config = config
-        self.model_factory = model_factory
-        self.dataset = dataset
-        self.optimizer_proto = optimizer or SGD(lr=0.1, momentum=0.9)
-        self.batch_size = batch_size
         self.protocol = protocol
-        self.max_iter = max_iter
-        self.seed = seed
-        self.streams = RngStreams(seed)
-        self.compute_model = compute_model or ComputeModel(
-            base_time=0.1, n_workers=topology.n
-        )
         self.links = links or uniform_links()
-        self._update_size = update_size
         self._token_rtt = token_rtt
-        self.evaluate = evaluate
         if machines is not None and len(machines) != topology.n:
             raise ValueError(
                 f"machines maps {len(machines)} workers, topology has "
@@ -232,20 +140,6 @@ class HopCluster:
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
-    def _build_models(self) -> List[object]:
-        models = []
-        for wid in range(self.topology.n):
-            # Same derived stream -> identical initialization (p0).
-            models.append(self.model_factory(self.streams.fresh("model-init")))
-        p0 = models[0].get_params()
-        for model in models[1:]:
-            if not np.allclose(model.get_params(), p0):
-                raise ValueError(
-                    "model_factory must be deterministic given its rng; "
-                    "worker replicas started from different parameters"
-                )
-        return models
-
     def _build_update_queue(self, env: Environment, wid: int):
         impl = self.config.effective_queue_impl
         if not self.config.use_token_queues:
@@ -288,9 +182,6 @@ class HopCluster:
             self.links.round_trip(wid, j, CONTROL_SIZE) for j in providers
         )
 
-    # ------------------------------------------------------------------
-    # Run
-    # ------------------------------------------------------------------
     def _build_network(self, env: Environment) -> Network:
         if self.machines is None:
             return Network(env, self.links)
@@ -311,19 +202,14 @@ class HopCluster:
             env, self.links, egress_nics=egress, machine_of=self.machines
         )
 
-    def run(self) -> TrainingRun:
-        env = Environment()
+    # ------------------------------------------------------------------
+    # ProtocolCluster hooks
+    # ------------------------------------------------------------------
+    def _start(self, runtime: ProtocolRuntime) -> None:
+        env = runtime.env
         n = self.topology.n
-        network = self._build_network(env)
-        tracer = Tracer()
-        gap_tracker = GapTracker(n)
-        state = ClusterState(n)
-        models = self._build_models()
-        update_size = (
-            self._update_size
-            if self._update_size is not None
-            else params_message_size(models[0].dim)
-        )
+        self._network = self._build_network(env)
+        self._state = ClusterState(n)
         update_queues = {
             wid: self._build_update_queue(env, wid) for wid in range(n)
         }
@@ -342,23 +228,18 @@ class HopCluster:
                     env=env,
                     topology=self.topology,
                     config=self.config,
-                    model=models[wid],
+                    model=runtime.models[wid],
                     optimizer=self.optimizer_proto.clone(),
-                    batcher=Batcher(
-                        self.dataset.x_train,
-                        self.dataset.y_train,
-                        self.batch_size,
-                        self.streams.stream("data", wid),
-                    ),
+                    batcher=self._make_batcher(wid),
                     compute_model=self.compute_model,
-                    network=network,
+                    network=self._network,
                     update_queues=update_queues,
                     token_queues=token_queues,
-                    state=state,
-                    gap_tracker=gap_tracker,
-                    tracer=tracer,
+                    state=self._state,
+                    gap_tracker=runtime.gap,
+                    tracer=runtime.tracer,
                     max_iter=self.max_iter,
-                    update_size=update_size,
+                    update_size=runtime.update_size,
                     token_rtt=self._token_rtt_for(wid)
                     if self.config.use_token_queues
                     else 0.0,
@@ -373,37 +254,30 @@ class HopCluster:
                     wid=wid,
                     env=env,
                     topology=self.topology,
-                    model=models[wid],
+                    model=runtime.models[wid],
                     optimizer=self.optimizer_proto.clone(),
-                    batcher=Batcher(
-                        self.dataset.x_train,
-                        self.dataset.y_train,
-                        self.batch_size,
-                        self.streams.stream("data", wid),
-                    ),
+                    batcher=self._make_batcher(wid),
                     compute_model=self.compute_model,
-                    network=network,
+                    network=self._network,
                     update_queues=update_queues,
                     ack_queues=ack_queues,
-                    state=state,
-                    gap_tracker=gap_tracker,
-                    tracer=tracer,
+                    state=self._state,
+                    gap_tracker=runtime.gap,
+                    tracer=runtime.tracer,
                     max_iter=self.max_iter,
-                    update_size=update_size,
+                    update_size=runtime.update_size,
                 )
                 workers.append(worker)
-
-        processes = [
+        self._workers = workers
+        for worker in workers:
             env.process(worker.run(), name=f"worker-{worker.wid}")
-            for worker in workers
-        ]
-        env.run()
 
-        if not state.all_done():
+    def _check_complete(self, runtime: ProtocolRuntime) -> None:
+        if not self._state.all_done():
             stuck = [
-                (w.wid, int(state.iterations[w.wid]))
-                for w in workers
-                if not state.done[w.wid]
+                (w.wid, int(self._state.iterations[w.wid]))
+                for w in self._workers
+                if not self._state.done[w.wid]
             ]
             # Injected crashes legitimately strand the crashed worker
             # and (eventually) its dependents; only raise when nothing
@@ -416,39 +290,28 @@ class HopCluster:
                     stuck=stuck,
                 )
 
-        final_stack = np.stack([w.final_params for w in workers])
-        final_params = final_stack.mean(axis=0)
-        final_loss = final_accuracy = None
-        if self.evaluate:
-            models[0].set_params(final_params)
-            final_loss, final_accuracy = models[0].evaluate(
-                self.dataset.x_test, self.dataset.y_test
-            )
+    def _final_param_stack(self, runtime: ProtocolRuntime) -> np.ndarray:
+        return np.stack([w.final_params for w in self._workers])
 
-        worker_stats = [self._worker_stats(w) for w in workers]
-        return TrainingRun(
-            protocol=self.protocol,
-            config_description=self.config.describe()
-            if self.protocol == "hop"
-            else "serial + ACK gating",
-            topology_name=self.topology.name,
-            n_workers=n,
-            max_iter=self.max_iter,
-            wall_time=env.now,
-            tracer=tracer,
-            gap=gap_tracker,
-            iterations_completed=[w.iterations_completed for w in workers],
-            iterations_skipped=[
-                getattr(w, "iterations_skipped", 0) for w in workers
-            ],
-            messages_sent=network.messages_sent,
-            bytes_sent=network.bytes_sent.total,
-            final_params=final_params,
-            final_loss=final_loss,
-            final_accuracy=final_accuracy,
-            consensus=consensus_distance(final_stack),
-            worker_stats=worker_stats,
-        )
+    def _config_description(self) -> str:
+        if self.protocol == "hop":
+            return self.config.describe()
+        return "serial + ACK gating"
+
+    def _topology_name(self) -> str:
+        return self.topology.name
+
+    def _message_totals(self, runtime: ProtocolRuntime) -> Tuple[int, float]:
+        return self._network.messages_sent, self._network.bytes_sent.total
+
+    def _iterations_completed(self, runtime: ProtocolRuntime) -> List[int]:
+        return [w.iterations_completed for w in self._workers]
+
+    def _iterations_skipped(self, runtime: ProtocolRuntime) -> List[int]:
+        return [getattr(w, "iterations_skipped", 0) for w in self._workers]
+
+    def _collect_worker_stats(self, runtime: ProtocolRuntime) -> List[dict]:
+        return [self._worker_stats(w) for w in self._workers]
 
     @staticmethod
     def _worker_stats(worker) -> dict:
@@ -474,3 +337,44 @@ class HopCluster:
         if hasattr(worker, "ack_wait"):
             stats["ack_wait_mean"] = worker.ack_wait.mean
         return stats
+
+
+# ----------------------------------------------------------------------
+# Registry entries
+# ----------------------------------------------------------------------
+def _build_hop(spec) -> HopCluster:
+    return HopCluster(
+        topology=spec.topology,
+        config=spec.config,
+        protocol="hop",
+        links=spec.links,
+        machines=spec.machines,
+        **spec_common_kwargs(spec),
+    )
+
+
+def _build_notify_ack(spec) -> HopCluster:
+    return HopCluster(
+        topology=spec.topology,
+        config=spec.config,
+        protocol="notify_ack",
+        links=spec.links,
+        machines=spec.machines,
+        **spec_common_kwargs(spec),
+    )
+
+
+register_protocol(
+    "hop",
+    _build_hop,
+    summary="Hop: bounded-gap decentralized training (backup workers, "
+    "bounded staleness, skipping)",
+    paper="Luo, Lin, Zhuo, Qian — ASPLOS 2019 (arXiv:1902.01064)",
+)
+register_protocol(
+    "notify_ack",
+    _build_notify_ack,
+    summary="NOTIFY-ACK gating: serial computation graph baseline "
+    "(Hop Section 3.3)",
+    paper="Luo, Lin, Zhuo, Qian — ASPLOS 2019 (arXiv:1902.01064)",
+)

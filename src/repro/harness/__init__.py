@@ -22,6 +22,7 @@ from repro.harness.figures import (
     fig19_skip_convergence,
     fig20_topology,
     fig21_spectral_gaps,
+    fig22_protocols,
     table1_gap_bounds,
 )
 from repro.harness.report import (
@@ -103,6 +104,7 @@ __all__ = [
     "fig19_skip_convergence",
     "fig20_topology",
     "fig21_spectral_gaps",
+    "fig22_protocols",
     "figure_to_dict",
     "final_smoothed_loss",
     "iteration_rate_speedup",

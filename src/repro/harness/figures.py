@@ -27,6 +27,7 @@ from repro.core.config import (
 from repro.core.gap import gap_bound_matrix
 from repro.graphs import (
     FIG21_MACHINE_OF_WORKER,
+    bipartite_ring,
     chain,
     double_ring,
     fig21_setting1,
@@ -679,6 +680,116 @@ def fig21_spectral_gaps() -> FigureResult:
 
 
 # ----------------------------------------------------------------------
+# Figure 22 (extension): registry-wide protocol comparison
+# ----------------------------------------------------------------------
+def fig22_protocols(
+    preset: str = "bench", workload_name: str = "svm", seed: int = 0
+) -> FigureResult:
+    """Five protocols under clean and 6x-random-slowdown conditions.
+
+    Not a figure from the Hop paper: it compares Hop against the
+    follow-up protocols the registry adds — Prague-style partial
+    all-reduce [arXiv:1909.08029] and momentum-tracking gossip
+    [arXiv:2209.15505] — plus the all-reduce and AD-PSGD baselines,
+    using the paper's random-slowdown recipe.
+    """
+    n, max_iter = _scale(preset)
+    workload = by_name(workload_name, preset)
+    result = FigureResult(
+        "fig22",
+        f"Protocol comparison ({workload_name}): heterogeneity "
+        "tolerance across the registry",
+    )
+    topology = ring_based(n)
+    gossip_topology = bipartite_ring(n)  # gossip protocols need bipartite
+    contenders = {
+        "hop/backup": dict(
+            protocol="hop", config=backup_config(n_backup=1, max_ig=4)
+        ),
+        "allreduce": dict(protocol="allreduce"),
+        "partial-allreduce": dict(protocol="partial-allreduce"),
+        "adpsgd": dict(protocol="adpsgd", topology=gossip_topology),
+        "momentum-tracking": dict(
+            protocol="momentum-tracking", topology=gossip_topology
+        ),
+    }
+    specs = {}
+    for label, options in contenders.items():
+        options = dict(options)
+        topo = options.pop("topology", topology)
+        for env_label, slowdown in (
+            ("clean", SlowdownSpec()),
+            ("slowdown", RANDOM_6X),
+        ):
+            specs[f"{label}/{env_label}"] = ExperimentSpec(
+                name=f"{label}/{env_label}",
+                workload=workload,
+                topology=topo,
+                slowdown=slowdown,
+                max_iter=max_iter,
+                seed=seed,
+                **options,
+            )
+    runs = run_specs(specs)
+
+    ratios: Dict[str, float] = {}
+    losses: Dict[str, float] = {}
+    for label in contenders:
+        clean = runs[f"{label}/clean"]
+        slow = runs[f"{label}/slowdown"]
+        result.series[label] = binned_loss_curve(slow)
+        ratios[label] = slow.wall_time / clean.wall_time
+        losses[label] = final_smoothed_loss(slow)
+        result.rows.append(
+            {
+                "protocol": label,
+                "clean_wall": clean.wall_time,
+                "slow_wall": slow.wall_time,
+                "degradation": ratios[label],
+                "slow_loss": losses[label],
+                "slow_accuracy": slow.final_accuracy,
+                "bytes_per_iter": slow.bytes_sent / max(
+                    sum(slow.iterations_completed), 1
+                ),
+            }
+        )
+
+    for label, loss in losses.items():
+        result.check(
+            f"{label} converges under slowdown",
+            loss < 1.0,
+            f"final_loss={loss:.3f}",
+        )
+    result.check(
+        "partial all-reduce degrades less than global all-reduce "
+        "(group-local vs global barrier)",
+        ratios["partial-allreduce"] < ratios["allreduce"],
+        f"partial={ratios['partial-allreduce']:.2f}x "
+        f"allreduce={ratios['allreduce']:.2f}x",
+    )
+    result.check(
+        "partial all-reduce beats global all-reduce on wall-clock "
+        "under slowdown",
+        runs["partial-allreduce/slowdown"].wall_time
+        < runs["allreduce/slowdown"].wall_time,
+        f"partial={runs['partial-allreduce/slowdown'].wall_time:.1f}s "
+        f"allreduce={runs['allreduce/slowdown'].wall_time:.1f}s",
+    )
+    result.check(
+        "momentum tracking does not hurt gossip convergence "
+        "(paper: it helps on heterogeneous data)",
+        losses["momentum-tracking"] <= losses["adpsgd"] * 1.25,
+        f"mt={losses['momentum-tracking']:.3f} "
+        f"adpsgd={losses['adpsgd']:.3f}",
+    )
+    result.notes = (
+        "Gossip protocols (adpsgd, momentum-tracking) run on the "
+        "bipartite even ring; the rest on the ring-based graph."
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
 # Table 1: iteration-gap bounds, theory vs observation
 # ----------------------------------------------------------------------
 def table1_gap_bounds(preset: str = "bench", seed: int = 0) -> FigureResult:
@@ -770,5 +881,6 @@ ALL_FIGURES: Dict[str, Callable[..., FigureResult]] = {
     "fig19": fig19_skip_convergence,
     "fig20": fig20_topology,
     "fig21": fig21_spectral_gaps,
+    "fig22": fig22_protocols,
     "table1": table1_gap_bounds,
 }

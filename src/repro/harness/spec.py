@@ -2,8 +2,10 @@
 
 :class:`ExperimentSpec` bundles everything one training run needs:
 workload, topology, protocol (with config), heterogeneity, network and
-scale knobs.  ``run_spec`` builds the matching cluster and executes it,
-so every figure in the harness goes through one code path.
+scale knobs.  ``run_spec`` resolves the protocol through the registry
+(:mod:`repro.protocols.registry`), builds the matching cluster and
+executes it, so every figure in the harness goes through one code path
+and automatically supports every registered protocol.
 """
 
 from __future__ import annotations
@@ -11,13 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional
 
-from repro.baselines.adpsgd import ADPSGDCluster
-from repro.baselines.allreduce import RingAllReduceCluster
-from repro.baselines.ps import ParameterServerCluster
-from repro.core.cluster import HopCluster, TrainingRun
 from repro.core.config import STANDARD, HopConfig
 from repro.graphs.topology import Topology
-from repro.hetero.compute import ComputeModel
 from repro.hetero.slowdown import (
     DeterministicSlowdown,
     NoSlowdown,
@@ -26,6 +23,8 @@ from repro.hetero.slowdown import (
 )
 from repro.harness.workloads import Workload
 from repro.net.links import LinkModel
+from repro.protocols.base import TrainingRun
+from repro.protocols.registry import build_cluster
 from repro.sim.rng import RngStreams
 
 
@@ -86,14 +85,23 @@ class ExperimentSpec:
         workload: Model/data/optimizer bundle.
         topology: Communication graph (ignored by PS / all-reduce,
             which impose their own shape, except for worker count).
-        protocol: ``"hop"``, ``"notify_ack"``, ``"ps-bsp"``,
-            ``"ps-async"``, ``"ps-ssp"``, ``"allreduce"``, ``"adpsgd"``.
+        protocol: Any name in
+            :func:`repro.protocols.registered_protocols` — ``"hop"``,
+            ``"notify_ack"``, ``"ps-bsp"`` (alias ``"ps"``),
+            ``"ps-async"``, ``"ps-ssp"``, ``"allreduce"``,
+            ``"adpsgd"``, ``"partial-allreduce"``,
+            ``"momentum-tracking"``, plus anything registered by
+            downstream code.
         config: Hop configuration (hop protocol only).
         slowdown: Heterogeneity recipe.
         max_iter: Iterations per worker.
         seed: Master seed.
         links: Optional network override (machine-aware deployments).
         ps_backup / ps_staleness: PS-specific knobs.
+        group_size / static_groups: Partial-all-reduce knobs (group
+            width; static-partition ablation).
+        momentum_mode: ``"tracking"`` or ``"quasi-global"`` for the
+            momentum-tracking gossip protocol.
     """
 
     name: str
@@ -108,59 +116,15 @@ class ExperimentSpec:
     machines: Optional[tuple] = None
     ps_backup: int = 0
     ps_staleness: int = 0
+    group_size: int = 4
+    static_groups: bool = False
+    momentum_mode: str = "tracking"
 
     def with_(self, **changes) -> "ExperimentSpec":
         """A modified copy (dataclasses.replace sugar)."""
         return replace(self, **changes)
 
 
-def build_compute_model(spec: ExperimentSpec) -> ComputeModel:
-    streams = RngStreams(spec.seed).spawn("slowdown")
-    return ComputeModel(
-        base_time=spec.workload.base_compute_time,
-        n_workers=spec.topology.n,
-        slowdown=spec.slowdown.build(spec.topology.n, streams),
-    )
-
-
 def run_spec(spec: ExperimentSpec) -> TrainingRun:
-    """Build the cluster described by ``spec`` and run it."""
-    workload = spec.workload
-    compute_model = build_compute_model(spec)
-    common = dict(
-        model_factory=workload.model_factory,
-        dataset=workload.dataset,
-        optimizer=workload.optimizer_factory(),
-        batch_size=workload.batch_size,
-        compute_model=compute_model,
-        max_iter=spec.max_iter,
-        seed=spec.seed,
-        update_size=workload.update_size,
-    )
-
-    if spec.protocol in ("hop", "notify_ack"):
-        cluster = HopCluster(
-            topology=spec.topology,
-            config=spec.config,
-            protocol=spec.protocol,
-            links=spec.links,
-            machines=spec.machines,
-            **common,
-        )
-    elif spec.protocol in ("ps-bsp", "ps-async", "ps-ssp"):
-        cluster = ParameterServerCluster(
-            n_workers=spec.topology.n,
-            mode=spec.protocol.split("-", 1)[1],
-            n_backup=spec.ps_backup,
-            staleness=spec.ps_staleness,
-            **common,
-        )
-    elif spec.protocol == "allreduce":
-        cluster = RingAllReduceCluster(n_workers=spec.topology.n, **common)
-    elif spec.protocol == "adpsgd":
-        cluster = ADPSGDCluster(
-            topology=spec.topology, links=spec.links, **common
-        )
-    else:
-        raise ValueError(f"unknown protocol {spec.protocol!r}")
-    return cluster.run()
+    """Resolve ``spec.protocol`` through the registry, build, and run."""
+    return build_cluster(spec).run()

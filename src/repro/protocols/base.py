@@ -1,0 +1,399 @@
+"""Shared scaffolding every training protocol builds on.
+
+A *protocol* in this repository is a way of coordinating ``n`` model
+replicas that train on the same dataset: Hop's bounded-gap queues, a
+parameter server, ring all-reduce, gossip variants, partial
+all-reduce...  All of them share the same simulation skeleton:
+
+1. build one deterministic model replica per worker (identical ``p0``),
+2. wire protocol-specific coordination state (queues, locks, NICs),
+3. spawn one simulated process per worker (plus any servers) in a
+   :class:`~repro.sim.engine.Environment`,
+4. run the event loop to completion,
+5. average/evaluate the final parameters and package every measurement
+   as a :class:`TrainingRun`.
+
+:class:`ProtocolCluster` owns steps 1, 4 and 5 (and the metrics/run
+summary conventions); subclasses implement step 2/3 in :meth:`_start`
+and describe themselves through small hooks.  The
+:mod:`repro.protocols.registry` maps protocol names to builders so the
+harness and CLI can construct any registered cluster from an
+:class:`~repro.harness.spec.ExperimentSpec`.
+
+To add a new protocol, subclass :class:`ProtocolCluster`, implement
+``_start`` (spawn processes that eventually set ``runtime.done``), the
+description hooks, and register a builder — see
+``docs/ARCHITECTURE.md`` for a worked example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.graphs.spectral import consensus_distance
+from repro.hetero.compute import ComputeModel
+from repro.ml.data import Batcher, Dataset
+from repro.ml.metrics import smooth_series
+from repro.ml.optim import SGD
+from repro.net.message import params_message_size
+from repro.sim.engine import Environment
+from repro.sim.rng import RngStreams
+from repro.sim.trace import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import-cycle guard for type hints
+    from repro.core.gap import GapTracker
+
+
+class DeadlockError(RuntimeError):
+    """The simulation ran out of events before all workers finished.
+
+    Attributes:
+        stuck: ``(worker_id, iteration)`` pairs for unfinished workers.
+    """
+
+    def __init__(self, message: str, stuck=None) -> None:
+        super().__init__(message)
+        self.stuck = list(stuck or [])
+
+
+@dataclass
+class TrainingRun:
+    """Everything measured during one training run."""
+
+    protocol: str
+    config_description: str
+    topology_name: str
+    n_workers: int
+    max_iter: int
+    wall_time: float
+    tracer: Tracer
+    gap: GapTracker
+    iterations_completed: List[int]
+    iterations_skipped: List[int]
+    messages_sent: int
+    bytes_sent: float
+    final_params: np.ndarray
+    final_loss: Optional[float] = None
+    final_accuracy: Optional[float] = None
+    consensus: float = 0.0
+    worker_stats: List[dict] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Convergence analysis
+    # ------------------------------------------------------------------
+    def loss_series(self) -> Tuple[np.ndarray, np.ndarray]:
+        """All per-iteration training losses, merged and time-sorted."""
+        pairs: List[Tuple[float, float]] = []
+        for wid in range(self.n_workers):
+            pairs.extend(self.tracer.raw(f"loss/{wid}"))
+        pairs.sort(key=lambda tv: tv[0])
+        if not pairs:
+            return np.array([]), np.array([])
+        times = np.array([t for t, _ in pairs])
+        losses = np.array([v for _, v in pairs])
+        return times, losses
+
+    def smoothed_loss_series(
+        self, window: int = 32
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        times, losses = self.loss_series()
+        return times, smooth_series(losses, window)
+
+    def loss_vs_steps(self, window: int = 32) -> Tuple[np.ndarray, np.ndarray]:
+        """Mean loss per global step index (Figure 15's x-axis)."""
+        _, losses = self.loss_series()
+        return np.arange(losses.size), smooth_series(losses, window)
+
+    def time_to_loss(self, target: float, window: int = 32) -> float:
+        """First time the smoothed training loss reaches ``target``."""
+        times, losses = self.smoothed_loss_series(window)
+        below = np.nonzero(losses <= target)[0]
+        if below.size == 0:
+            return float("inf")
+        return float(times[below[0]])
+
+    def iteration_rate(self) -> float:
+        """Aggregate completed iterations per simulated second."""
+        total = sum(self.iterations_completed)
+        if self.wall_time <= 0:
+            return 0.0
+        return total / self.wall_time
+
+    def mean_iteration_duration(self) -> float:
+        """Average per-iteration wall time across workers."""
+        durations = [
+            stats["iteration_duration_mean"] for stats in self.worker_stats
+        ]
+        return float(np.mean(durations)) if durations else 0.0
+
+    def summary(self) -> str:
+        lines = [
+            f"protocol={self.protocol} ({self.config_description})",
+            f"topology={self.topology_name} workers={self.n_workers}",
+            f"wall_time={self.wall_time:.3f}s "
+            f"rate={self.iteration_rate():.2f} iter/s",
+            f"max_gap={self.gap.max_observed():g} "
+            f"messages={self.messages_sent}",
+        ]
+        if self.final_loss is not None:
+            lines.append(
+                f"final_loss={self.final_loss:.4f} "
+                f"final_accuracy={self.final_accuracy:.3f}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class ProtocolRuntime:
+    """Per-run mutable state shared between the base class and workers.
+
+    Created fresh at the top of :meth:`ProtocolCluster.run`; protocol
+    processes record progress here (``done``, message counters) and the
+    base class packages it into the :class:`TrainingRun`.
+    """
+
+    env: Environment
+    tracer: Tracer
+    gap: GapTracker
+    models: List[object]
+    update_size: float
+    done: np.ndarray
+    #: ``[messages_sent, bytes_sent]`` — plain list so simulated
+    #: processes can mutate it in place.
+    traffic: List[float] = field(default_factory=lambda: [0, 0.0])
+
+    def count_traffic(self, messages: int, bytes_sent: float) -> None:
+        """Record protocol traffic (used when no Network object exists)."""
+        self.traffic[0] += messages
+        self.traffic[1] += bytes_sent
+
+
+class ProtocolCluster:
+    """Base class for build-and-run training deployments.
+
+    Owns everything protocols share — deterministic model replication,
+    per-worker data streams, final-model evaluation, worker statistics
+    and :class:`TrainingRun` packaging — so a concrete protocol only
+    implements its coordination logic.
+
+    Args:
+        n_workers: Number of model replicas / simulated workers.
+        model_factory: ``f(rng) -> Model``; called once per worker with
+            identically seeded streams so all replicas start from the
+            same parameters (the paper's shared ``p0``).
+        dataset: Train/test data; every worker samples the full training
+            split with its own RNG stream.
+        optimizer: SGD prototype; cloned per worker (worker-local
+            state).
+        batch_size: Minibatch size per worker per iteration.
+        compute_model: Per-iteration compute-time oracle (heterogeneity
+            lives here).
+        max_iter: Iterations per worker.
+        seed: Master seed for all randomness.
+        update_size: Message size of one parameter update; derived from
+            the model dimension when omitted.
+        evaluate: Whether to evaluate the averaged final model on the
+            test split.
+
+    Subclass contract:
+
+    * :meth:`_start` — build protocol state and spawn processes; every
+      worker must set ``runtime.done[wid] = True`` when it finishes.
+    * :meth:`_config_description` / :meth:`_topology_name` — labels for
+      reports.
+    * :meth:`_final_param_stack` — per-worker final parameter matrix
+      (single-row for centralized protocols).
+    * Optional overrides: :meth:`_message_totals`,
+      :meth:`_collect_worker_stats`, :meth:`_iterations_completed`,
+      :meth:`_iterations_skipped`, :meth:`_check_complete`.
+    """
+
+    #: Registry name reported in :attr:`TrainingRun.protocol`;
+    #: subclasses override (or set per-instance for multi-mode
+    #: protocols like the parameter server).
+    protocol: str = "abstract"
+
+    def __init__(
+        self,
+        n_workers: int,
+        model_factory: Callable[[np.random.Generator], object],
+        dataset: Dataset,
+        optimizer: Optional[SGD] = None,
+        batch_size: int = 32,
+        compute_model: Optional[ComputeModel] = None,
+        max_iter: int = 100,
+        seed: int = 0,
+        update_size: Optional[float] = None,
+        evaluate: bool = True,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("need at least one worker")
+        if max_iter < 1:
+            raise ValueError("max_iter must be >= 1")
+        self.n_workers = n_workers
+        self.model_factory = model_factory
+        self.dataset = dataset
+        self.optimizer_proto = optimizer or SGD(lr=0.1, momentum=0.9)
+        self.batch_size = batch_size
+        self.max_iter = max_iter
+        self.seed = seed
+        self.streams = RngStreams(seed)
+        self.compute_model = compute_model or ComputeModel(
+            base_time=0.1, n_workers=n_workers
+        )
+        self._update_size = update_size
+        self.evaluate = evaluate
+
+    # ------------------------------------------------------------------
+    # Construction helpers (shared by every protocol)
+    # ------------------------------------------------------------------
+    def _build_models(self) -> List[object]:
+        """One model replica per worker, all starting from the same p0."""
+        models = []
+        for wid in range(self.n_workers):
+            # Same derived stream -> identical initialization (p0).
+            models.append(self.model_factory(self.streams.fresh("model-init")))
+        p0 = models[0].get_params()
+        for model in models[1:]:
+            if not np.allclose(model.get_params(), p0):
+                raise ValueError(
+                    "model_factory must be deterministic given its rng; "
+                    "worker replicas started from different parameters"
+                )
+        return models
+
+    def _make_batcher(self, wid: int) -> Batcher:
+        """Worker ``wid``'s private minibatch stream."""
+        return Batcher(
+            self.dataset.x_train,
+            self.dataset.y_train,
+            self.batch_size,
+            self.streams.stream("data", wid),
+        )
+
+    def _resolve_update_size(self, models: List[object]) -> float:
+        if self._update_size is not None:
+            return self._update_size
+        return params_message_size(models[0].dim)
+
+    # ------------------------------------------------------------------
+    # Subclass hooks
+    # ------------------------------------------------------------------
+    def _start(self, runtime: ProtocolRuntime) -> None:
+        """Build coordination state and spawn all simulated processes."""
+        raise NotImplementedError
+
+    def _config_description(self) -> str:
+        """Human-readable configuration summary for reports."""
+        raise NotImplementedError
+
+    def _topology_name(self) -> str:
+        """Communication-shape label for reports."""
+        raise NotImplementedError
+
+    def _final_param_stack(self, runtime: ProtocolRuntime) -> np.ndarray:
+        """``(n_replicas, dim)`` final parameters (may be single-row)."""
+        raise NotImplementedError
+
+    def _check_complete(self, runtime: ProtocolRuntime) -> None:
+        """Raise :class:`DeadlockError` unless every worker finished."""
+        if not runtime.done.all():
+            stuck = [int(w) for w in np.nonzero(~runtime.done)[0]]
+            raise DeadlockError(
+                f"{self.protocol}: {len(stuck)} workers never finished "
+                f"(wids {stuck}). This indicates a protocol deadlock or "
+                "an unsatisfiable advance condition.",
+                stuck=stuck,
+            )
+
+    def _message_totals(self, runtime: ProtocolRuntime) -> Tuple[int, float]:
+        """``(messages_sent, bytes_sent)`` for the whole run."""
+        return int(runtime.traffic[0]), float(runtime.traffic[1])
+
+    def _iterations_completed(self, runtime: ProtocolRuntime) -> List[int]:
+        return [self.max_iter] * self.n_workers
+
+    def _iterations_skipped(self, runtime: ProtocolRuntime) -> List[int]:
+        return [0] * self.n_workers
+
+    def _consensus(self, final_stack: np.ndarray) -> float:
+        return consensus_distance(final_stack)
+
+    def _collect_worker_stats(self, runtime: ProtocolRuntime) -> List[dict]:
+        """Default stats from the ``duration/<wid>`` trace series."""
+        stats = []
+        completed = self._iterations_completed(runtime)
+        for wid in range(self.n_workers):
+            values = [v for _, v in runtime.tracer.raw(f"duration/{wid}")]
+            stats.append(
+                {
+                    "wid": wid,
+                    "iterations_completed": completed[wid],
+                    "iteration_duration_mean": (
+                        float(np.mean(values)) if values else 0.0
+                    ),
+                    "iteration_duration_max": (
+                        float(np.max(values)) if values else 0.0
+                    ),
+                    "recv_wait_mean": 0.0,
+                    "loss_mean": 0.0,
+                }
+            )
+        return stats
+
+    # ------------------------------------------------------------------
+    # The shared run loop
+    # ------------------------------------------------------------------
+    def run(self) -> TrainingRun:
+        """Build the deployment, simulate it, and package the results."""
+        # Imported here, not at module scope: repro.core.cluster subclasses
+        # ProtocolCluster, so importing repro.core while this module loads
+        # would close an import cycle.
+        from repro.core.gap import GapTracker
+
+        env = Environment()
+        models = self._build_models()
+        runtime = ProtocolRuntime(
+            env=env,
+            tracer=Tracer(),
+            gap=GapTracker(self.n_workers),
+            models=models,
+            update_size=self._resolve_update_size(models),
+            done=np.zeros(self.n_workers, dtype=bool),
+        )
+        self._start(runtime)
+        env.run()
+        self._check_complete(runtime)
+
+        final_stack = np.atleast_2d(self._final_param_stack(runtime))
+        final_params = final_stack.mean(axis=0)
+        final_loss = final_accuracy = None
+        if self.evaluate:
+            models[0].set_params(final_params)
+            final_loss, final_accuracy = models[0].evaluate(
+                self.dataset.x_test, self.dataset.y_test
+            )
+
+        messages_sent, bytes_sent = self._message_totals(runtime)
+        return TrainingRun(
+            protocol=self.protocol,
+            config_description=self._config_description(),
+            topology_name=self._topology_name(),
+            n_workers=self.n_workers,
+            max_iter=self.max_iter,
+            wall_time=env.now,
+            tracer=runtime.tracer,
+            gap=runtime.gap,
+            iterations_completed=self._iterations_completed(runtime),
+            iterations_skipped=self._iterations_skipped(runtime),
+            messages_sent=messages_sent,
+            bytes_sent=bytes_sent,
+            final_params=final_params,
+            final_loss=final_loss,
+            final_accuracy=final_accuracy,
+            consensus=self._consensus(final_stack),
+            worker_stats=self._collect_worker_stats(runtime),
+        )

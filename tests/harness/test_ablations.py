@@ -19,4 +19,5 @@ def test_registry_complete():
         "max_ig",
         "queue_impl",
         "vs_adpsgd",
+        "partial_groups",
     }

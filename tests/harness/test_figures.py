@@ -51,5 +51,6 @@ def test_registry_covers_the_evaluation_section():
     expected = {
         "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
         "fig18", "fig19", "fig20", "fig21", "table1",
+        "fig22",  # extension: registry-wide protocol comparison
     }
     assert set(ALL_FIGURES) == expected

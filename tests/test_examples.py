@@ -57,6 +57,9 @@ def test_protocol_comparison():
     assert result.returncode == 0, result.stderr
     assert "homogeneous" in result.stdout
     assert "adpsgd" in result.stdout
+    # the registry's new heterogeneity-aware protocols compete too
+    assert "partial-allreduce" in result.stdout
+    assert "momentum-tracking/qg" in result.stdout
 
 
 def test_gap_theory_tour():
