@@ -1,0 +1,20 @@
+"""Figure 23 (extension): protocol x scenario-family grid.
+
+Runs every major protocol under every scenario-engine family (the
+paper's random recipe, bursty Markov stragglers, tiered hardware,
+diurnal interference, crash-restart) and asserts the robustness
+claims: hop degrades less than the global barrier under random
+slowdowns, and a crash-restart's blast radius stays inside Theorem 2's
+iteration-gap bound while its lifecycle is surfaced in the run stats.
+"""
+
+from repro.harness import fig23_scenario_grid
+
+
+def test_fig23_scenario_grid(benchmark, record_figure):
+    result = benchmark.pedantic(
+        lambda: fig23_scenario_grid(preset="bench", workload_name="svm"),
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)

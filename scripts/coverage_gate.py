@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Line-coverage gate for the tier-1 suite, stdlib-only.
+
+``scripts/ci.sh`` prefers ``pytest --cov=repro`` when pytest-cov is
+installed; this script is the fallback so the recorded coverage floor
+is *enforced* either way, not just written down.  It installs a
+``sys.settrace`` collector scoped to ``src/repro`` (non-repro frames
+opt out of line tracing, keeping the overhead tolerable), runs pytest
+in-process, then compares executed lines against each module's
+executable lines (derived from ``code.co_lines()`` over the compiled
+module).
+
+The measurement is slightly conservative versus coverage.py — e.g.
+docstring lines count as executable — so treat the floor as calibrated
+*for this tool*.
+
+Usage::
+
+    PYTHONPATH=src python scripts/coverage_gate.py --floor 80 [pytest args]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+from collections import defaultdict
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src" / "repro"
+
+
+def executable_lines(path: Path) -> set:
+    """All line numbers the compiler can attribute code to."""
+    lines: set = set()
+    try:
+        code = compile(path.read_text(), str(path), "exec")
+    except SyntaxError:  # pragma: no cover - repo must always compile
+        return lines
+    stack = [code]
+    while stack:
+        obj = stack.pop()
+        for _, _, line in obj.co_lines():
+            if line is not None:
+                lines.add(line)
+        stack.extend(
+            const for const in obj.co_consts if hasattr(const, "co_lines")
+        )
+    return lines
+
+
+class Collector:
+    """settrace hook recording executed lines of src/repro files."""
+
+    def __init__(self) -> None:
+        self.hits = defaultdict(set)
+        self._prefix = str(SRC)
+
+    def _local(self, frame, event, arg):
+        if event == "line":
+            self.hits[frame.f_code.co_filename].add(frame.f_lineno)
+        return self._local
+
+    def global_trace(self, frame, event, arg):
+        if event == "call" and frame.f_code.co_filename.startswith(
+            self._prefix
+        ):
+            return self._local
+        return None
+
+    def install(self) -> None:
+        sys.settrace(self.global_trace)
+        threading.settrace(self.global_trace)
+
+    def uninstall(self) -> None:
+        sys.settrace(None)
+        threading.settrace(None)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--floor", type=float, required=True,
+        help="minimum total line coverage percent",
+    )
+    parser.add_argument(
+        "pytest_args", nargs="*", default=[],
+        help="extra arguments forwarded to pytest",
+    )
+    args = parser.parse_args()
+
+    import pytest
+
+    collector = Collector()
+    collector.install()
+    try:
+        exit_code = pytest.main(["-x", "-q", *args.pytest_args])
+    finally:
+        collector.uninstall()
+    if exit_code != 0:
+        print(f"coverage gate: tests failed (exit {exit_code})")
+        return int(exit_code)
+
+    total_executable = total_hit = 0
+    rows = []
+    for path in sorted(SRC.rglob("*.py")):
+        possible = executable_lines(path)
+        if not possible:
+            continue
+        hit = collector.hits.get(str(path), set()) & possible
+        total_executable += len(possible)
+        total_hit += len(hit)
+        rows.append(
+            (
+                str(path.relative_to(REPO / "src")),
+                len(hit),
+                len(possible),
+            )
+        )
+
+    print()
+    print("coverage (stdlib settrace gate; conservative vs coverage.py):")
+    for name, hit, possible in rows:
+        percent = 100.0 * hit / possible
+        marker = "  " if percent >= args.floor else "! "
+        print(f"  {marker}{name:<45} {hit:>5}/{possible:<5} {percent:5.1f}%")
+    total = 100.0 * total_hit / max(total_executable, 1)
+    print(
+        f"TOTAL: {total_hit}/{total_executable} lines = {total:.1f}% "
+        f"(floor {args.floor:.0f}%)"
+    )
+    if total < args.floor:
+        print("coverage gate FAILED")
+        return 1
+    print("coverage gate OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

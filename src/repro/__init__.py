@@ -8,6 +8,9 @@ Subpackages:
 * :mod:`repro.ml` — pure-numpy training engine (CNN / SVM workloads).
 * :mod:`repro.net` — link timing, message fabric, NIC contention.
 * :mod:`repro.hetero` — compute-time models and slowdown injection.
+* :mod:`repro.scenarios` — the scenario engine: bursty/tiered/diurnal
+  slowdown models, trace record/replay, fault injection (crashes,
+  link flaps, message loss) and the scenario registry.
 * :mod:`repro.core` — the Hop protocol (update/token queues, gap
   theory, backup workers, bounded staleness, skipping, NOTIFY-ACK).
 * :mod:`repro.protocols` — the protocol base class and registry, plus
@@ -18,7 +21,8 @@ Subpackages:
   reproduction, sweeps, reports.
 
 Command line: ``python -m repro --help`` (``python -m repro protocols``
-lists every registered training protocol with citations).
+lists every registered training protocol, ``python -m repro
+scenarios`` every scenario family, each with citations).
 """
 
 __version__ = "1.0.0"

@@ -218,7 +218,9 @@ class ADPSGDCluster(ProtocolCluster):
 
 def _build_adpsgd(spec) -> ADPSGDCluster:
     return ADPSGDCluster(
-        topology=spec.topology, links=spec.links, **spec_common_kwargs(spec)
+        topology=spec.topology,
+        links=spec.scenario_links(),
+        **spec_common_kwargs(spec),
     )
 
 

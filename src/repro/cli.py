@@ -7,18 +7,26 @@ Commands:
 * ``train``    — one training run with any registered protocol.
 * ``graphs``   — inspect a topology (spectral gap, diameter, degrees).
 * ``protocols`` — list every protocol in the registry with citations.
+* ``scenarios`` — list every scenario family in the registry.
 
 ``train --protocol`` accepts any name from the protocol registry
 (:mod:`repro.protocols.registry`): ``hop``, ``notify_ack``, ``ps``
 (= ``ps-bsp``), ``ps-async``, ``ps-ssp``, ``allreduce``, ``adpsgd``,
 ``partial-allreduce`` (= ``prague``) and ``momentum-tracking``.
+
+``train --scenario`` accepts any scenario family
+(:mod:`repro.scenarios.registry`) with ``--scenario-param key=value``
+knobs; the legacy ``--slowdown`` flags cover the paper's two recipes
+with explicit ``--slowdown-factor`` / ``--slowdown-prob`` /
+``--stragglers`` controls.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.core.config import (
     STANDARD,
@@ -28,12 +36,13 @@ from repro.core.config import (
 )
 from repro.graphs import by_name as graph_by_name
 from repro.graphs import spectral_gap
-from repro.harness import ALL_FIGURES, ExperimentSpec, RANDOM_6X, SlowdownSpec
+from repro.harness import ALL_FIGURES, ExperimentSpec, SlowdownSpec
 from repro.harness.ablations import ALL_ABLATIONS
 from repro.harness.parallel import set_default_jobs
-from repro.harness.spec import deterministic_straggler, run_spec
+from repro.harness.spec import run_spec
 from repro.harness.workloads import by_name as workload_by_name
 from repro.protocols import protocol_table, registered_protocols
+from repro.scenarios import ScenarioSpec, registered_scenarios, scenario_table
 
 
 def _jobs_arg(value: str) -> int:
@@ -109,14 +118,95 @@ def _build_config(args: argparse.Namespace):
     )
 
 
+#: Python spellings of JSON literals — `resync=False` must mean false,
+#: not the truthy string "False".
+_PYTHON_LITERALS = {"True": True, "False": False, "None": None}
+
+
+def _scenario_param(pair: str):
+    """Parse one ``key=value`` pair; values are JSON when they parse."""
+    key, separator, raw = pair.partition("=")
+    if not separator or not key:
+        raise argparse.ArgumentTypeError(
+            f"--scenario-param needs key=value, got {pair!r}"
+        )
+    if raw in _PYTHON_LITERALS:
+        return key, _PYTHON_LITERALS[raw]
+    try:
+        value = json.loads(raw)
+    except json.JSONDecodeError:
+        value = raw  # bare strings (e.g. a trace path) pass through
+    return key, value
+
+
+def _stragglers_arg(text: str) -> Dict[int, float]:
+    """Parse a ``wid:factor,wid:factor`` multi-straggler map."""
+    workers: Dict[int, float] = {}
+    try:
+        for part in text.split(","):
+            wid, separator, factor = part.partition(":")
+            if not separator:
+                raise ValueError(part)
+            workers[int(wid)] = float(factor)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--stragglers needs wid:factor[,wid:factor...], got {text!r}"
+        )
+    return workers
+
+
+def _train_slowdown(args: argparse.Namespace) -> SlowdownSpec:
+    """The legacy --slowdown flags, with every SlowdownSpec knob exposed.
+
+    Knobs that cannot apply to the selected kind are an error, not a
+    silent no-op — `--stragglers` without `--slowdown straggler` must
+    not quietly run a clean cluster.
+    """
+    if args.stragglers is not None and args.slowdown != "straggler":
+        raise SystemExit("--stragglers needs --slowdown straggler")
+    if args.stragglers is not None and args.slowdown_factor is not None:
+        raise SystemExit(
+            "--stragglers already fixes per-worker factors; drop "
+            "--slowdown-factor"
+        )
+    if args.slowdown_prob is not None and args.slowdown != "random":
+        raise SystemExit("--slowdown-prob needs --slowdown random")
+    if args.slowdown_factor is not None and args.slowdown == "none":
+        raise SystemExit(
+            "--slowdown-factor needs --slowdown random or straggler"
+        )
+    if args.slowdown == "random":
+        factor = 6.0 if args.slowdown_factor is None else args.slowdown_factor
+        return SlowdownSpec(
+            kind="random", factor=factor, probability=args.slowdown_prob
+        )
+    if args.slowdown == "straggler":
+        if args.stragglers:
+            workers = args.stragglers
+        else:
+            factor = (
+                4.0 if args.slowdown_factor is None else args.slowdown_factor
+            )
+            workers = {0: factor}
+        return SlowdownSpec(kind="deterministic", workers=workers)
+    return SlowdownSpec()
+
+
 def _cmd_train(args: argparse.Namespace) -> int:
     workload = workload_by_name(args.workload, args.preset)
     topology = graph_by_name(args.graph, args.workers)
-    slowdown = SlowdownSpec()
-    if args.slowdown == "random":
-        slowdown = RANDOM_6X
-    elif args.slowdown == "straggler":
-        slowdown = deterministic_straggler(worker=0, factor=4.0)
+    scenario = None
+    if args.scenario:
+        if args.slowdown != "none":
+            raise SystemExit(
+                "--scenario and --slowdown are mutually exclusive; the "
+                "scenario registry covers the --slowdown recipes "
+                "(families 'random' and 'straggler')"
+            )
+        scenario = ScenarioSpec(args.scenario, dict(args.scenario_param or []))
+    elif args.scenario_param:
+        raise SystemExit("--scenario-param needs --scenario")
+    slowdown = _train_slowdown(args)
 
     spec = ExperimentSpec(
         name="cli",
@@ -125,6 +215,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         protocol=args.protocol,
         config=_build_config(args) if args.protocol == "hop" else STANDARD,
         slowdown=slowdown,
+        scenario=scenario,
         max_iter=args.iterations,
         seed=args.seed,
         ps_staleness=args.staleness if args.protocol == "ps-ssp" else 0,
@@ -132,7 +223,13 @@ def _cmd_train(args: argparse.Namespace) -> int:
         static_groups=args.static_groups,
         momentum_mode=args.momentum_mode,
     )
-    run = run_spec(spec)
+    try:
+        run = run_spec(spec)
+    except ValueError as error:
+        # Foreseeable spec mistakes (hop-only crash family on another
+        # protocol, out-of-range crash worker, bad scenario knobs)
+        # surface as one-line errors like every other flag misuse.
+        raise SystemExit(f"error: {error}")
     print(run.summary())
     if args.out:
         from repro.harness.io import save_run
@@ -148,6 +245,20 @@ def _cmd_protocols(args: argparse.Namespace) -> int:
         name = row["name"]
         if row["aliases"]:
             name += f" (alias: {row['aliases']})"
+        print(f"* {name}")
+        print(f"    {row['summary']}")
+        print(f"    [{row['paper']}]")
+    return 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    print("registered scenario families:")
+    for row in scenario_table():
+        name = row["name"]
+        if row["aliases"]:
+            name += f" (alias: {row['aliases']})"
+        if not row["universal"]:
+            name += "  [not universal: excluded from the conformance matrix]"
         print(f"* {name}")
         print(f"    {row['summary']}")
         print(f"    [{row['paper']}]")
@@ -224,6 +335,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--slowdown", default="none", choices=("none", "random", "straggler")
     )
     train.add_argument(
+        "--slowdown-factor", type=float, default=None,
+        help="slowdown multiplier (default: 6 for random, 4 for straggler)",
+    )
+    train.add_argument(
+        "--slowdown-prob", type=float, default=None,
+        help="random slowdown probability per iteration (default: 1/n)",
+    )
+    train.add_argument(
+        "--stragglers", type=_stragglers_arg, default=None,
+        help="multi-straggler map 'wid:factor,wid:factor' "
+             "(straggler slowdown only)",
+    )
+    train.add_argument(
+        "--scenario", default=None,
+        choices=tuple(registered_scenarios(include_aliases=True)),
+        help="scenario family (see `python -m repro scenarios`); "
+             "mutually exclusive with --slowdown",
+    )
+    train.add_argument(
+        "--scenario-param", action="append", type=_scenario_param,
+        metavar="KEY=VALUE",
+        help="scenario knob (repeatable); values parse as JSON, e.g. "
+             "--scenario-param worker=2 --scenario-param downtime_iters=6",
+    )
+    train.add_argument(
         "--group-size", type=int, default=4,
         help="partial-allreduce: workers per randomized group",
     )
@@ -249,6 +385,11 @@ def build_parser() -> argparse.ArgumentParser:
         "protocols", help="list the protocol registry"
     )
     protocols.set_defaults(func=_cmd_protocols)
+
+    scenarios = sub.add_parser(
+        "scenarios", help="list the scenario-family registry"
+    )
+    scenarios.set_defaults(func=_cmd_scenarios)
 
     return parser
 

@@ -37,6 +37,7 @@ from repro.protocols.base import (
     TrainingRun,
 )
 from repro.protocols.registry import register_protocol, spec_common_kwargs
+from repro.scenarios.faults import CrashEvent
 from repro.sim.engine import Environment
 
 __all__ = ["DeadlockError", "HopCluster", "TrainingRun"]
@@ -71,7 +72,13 @@ class HopCluster(ProtocolCluster):
         machines: Optional worker -> machine placement; co-located
             workers then share their host's uplink NIC.
         machine_uplink: The shared per-machine uplink.
-        crash_at: ``{worker: iteration}`` fail-stop injection (hop only).
+        crash_at: ``{worker: iteration}`` fail-stop injection (hop
+            only); legacy spelling for permanent ``crash_events``.
+        crash_events: ``{worker: CrashEvent}`` scenario fault injection
+            (hop only): permanent fail-stop or crash-restart with
+            neighbor re-sync.
+        message_loss: Optional loss-with-retransmit network fault model
+            (:class:`repro.scenarios.faults.MessageLoss`).
     """
 
     def __init__(
@@ -93,6 +100,8 @@ class HopCluster(ProtocolCluster):
         machines: Optional[Sequence[int]] = None,
         machine_uplink: Optional[Link] = None,
         crash_at: Optional[Dict[int, int]] = None,
+        crash_events: Optional[Dict[int, CrashEvent]] = None,
+        message_loss=None,
     ) -> None:
         if protocol not in ("hop", "notify_ack"):
             raise ValueError(f"unknown protocol {protocol!r}")
@@ -133,9 +142,17 @@ class HopCluster(ProtocolCluster):
         self.machine_uplink = machine_uplink or Link(
             latency=2e-4, bandwidth=125.0
         )
-        if crash_at is not None and protocol != "hop":
+        if (crash_at or crash_events) and protocol != "hop":
             raise ValueError("crash injection is only supported for hop")
+        if crash_at and crash_events:
+            raise ValueError("pass crash_at or crash_events, not both")
         self.crash_at = dict(crash_at or {})
+        self.crash_events: Dict[int, CrashEvent] = dict(crash_events or {})
+        for wid, iteration in self.crash_at.items():
+            self.crash_events[wid] = CrashEvent(
+                worker=wid, at_iteration=iteration
+            )
+        self.message_loss = message_loss
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -184,7 +201,7 @@ class HopCluster(ProtocolCluster):
 
     def _build_network(self, env: Environment) -> Network:
         if self.machines is None:
-            return Network(env, self.links)
+            return Network(env, self.links, message_loss=self.message_loss)
         # One shared uplink per machine: co-located workers contend for
         # their host's NIC on cross-machine sends.
         machine_nics: Dict[int, SharedNic] = {}
@@ -199,7 +216,11 @@ class HopCluster(ProtocolCluster):
             for wid in range(self.topology.n)
         }
         return Network(
-            env, self.links, egress_nics=egress, machine_of=self.machines
+            env,
+            self.links,
+            egress_nics=egress,
+            machine_of=self.machines,
+            message_loss=self.message_loss,
         )
 
     # ------------------------------------------------------------------
@@ -244,7 +265,7 @@ class HopCluster(ProtocolCluster):
                     if self.config.use_token_queues
                     else 0.0,
                     skip_policy=skip_policy,
-                    crash_at=self.crash_at.get(wid),
+                    crash_event=self.crash_events.get(wid),
                 )
                 workers.append(worker)
         else:
@@ -269,7 +290,10 @@ class HopCluster(ProtocolCluster):
                 )
                 workers.append(worker)
         self._workers = workers
+        peers = {worker.wid: worker for worker in workers}
         for worker in workers:
+            if hasattr(worker, "peers"):
+                worker.peers = peers  # restart re-sync needs live peers
             env.process(worker.run(), name=f"worker-{worker.wid}")
 
     def _check_complete(self, runtime: ProtocolRuntime) -> None:
@@ -279,10 +303,14 @@ class HopCluster(ProtocolCluster):
                 for w in self._workers
                 if not self._state.done[w.wid]
             ]
-            # Injected crashes legitimately strand the crashed worker
-            # and (eventually) its dependents; only raise when nothing
-            # explains the stall.
-            if not self.crash_at:
+            # Permanently crashed workers legitimately strand themselves
+            # and (eventually) their dependents; crash-*restart* events
+            # must still finish, so only permanent crashes excuse a
+            # stall.
+            has_permanent_crash = any(
+                event.permanent for event in self.crash_events.values()
+            )
+            if not has_permanent_crash:
                 raise DeadlockError(
                     f"{len(stuck)} workers never finished; (wid, iter) = "
                     f"{stuck}. This indicates a protocol deadlock or an "
@@ -303,6 +331,9 @@ class HopCluster(ProtocolCluster):
 
     def _message_totals(self, runtime: ProtocolRuntime) -> Tuple[int, float]:
         return self._network.messages_sent, self._network.bytes_sent.total
+
+    def _messages_dropped(self, runtime: ProtocolRuntime) -> int:
+        return self._network.messages_dropped
 
     def _iterations_completed(self, runtime: ProtocolRuntime) -> List[int]:
         return [w.iterations_completed for w in self._workers]
@@ -325,6 +356,7 @@ class HopCluster(ProtocolCluster):
         }
         for attribute in (
             "iterations_skipped",
+            "n_restarts",
             "n_jumps",
             "n_suppressed_sends",
             "n_extra_updates",
@@ -343,23 +375,29 @@ class HopCluster(ProtocolCluster):
 # Registry entries
 # ----------------------------------------------------------------------
 def _build_hop(spec) -> HopCluster:
+    scenario = spec.built_scenario()
     return HopCluster(
         topology=spec.topology,
         config=spec.config,
         protocol="hop",
-        links=spec.links,
+        links=spec.scenario_links(),
         machines=spec.machines,
+        crash_events=scenario.faults.crash_events(),
+        message_loss=spec.scenario_message_loss(),
         **spec_common_kwargs(spec),
     )
 
 
 def _build_notify_ack(spec) -> HopCluster:
+    # notify_ack has no native crash semantics; spec_common_kwargs
+    # composed any crash downtime into the compute model instead.
     return HopCluster(
         topology=spec.topology,
         config=spec.config,
         protocol="notify_ack",
-        links=spec.links,
+        links=spec.scenario_links(),
         machines=spec.machines,
+        message_loss=spec.scenario_message_loss(),
         **spec_common_kwargs(spec),
     )
 
@@ -370,6 +408,7 @@ register_protocol(
     summary="Hop: bounded-gap decentralized training (backup workers, "
     "bounded staleness, skipping)",
     paper="Luo, Lin, Zhuo, Qian — ASPLOS 2019 (arXiv:1902.01064)",
+    native_faults=True,  # _build_hop wires crash_events into workers
 )
 register_protocol(
     "notify_ack",

@@ -27,6 +27,7 @@ from repro.core.update import Update
 from repro.hetero.compute import ComputeModel
 from repro.net.message import Message
 from repro.net.network import Network
+from repro.scenarios.faults import CrashEvent
 from repro.sim.engine import Environment
 from repro.sim.trace import StatAccumulator, Tracer
 
@@ -70,6 +71,7 @@ class HopWorker:
         token_rtt: float = 0.0,
         skip_policy: Optional[SkipPolicy] = None,
         crash_at: Optional[int] = None,
+        crash_event: Optional[CrashEvent] = None,
     ) -> None:
         self.wid = wid
         self.env = env
@@ -91,8 +93,21 @@ class HopWorker:
         self.skip_policy = skip_policy
         if crash_at is not None and crash_at < 0:
             raise ValueError("crash_at must be >= 0")
-        self.crash_at = crash_at
+        if crash_at is not None and crash_event is not None:
+            raise ValueError("pass crash_at or crash_event, not both")
+        if crash_at is not None:
+            # Legacy fail-stop spelling -> permanent crash event.
+            crash_event = CrashEvent(worker=wid, at_iteration=crash_at)
+        self.crash_event = crash_event
         self.crashed = False
+        #: True while this worker is dark (crash-restart downtime);
+        #: peers must not re-sync from it during the outage.
+        self.down = False
+        self._crash_pending = crash_event is not None
+        self.n_restarts = 0
+        #: Other workers by wid; set by the cluster after construction
+        #: so a restarted worker can re-sync from a live in-neighbor.
+        self.peers: Dict[int, "HopWorker"] = {}
 
         self.recv: RecvStrategy = make_recv_strategy(config)
         self.in_neighbors = topology.in_neighbors(wid, include_self=True)
@@ -116,6 +131,8 @@ class HopWorker:
         self.token_wait = StatAccumulator()
         self.losses = StatAccumulator()
         self.final_params: np.ndarray = model.get_params()
+        #: Latest parameter vector (snapshot other workers re-sync from).
+        self.current_params: np.ndarray = model.get_params()
 
     # ------------------------------------------------------------------
     # Queue access
@@ -194,6 +211,67 @@ class HopWorker:
         return refreshed
 
     # ------------------------------------------------------------------
+    # Failure injection (Section 3.4's "accidental node crashes")
+    # ------------------------------------------------------------------
+    def _live_resync_source(self) -> Optional["HopWorker"]:
+        """A live in-neighbor to copy parameters from after a restart.
+
+        Skips peers that are permanently crashed *or* currently dark in
+        their own restart downtime — a dark machine cannot serve its
+        parameters.
+        """
+        for j in self.in_neighbors:
+            peer = self.peers.get(j)
+            if (
+                peer is not None
+                and peer.wid != self.wid
+                and not peer.crashed
+                and not peer.down
+            ):
+                return peer
+        return None
+
+    def _crash(self, x: np.ndarray, k: int):
+        """Generator: enact this worker's crash event at iteration ``k``.
+
+        Permanent: stop cold — no sends, no token inserts, no done flag;
+        Theorem 2 bounds the blast radius.  Crash-restart: go dark for
+        the downtime, re-sync parameters from a live in-neighbor (one
+        parameter-sized transfer), then resume at iteration ``k`` —
+        tokens and queue contents live in the fabric, not on the
+        worker, so protocol invariants survive the outage untouched.
+
+        Returns ``None`` for a permanent crash (caller must stop), or
+        the parameter vector to resume with.
+        """
+        event = self.crash_event
+        self.tracer.log(f"crashed/{self.wid}", self.env.now, k)
+        if event.permanent:
+            self.crashed = True
+            self.final_params = x
+            return None
+        self.down = True
+        downtime = float(event.downtime_iters) * float(
+            self.compute_model.base_times[self.wid]
+        )
+        if downtime > 0:
+            yield self.env.timeout(downtime)
+        self.down = False
+        if event.resync:
+            source = self._live_resync_source()
+            if source is not None:
+                # Pull the neighbor's current parameters (blocking
+                # parameter-sized transfer), replacing lost state.
+                yield self.network.transfer(
+                    source.wid, self.wid, self.update_size
+                )
+                x = source.current_params.copy()
+                self.tracer.log(f"resynced/{self.wid}", self.env.now, k)
+        self.n_restarts += 1
+        self.tracer.log(f"restarted/{self.wid}", self.env.now, k)
+        return x
+
+    # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
     def run(self):
@@ -201,14 +279,11 @@ class HopWorker:
         x = self.model.get_params()
         k = 0
         while k < self.max_iter:
-            if self.crash_at is not None and k >= self.crash_at:
-                # Failure injection (Section 3.4's "accidental node
-                # crashes"): stop cold — no sends, no token inserts, no
-                # done flag.  Theorem 2 bounds the blast radius.
-                self.crashed = True
-                self.final_params = x
-                self.tracer.log(f"crashed/{self.wid}", self.env.now, k)
-                return self.iterations_completed
+            if self._crash_pending and k >= self.crash_event.at_iteration:
+                self._crash_pending = False
+                x = yield from self._crash(x, k)
+                if x is None:
+                    return self.iterations_completed
             start = self.env.now
             self.state.iterations[self.wid] = k
             self.gap_tracker.record(self.wid, k)
@@ -244,6 +319,7 @@ class HopWorker:
             self.tracer.log(f"loss/{self.wid}", self.env.now, loss)
             self.losses.add(loss)
             self.iterations_completed = k + 1
+            self.current_params = x
 
             # Advance: acquire tokens, possibly jumping (Section 5).
             next_k = k + 1

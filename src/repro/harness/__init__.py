@@ -23,6 +23,7 @@ from repro.harness.figures import (
     fig20_topology,
     fig21_spectral_gaps,
     fig22_protocols,
+    fig23_scenario_grid,
     table1_gap_bounds,
 )
 from repro.harness.report import (
@@ -54,6 +55,7 @@ from repro.harness.spec import (
     deterministic_straggler,
     run_spec,
 )
+from repro.scenarios import ScenarioSpec
 from repro.harness.ablations import ALL_ABLATIONS
 from repro.harness.io import (
     figure_to_dict,
@@ -85,6 +87,7 @@ __all__ = [
     "FigureResult",
     "PRESETS",
     "RANDOM_6X",
+    "ScenarioSpec",
     "SlowdownSpec",
     "Workload",
     "binned_loss_curve",
@@ -105,6 +108,7 @@ __all__ = [
     "fig20_topology",
     "fig21_spectral_gaps",
     "fig22_protocols",
+    "fig23_scenario_grid",
     "figure_to_dict",
     "final_smoothed_loss",
     "iteration_rate_speedup",

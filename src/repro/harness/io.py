@@ -33,6 +33,8 @@ def run_to_dict(run: TrainingRun, curve_bins: int = 40) -> dict:
         "iterations_skipped": list(map(int, run.iterations_skipped)),
         "messages_sent": int(run.messages_sent),
         "bytes_sent": float(run.bytes_sent),
+        "messages_dropped": int(run.messages_dropped),
+        "fault_events": [dict(event) for event in run.fault_events],
         "max_gap": run.gap.max_observed(),
         "final_loss": run.final_loss,
         "final_accuracy": run.final_accuracy,

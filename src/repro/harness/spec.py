@@ -22,18 +22,26 @@ from repro.hetero.slowdown import (
     SlowdownModel,
 )
 from repro.harness.workloads import Workload
-from repro.net.links import LinkModel
+from repro.net.links import LinkModel, uniform_links
 from repro.protocols.base import TrainingRun
 from repro.protocols.registry import build_cluster
+from repro.scenarios.spec import Scenario, ScenarioSpec
 from repro.sim.rng import RngStreams
 
 
 @dataclass(frozen=True)
 class SlowdownSpec:
-    """Serializable description of a heterogeneity recipe.
+    """Serializable description of a heterogeneity recipe (legacy).
 
     ``kind``: ``"none"``, ``"random"`` (paper: factor 6, p = 1/n), or
     ``"deterministic"`` (paper: one worker, factor 4).
+
+    This predates the scenario engine and covers only the paper's two
+    recipes; :class:`~repro.scenarios.ScenarioSpec` subsumes it
+    (``ScenarioSpec.from_slowdown``) and adds bursty/tiered/diurnal
+    models, trace replay and fault injection.  Kept for backward
+    compatibility — every ``ExperimentSpec(slowdown=...)`` call site
+    continues to work unchanged.
     """
 
     kind: str = "none"
@@ -93,7 +101,12 @@ class ExperimentSpec:
             ``"momentum-tracking"``, plus anything registered by
             downstream code.
         config: Hop configuration (hop protocol only).
-        slowdown: Heterogeneity recipe.
+        slowdown: Legacy heterogeneity recipe (the paper's two
+            Section 7.3 settings); ignored when ``scenario`` is set.
+        scenario: Scenario-engine recipe — any family in
+            :func:`repro.scenarios.registered_scenarios` (slowdown
+            models, trace replay, crashes, link flaps, message loss).
+            ``None`` falls back to ``slowdown``.
         max_iter: Iterations per worker.
         seed: Master seed.
         links: Optional network override (machine-aware deployments).
@@ -110,6 +123,7 @@ class ExperimentSpec:
     protocol: str = "hop"
     config: HopConfig = STANDARD
     slowdown: SlowdownSpec = SlowdownSpec()
+    scenario: Optional[ScenarioSpec] = None
     max_iter: int = 60
     seed: int = 0
     links: Optional[LinkModel] = None
@@ -123,6 +137,48 @@ class ExperimentSpec:
     def with_(self, **changes) -> "ExperimentSpec":
         """A modified copy (dataclasses.replace sugar)."""
         return replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # Scenario resolution (single source of truth for heterogeneity)
+    # ------------------------------------------------------------------
+    def resolved_scenario(self) -> ScenarioSpec:
+        """The scenario in effect: ``scenario`` or converted ``slowdown``."""
+        if self.scenario is not None:
+            return self.scenario
+        return ScenarioSpec.from_slowdown(self.slowdown)
+
+    def built_scenario(self) -> Scenario:
+        """The built scenario (models + fault plan), cached per spec.
+
+        One run touches this from several places (compute model, crash
+        plan, links, message loss); building once avoids re-parsing
+        trace files and re-deriving streams.  Sharing the cached model
+        instances across repeated runs of the same spec is safe: the
+        slowdown-model contract makes factors query-order independent,
+        so reuse cannot change any value.
+        """
+        cached = getattr(self, "_built_scenario", None)
+        if cached is None:
+            cached = self.resolved_scenario().build(
+                self.topology.n, RngStreams(self.seed).spawn("slowdown")
+            )
+            # Frozen dataclass: stash the cache without widening the
+            # equality/replace surface.
+            object.__setattr__(self, "_built_scenario", cached)
+        return cached
+
+    def scenario_links(self) -> Optional[LinkModel]:
+        """``links`` with the scenario's link flaps applied (if any)."""
+        scenario = self.built_scenario()
+        if not scenario.faults.link_flaps:
+            return self.links
+        return scenario.wrap_links(self.links or uniform_links())
+
+    def scenario_message_loss(self):
+        """The scenario's message-loss model, seeded from this spec."""
+        return self.built_scenario().message_loss(
+            RngStreams(self.seed).spawn("faults")
+        )
 
 
 def run_spec(spec: ExperimentSpec) -> TrainingRun:

@@ -15,11 +15,19 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
+import numpy as np
+
 from repro.sim.rng import RngStreams
 
 
 class SlowdownModel:
-    """Base class: multiplicative compute-time factor per (worker, iter)."""
+    """Base class: multiplicative compute-time factor per (worker, iter).
+
+    Contract (relied on by the scenario engine and its property tests):
+    ``factor`` must be >= 1, deterministic given the model's seed, and
+    independent of the order in which ``(worker, iteration)`` pairs are
+    queried.
+    """
 
     def factor(self, worker: int, iteration: int) -> float:
         raise NotImplementedError
@@ -41,10 +49,21 @@ class NoSlowdown(SlowdownModel):
 class RandomSlowdown(SlowdownModel):
     """Each worker is slowed ``factor``x w.p. ``probability`` per iteration.
 
-    The paper uses ``factor=6`` and ``probability=1/n``.  Draws are
-    memoized per (worker, iteration) so repeated queries (e.g. for
-    tracing) see consistent values, and each worker has its own RNG
-    stream for reproducibility.
+    The paper uses ``factor=6`` and ``probability=1/n``.  Each worker
+    draws from its own counter-based PCG64 stream: the draw for
+    ``(worker, iteration)`` is the ``iteration``-th output of the
+    worker's generator, obtained by advancing to that counter rather
+    than by consuming a shared stateful stream.  This makes queries
+    stateless — no per-(worker, iteration) memo that grows without
+    bound over long runs — and, because PCG64 consumes one state step
+    per ``random()`` call, it produces *exactly* the factors the
+    original memoized implementation produced for dense in-order
+    access (every non-skipping run; the regression test pins this).
+    Runs using hop's skip/jump policy query a sparse iteration
+    subsequence, where the legacy scheme handed out the q-th draw for
+    the q-th *query*; those runs now get the properly
+    iteration-indexed draw instead, so their same-seed factors
+    changed (to the semantics the iteration index always implied).
     """
 
     def __init__(
@@ -60,15 +79,31 @@ class RandomSlowdown(SlowdownModel):
         self._streams = streams
         self.slow_factor = float(factor)
         self.probability = float(probability)
-        self._memo: Dict[tuple, float] = {}
+        #: Expanded per-worker PCG64 start states (seeding is the
+        #: expensive part; the state dict is O(workers), not O(iters)).
+        self._worker_states: Dict[int, dict] = {}
+        #: One reusable bit generator + wrapper; its state is
+        #: overwritten on every query, so no draw history survives.
+        self._bits = np.random.PCG64(0)
+        self._gen = np.random.Generator(self._bits)
+
+    def _worker_state(self, worker: int) -> dict:
+        # fresh() derives the same seed streams.stream("slowdown",
+        # worker) used, so factors are unchanged for existing master
+        # seeds; only the expanded PCG64 start state is kept.
+        if worker not in self._worker_states:
+            self._worker_states[worker] = self._streams.fresh(
+                "slowdown", worker
+            ).bit_generator.state
+        return self._worker_states[worker]
 
     def factor(self, worker: int, iteration: int) -> float:
-        key = (worker, iteration)
-        if key not in self._memo:
-            rng = self._streams.stream("slowdown", worker)
-            draw = rng.random()
-            self._memo[key] = self.slow_factor if draw < self.probability else 1.0
-        return self._memo[key]
+        if iteration < 0:
+            raise ValueError(f"iteration must be >= 0, got {iteration}")
+        self._bits.state = self._worker_state(worker)
+        self._bits.advance(iteration)
+        draw = self._gen.random()
+        return self.slow_factor if draw < self.probability else 1.0
 
     def describe(self) -> str:
         return f"random({self.slow_factor:g}x, p={self.probability:g})"

@@ -39,6 +39,12 @@ class Network:
         machine_of: Worker -> machine map used to decide whether a
             transfer leaves the machine.  ``None`` treats every
             non-self edge as cross-machine.
+        message_loss: Optional loss-with-retransmit model (scenario
+            fault injection, see
+            :class:`repro.scenarios.faults.MessageLoss`).  A dropped
+            attempt costs the transfer time plus the retransmit
+            timeout; delivery stays eventual, so protocols cannot
+            deadlock on a lost update.
     """
 
     def __init__(
@@ -47,13 +53,28 @@ class Network:
         links: Optional[LinkModel] = None,
         egress_nics: Optional[Dict[int, "SharedNic"]] = None,
         machine_of: Optional[Sequence[int]] = None,
+        message_loss=None,
     ) -> None:
         self.env = env
         self.links = links or LinkModel()
         self.egress_nics = egress_nics or {}
         self.machine_of = list(machine_of) if machine_of is not None else None
+        self.message_loss = message_loss
         self.bytes_sent = StatAccumulator()
         self.messages_sent = 0
+
+    @property
+    def messages_dropped(self) -> int:
+        return self.message_loss.messages_dropped if self.message_loss else 0
+
+    def _loss_penalty(self, src: int, dst: int, transfer_time: float) -> float:
+        """Extra delay for lost attempts of one (src != dst) message."""
+        if self.message_loss is None or src == dst:
+            return 0.0
+        # Draws happen synchronously at send time, so the draw order —
+        # and with it the whole run — stays deterministic.
+        drops = self.message_loss.draw_drops()
+        return drops * (transfer_time + self.message_loss.retransmit_timeout)
 
     def _egress_nic(self, src: int, dst: int) -> Optional["SharedNic"]:
         if src == dst or src not in self.egress_nics:
@@ -74,8 +95,11 @@ class Network:
         nic = self._egress_nic(message.src, message.dst)
 
         if nic is None:
-            delay = self.links.transfer_time(
+            transfer = self.links.transfer_time(
                 message.src, message.dst, message.size
+            )
+            delay = transfer + self._loss_penalty(
+                message.src, message.dst, transfer
             )
 
             def delivery(env: Environment):
@@ -84,12 +108,21 @@ class Network:
 
         else:
             # Serialization happens at the shared machine uplink; only
-            # the propagation latency remains on the link itself.
+            # the propagation latency remains on the link itself.  A
+            # lost attempt still pays the full (estimated) transfer —
+            # NIC serialization plus propagation — before the retry,
+            # matching the non-NIC path's per-drop cost.
             latency = self.links.link(message.src, message.dst).latency
+            attempt_cost = (
+                nic.latency + message.size / nic.bandwidth + latency
+            )
+            penalty = self._loss_penalty(
+                message.src, message.dst, attempt_cost
+            )
 
             def delivery(env: Environment):
                 yield from nic.transfer(message.size)
-                yield env.timeout(latency)
+                yield env.timeout(latency + penalty)
                 deliver(message)
 
         return self.env.process(
@@ -100,13 +133,19 @@ class Network:
         """An event that fires when a transfer completes (blocking send)."""
         self.messages_sent += 1
         self.bytes_sent.add(size)
-        return self.env.timeout(self.links.transfer_time(src, dst, size))
+        duration = self.links.transfer_time(src, dst, size)
+        return self.env.timeout(
+            duration + self._loss_penalty(src, dst, duration)
+        )
 
     def rpc(self, src: int, dst: int, size: float = 0.0) -> Event:
         """An event that fires after a request/response round trip."""
         self.messages_sent += 2
         self.bytes_sent.add(size)
-        return self.env.timeout(self.links.round_trip(src, dst, size))
+        duration = self.links.round_trip(src, dst, size)
+        return self.env.timeout(
+            duration + self._loss_penalty(src, dst, duration)
+        )
 
     def __repr__(self) -> str:
         return f"<Network messages={self.messages_sent}>"

@@ -80,6 +80,12 @@ class TrainingRun:
     final_accuracy: Optional[float] = None
     consensus: float = 0.0
     worker_stats: List[dict] = field(default_factory=list)
+    #: Crash/recovery lifecycle events (scenario fault injection):
+    #: ``{"kind": "crashed"|"restarted"|"resynced", "worker", "time",
+    #: "iteration"}``, time-ordered.
+    fault_events: List[dict] = field(default_factory=list)
+    #: Messages lost (and retransmitted) by the network fault layer.
+    messages_dropped: int = 0
 
     # ------------------------------------------------------------------
     # Convergence analysis
@@ -143,6 +149,14 @@ class TrainingRun:
                 f"final_loss={self.final_loss:.4f} "
                 f"final_accuracy={self.final_accuracy:.3f}"
             )
+        if self.fault_events:
+            summarized = ", ".join(
+                f"{event['kind']} w{event['worker']}@{event['iteration']}"
+                for event in self.fault_events
+            )
+            lines.append(f"faults: {summarized}")
+        if self.messages_dropped:
+            lines.append(f"messages_dropped={self.messages_dropped}")
         return "\n".join(lines)
 
 
@@ -313,6 +327,40 @@ class ProtocolCluster:
         """``(messages_sent, bytes_sent)`` for the whole run."""
         return int(runtime.traffic[0]), float(runtime.traffic[1])
 
+    def _messages_dropped(self, runtime: ProtocolRuntime) -> int:
+        """Messages lost to fault injection (protocols with a Network)."""
+        return 0
+
+    #: Tracer-key prefixes surfaced as lifecycle fault events, in
+    #: causal order (a restart completes *after* the re-sync it did) —
+    #: the index breaks same-timestamp ties in the sorted event list.
+    FAULT_EVENT_KINDS = ("crashed", "resynced", "restarted")
+
+    def _collect_fault_events(self, runtime: ProtocolRuntime) -> List[dict]:
+        """Crash/recovery events logged as ``<kind>/<wid>`` traces."""
+        events = []
+        for key in runtime.tracer.keys():
+            kind, _, rest = key.partition("/")
+            if kind not in self.FAULT_EVENT_KINDS or not rest.isdigit():
+                continue
+            for time, value in runtime.tracer.raw(key):
+                events.append(
+                    {
+                        "kind": kind,
+                        "worker": int(rest),
+                        "time": float(time),
+                        "iteration": int(value) if value is not None else -1,
+                    }
+                )
+        events.sort(
+            key=lambda event: (
+                event["time"],
+                event["worker"],
+                self.FAULT_EVENT_KINDS.index(event["kind"]),
+            )
+        )
+        return events
+
     def _iterations_completed(self, runtime: ProtocolRuntime) -> List[int]:
         return [self.max_iter] * self.n_workers
 
@@ -355,6 +403,11 @@ class ProtocolCluster:
         from repro.core.gap import GapTracker
 
         env = Environment()
+        # Time-varying link models (scenario link flaps) need the
+        # simulated clock; bind it before any process consults a link.
+        links = getattr(self, "links", None)
+        if callable(getattr(links, "bind_clock", None)):
+            links.bind_clock(lambda: env.now)
         models = self._build_models()
         runtime = ProtocolRuntime(
             env=env,
@@ -396,4 +449,6 @@ class ProtocolCluster:
             final_accuracy=final_accuracy,
             consensus=self._consensus(final_stack),
             worker_stats=self._collect_worker_stats(runtime),
+            fault_events=self._collect_fault_events(runtime),
+            messages_dropped=self._messages_dropped(runtime),
         )

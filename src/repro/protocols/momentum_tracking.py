@@ -195,7 +195,7 @@ class MomentumTrackingCluster(ADPSGDCluster):
 def _build_momentum_tracking(spec) -> MomentumTrackingCluster:
     return MomentumTrackingCluster(
         topology=spec.topology,
-        links=spec.links,
+        links=spec.scenario_links(),
         momentum_mode=spec.momentum_mode,
         **spec_common_kwargs(spec),
     )

@@ -276,7 +276,7 @@ def _build_partial_allreduce(spec) -> PartialAllReduceCluster:
         n_workers=spec.topology.n,
         group_size=spec.group_size,
         static_groups=spec.static_groups,
-        links=spec.links,
+        links=spec.scenario_links(),
         **spec_common_kwargs(spec),
     )
 

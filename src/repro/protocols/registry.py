@@ -53,6 +53,12 @@ class ProtocolInfo:
         summary: One-line description for ``--help`` and docs tables.
         paper: Citation for the protocol's source.
         aliases: Alternative names resolving to the same builder.
+        native_faults: The builder wires scenario crash events into the
+            cluster itself (workers enact crash/restart natively), so
+            :func:`spec_common_kwargs` must NOT also fold the downtime
+            into the compute model.  Set this on registration whenever
+            the builder passes ``crash_events`` through — otherwise the
+            outage is charged twice.
     """
 
     name: str
@@ -60,6 +66,7 @@ class ProtocolInfo:
     summary: str = ""
     paper: str = ""
     aliases: tuple = ()
+    native_faults: bool = False
 
 
 _REGISTRY: Dict[str, ProtocolInfo] = {}
@@ -73,6 +80,7 @@ def register_protocol(
     summary: str = "",
     paper: str = "",
     aliases: tuple = (),
+    native_faults: bool = False,
 ) -> ProtocolInfo:
     """Register (or re-register) a protocol builder under ``name``."""
     info = ProtocolInfo(
@@ -81,6 +89,7 @@ def register_protocol(
         summary=summary,
         paper=paper,
         aliases=tuple(aliases),
+        native_faults=native_faults,
     )
     _REGISTRY[name] = info
     for alias in info.aliases:
@@ -141,17 +150,26 @@ def protocol_table() -> List[dict]:
 
 
 def spec_common_kwargs(spec: "ExperimentSpec") -> dict:
-    """Constructor kwargs shared by every :class:`ProtocolCluster`."""
-    from repro.hetero.compute import ComputeModel
-    from repro.sim.rng import RngStreams
+    """Constructor kwargs shared by every :class:`ProtocolCluster`.
 
+    Heterogeneity comes from the spec's *scenario* (the legacy
+    ``slowdown`` field converts transparently).  Protocols registered
+    with ``native_faults=True`` (hop: its workers enact crash/restart
+    events themselves) get the pure slowdown model; for every other
+    protocol the crash downtime is composed into the compute model as
+    an equivalent stall, so fault scenarios run under the whole
+    registry.
+    """
     workload = spec.workload
+    scenario = spec.built_scenario()
+    native_faults = get_protocol(spec.protocol).native_faults
+
+    from repro.hetero.compute import ComputeModel
+
     compute_model = ComputeModel(
         base_time=workload.base_compute_time,
         n_workers=spec.topology.n,
-        slowdown=spec.slowdown.build(
-            spec.topology.n, RngStreams(spec.seed).spawn("slowdown")
-        ),
+        slowdown=scenario.compute_slowdown(native_faults=native_faults),
     )
     return dict(
         model_factory=workload.model_factory,

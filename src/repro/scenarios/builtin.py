@@ -1,0 +1,305 @@
+"""Built-in scenario families.
+
+Registered on import (the registry imports this module lazily, exactly
+like the protocol registry imports the protocol modules).  Slowdown
+families map straight to a model; fault families additionally accept a
+nested ``"slowdown"`` param — itself a ``{"family", "params"}`` dict —
+so faults compose with any heterogeneity recipe::
+
+    ScenarioSpec("crash-restart", {
+        "worker": 2, "at": 5, "downtime_iters": 6,
+        "slowdown": {"family": "random", "params": {"factor": 6.0}},
+    })
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.hetero.slowdown import (
+    DeterministicSlowdown,
+    NoSlowdown,
+    RandomSlowdown,
+)
+from repro.scenarios.faults import CrashEvent, FaultPlan, LinkFlap
+from repro.scenarios.models import (
+    DiurnalSlowdown,
+    MarkovSlowdown,
+    TieredSlowdown,
+)
+from repro.scenarios.registry import register_scenario
+from repro.scenarios.spec import Scenario, ScenarioSpec
+from repro.scenarios.trace import TraceSlowdown
+from repro.sim.rng import RngStreams
+
+HOP_PAPER = "Luo, Lin, Zhuo, Qian — ASPLOS 2019 (arXiv:1902.01064)"
+
+
+def _nested_slowdown(params: dict, n_workers: int, streams: RngStreams):
+    """Resolve a fault family's optional nested slowdown recipe."""
+    nested = params.get("slowdown")
+    if nested is None:
+        return NoSlowdown()
+    spec = ScenarioSpec.from_dict(nested)
+    built = spec.build(n_workers, streams)
+    if not built.faults.empty:
+        raise ValueError(
+            f"nested slowdown {spec.family!r} must be a pure slowdown "
+            "family (it carries faults of its own)"
+        )
+    return built.slowdown
+
+
+def _straggler_map(params: dict) -> Dict[int, float]:
+    if "workers" in params:
+        return {int(w): float(f) for w, f in params["workers"].items()}
+    return {int(params.get("worker", 0)): float(params.get("factor", 4.0))}
+
+
+# ----------------------------------------------------------------------
+# Pure slowdown families
+# ----------------------------------------------------------------------
+def _build_none(params, n_workers, streams) -> Scenario:
+    return Scenario("none", NoSlowdown())
+
+
+def _build_random(params, n_workers, streams) -> Scenario:
+    probability = params.get("probability")
+    return Scenario(
+        "random",
+        RandomSlowdown(
+            streams,
+            factor=float(params.get("factor", 6.0)),
+            probability=(
+                float(probability)
+                if probability is not None
+                else 1.0 / n_workers
+            ),
+        ),
+    )
+
+
+def _build_straggler(params, n_workers, streams) -> Scenario:
+    workers = _straggler_map(params)
+    for worker in workers:
+        # An out-of-range id would silently run a clean cluster.
+        if not 0 <= worker < n_workers:
+            raise ValueError(
+                f"straggler worker {worker} out of range for "
+                f"{n_workers} workers"
+            )
+    return Scenario("straggler", DeterministicSlowdown(workers))
+
+
+def _build_bursty(params, n_workers, streams) -> Scenario:
+    return Scenario(
+        "bursty",
+        MarkovSlowdown(
+            streams,
+            factor=float(params.get("factor", 6.0)),
+            p_enter=float(params.get("p_enter", 0.05)),
+            p_exit=float(params.get("p_exit", 0.25)),
+        ),
+    )
+
+
+def _build_tiered(params, n_workers, streams) -> Scenario:
+    return Scenario(
+        "tiered",
+        TieredSlowdown(
+            tier_factors=tuple(params.get("tier_factors", (1.0, 2.0, 4.0))),
+            tier_of_worker=params.get("tier_of_worker"),
+        ),
+    )
+
+
+def _build_diurnal(params, n_workers, streams) -> Scenario:
+    return Scenario(
+        "diurnal",
+        DiurnalSlowdown(
+            period=float(params.get("period", 32.0)),
+            peak=float(params.get("peak", 3.0)),
+            phase_shift=float(params.get("phase_shift", 1.0 / 7.0)),
+        ),
+    )
+
+
+def _build_trace(params, n_workers, streams) -> Scenario:
+    if "path" in params:
+        model = TraceSlowdown.load(params["path"])
+    else:
+        # An empty trace replays as homogeneous — keeps the bare family
+        # name instantiable for generic registry sweeps.
+        model = TraceSlowdown(
+            {
+                (int(w), int(k)): float(f)
+                for w, row in params.get("factors", {}).items()
+                for k, f in row.items()
+            },
+            default=float(params.get("default", 1.0)),
+            source=params.get("source", "inline"),
+        )
+    return Scenario("trace", model)
+
+
+# ----------------------------------------------------------------------
+# Fault families (compose with any nested slowdown)
+# ----------------------------------------------------------------------
+def _check_crash_worker(worker: int, n_workers: int) -> int:
+    # An out-of-range id would silently disable the fault (and, for a
+    # permanent crash on hop, silently excuse real deadlocks too).
+    if not 0 <= worker < n_workers:
+        raise ValueError(
+            f"crash worker {worker} out of range for {n_workers} workers"
+        )
+    return worker
+
+
+def _build_crash(params, n_workers, streams) -> Scenario:
+    crashes = params.get("crashes", {int(params.get("worker", 0)): int(params.get("at", 2))})
+    events = tuple(
+        CrashEvent(
+            worker=_check_crash_worker(int(w), n_workers),
+            at_iteration=int(k),
+        )
+        for w, k in sorted(crashes.items())
+    )
+    return Scenario(
+        "crash",
+        _nested_slowdown(params, n_workers, streams),
+        FaultPlan(crashes=events),
+    )
+
+
+def _build_crash_restart(params, n_workers, streams) -> Scenario:
+    event = CrashEvent(
+        worker=_check_crash_worker(int(params.get("worker", 0)), n_workers),
+        at_iteration=int(params.get("at", 3)),
+        downtime_iters=float(params.get("downtime_iters", 6.0)),
+        resync=bool(params.get("resync", True)),
+    )
+    return Scenario(
+        "crash-restart",
+        _nested_slowdown(params, n_workers, streams),
+        FaultPlan(crashes=(event,)),
+    )
+
+
+def _build_flaky_net(params, n_workers, streams) -> Scenario:
+    edges = params.get("edges")
+    flap = LinkFlap(
+        start=float(params.get("start", 0.5)),
+        end=float(params.get("end", 2.5)),
+        factor=float(params.get("factor", 8.0)),
+        edges=(
+            tuple((int(s), int(d)) for s, d in edges)
+            if edges is not None
+            else None
+        ),
+    )
+    return Scenario(
+        "flaky-net",
+        _nested_slowdown(params, n_workers, streams),
+        FaultPlan(link_flaps=(flap,)),
+    )
+
+
+def _build_lossy_net(params, n_workers, streams) -> Scenario:
+    return Scenario(
+        "lossy-net",
+        _nested_slowdown(params, n_workers, streams),
+        FaultPlan(
+            loss_probability=float(params.get("probability", 0.05)),
+            loss_retransmit=float(params.get("retransmit", 0.05)),
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Registration
+# ----------------------------------------------------------------------
+register_scenario(
+    "none",
+    _build_none,
+    summary="Homogeneous cluster: every iteration at base speed",
+    paper=HOP_PAPER,
+    aliases=("clean",),
+)
+register_scenario(
+    "random",
+    _build_random,
+    summary="Per-iteration random slowdown (paper Section 7.3.1: "
+    "6x at p=1/n)",
+    paper=HOP_PAPER,
+)
+register_scenario(
+    "straggler",
+    _build_straggler,
+    summary="Persistent per-worker stragglers (paper Section 7.3.5: "
+    "one worker 4x)",
+    paper=HOP_PAPER,
+    aliases=("deterministic",),
+)
+register_scenario(
+    "bursty",
+    _build_bursty,
+    summary="Markov-modulated bursty stragglers whose identity shifts "
+    "over time",
+    paper="Prague / partial all-reduce — Luo et al. (arXiv:1909.08029)",
+    aliases=("markov",),
+)
+register_scenario(
+    "tiered",
+    _build_tiered,
+    summary="Persistently tiered (whimpy/brawny) hardware",
+    paper="HetPipe — Park et al. (arXiv:2005.14038)",
+    aliases=("whimpy",),
+)
+register_scenario(
+    "diurnal",
+    _build_diurnal,
+    summary="Periodic shared-cluster interference, phase-shifted per "
+    "worker",
+    paper="n/a (shared-cluster load curves)",
+)
+register_scenario(
+    "trace",
+    _build_trace,
+    summary="Bit-exact replay of recorded per-(worker, iteration) "
+    "factors (JSON)",
+    paper="n/a (trace-driven simulation)",
+)
+register_scenario(
+    "crash",
+    _build_crash,
+    summary="Permanent fail-stop crash; requires native crash support "
+    "(hop's backup workers, Section 3.4)",
+    paper=HOP_PAPER,
+    universal=False,
+)
+register_scenario(
+    "crash-restart",
+    _build_crash_restart,
+    summary="Worker crash with downtime, then restart + parameter "
+    "re-sync from a live neighbor",
+    paper=HOP_PAPER + " (Section 3.4)",
+)
+register_scenario(
+    "flaky-net",
+    _build_flaky_net,
+    summary="Temporary link degradation windows (latency and "
+    "bandwidth scaled during flaps); bites protocols that consume "
+    "spec links (hop, notify_ack, adpsgd, partial-allreduce, "
+    "momentum-tracking) — allreduce/ps model their own fabric",
+    paper="n/a (link-level heterogeneity, cf. paper Section 7.3.6)",
+    aliases=("link-flap",),
+)
+register_scenario(
+    "lossy-net",
+    _build_lossy_net,
+    summary="Random message loss with retransmit-after-timeout "
+    "(loss costs time, delivery stays eventual); bites the "
+    "message-fabric protocols (hop, notify_ack) — others have no "
+    "discrete messages to drop",
+    paper="n/a (lossy transport)",
+)

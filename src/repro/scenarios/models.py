@@ -1,0 +1,181 @@
+"""Scenario slowdown models beyond the paper's two recipes.
+
+The paper injects heterogeneity with a uniform random slowdown
+(Section 7.3.1) and one fixed straggler (Section 7.3.5).  Follow-up
+systems show real clusters are messier, and each model here encodes one
+of those regimes:
+
+* :class:`MarkovSlowdown` — *dynamic* stragglers whose identity shifts
+  over time (Prague's motivation, arXiv:1909.08029): each worker
+  carries a two-state Markov chain (normal / slow) so slow phases come
+  in bursts instead of independent per-iteration coin flips.
+* :class:`TieredSlowdown` — persistently tiered ("whimpy" vs "brawny")
+  hardware, the HetPipe setting (arXiv:2005.14038): every worker is
+  permanently assigned a tier factor.
+* :class:`DiurnalSlowdown` — shared-cluster interference that follows a
+  smooth periodic load curve, phase-shifted per worker.
+
+All models obey the :class:`~repro.hetero.slowdown.SlowdownModel`
+contract: factors >= 1, deterministic in the seed, query-order
+independent.  Trace record/replay lives in
+:mod:`repro.scenarios.trace`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.hetero.slowdown import SlowdownModel
+from repro.sim.rng import RngStreams
+
+
+class MarkovSlowdown(SlowdownModel):
+    """Markov-modulated bursty stragglers.
+
+    Each worker runs an independent two-state chain.  In the *normal*
+    state it enters the *slow* state with probability ``p_enter`` per
+    iteration; in the slow state (factor ``factor``) it recovers with
+    probability ``p_exit``.  Expected burst length is ``1 / p_exit``
+    iterations, so slowdowns are temporally correlated — the regime
+    Prague targets and independent coin flips cannot express.
+
+    State at iteration ``k`` is derived by replaying the worker's chain
+    from iteration 0 with a dedicated counter-based generator, extending
+    a per-worker state vector lazily.  The memo is bounded by the
+    largest iteration queried (one byte-ish per iteration), and queries
+    are order-independent because the chain is always extended in
+    iteration order internally.
+    """
+
+    def __init__(
+        self,
+        streams: RngStreams,
+        factor: float = 6.0,
+        p_enter: float = 0.05,
+        p_exit: float = 0.25,
+        start_slow: bool = False,
+    ) -> None:
+        if factor < 1.0:
+            raise ValueError(f"slowdown factor must be >= 1, got {factor}")
+        for name, p in (("p_enter", p_enter), ("p_exit", p_exit)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        self._streams = streams
+        self.slow_factor = float(factor)
+        self.p_enter = float(p_enter)
+        self.p_exit = float(p_exit)
+        self.start_slow = bool(start_slow)
+        self._states: Dict[int, List[bool]] = {}
+        self._rngs: Dict[int, np.random.Generator] = {}
+
+    def _chain(self, worker: int, iteration: int) -> bool:
+        states = self._states.setdefault(worker, [self.start_slow])
+        if worker not in self._rngs:
+            # fresh(): a private, replayable generator per worker,
+            # derived the same way as every other stream.
+            self._rngs[worker] = self._streams.fresh("markov", worker)
+        rng = self._rngs[worker]
+        while len(states) <= iteration:
+            slow = states[-1]
+            draw = rng.random()
+            states.append(draw < self.p_enter if not slow else draw >= self.p_exit)
+        return states[iteration]
+
+    def factor(self, worker: int, iteration: int) -> float:
+        if iteration < 0:
+            raise ValueError(f"iteration must be >= 0, got {iteration}")
+        return self.slow_factor if self._chain(worker, iteration) else 1.0
+
+    def describe(self) -> str:
+        return (
+            f"markov({self.slow_factor:g}x, enter={self.p_enter:g}, "
+            f"exit={self.p_exit:g})"
+        )
+
+
+class TieredSlowdown(SlowdownModel):
+    """Persistent hardware tiers (HetPipe's whimpy/brawny clusters).
+
+    Args:
+        tier_factors: Slowdown factor per tier, e.g. ``(1.0, 2.0, 4.0)``.
+        tier_of_worker: Explicit worker -> tier assignment; a worker
+            beyond the assignment's length is an error (an explicit
+            pin must not silently wrap).  When omitted, workers are
+            assigned round-robin across tiers (worker ``w`` lands in
+            tier ``w % len(tier_factors)``).
+    """
+
+    def __init__(
+        self,
+        tier_factors: Sequence[float],
+        tier_of_worker: Sequence[int] = None,
+    ) -> None:
+        if not tier_factors:
+            raise ValueError("need at least one tier")
+        for factor in tier_factors:
+            if factor < 1.0:
+                raise ValueError(f"tier factor must be >= 1, got {factor}")
+        self.tier_factors = tuple(float(f) for f in tier_factors)
+        self.tier_of_worker = (
+            tuple(int(t) for t in tier_of_worker)
+            if tier_of_worker is not None
+            else None
+        )
+        if self.tier_of_worker is not None:
+            for tier in self.tier_of_worker:
+                if not 0 <= tier < len(self.tier_factors):
+                    raise ValueError(f"tier {tier} out of range")
+
+    def tier(self, worker: int) -> int:
+        if self.tier_of_worker is not None:
+            if worker >= len(self.tier_of_worker):
+                raise ValueError(
+                    f"tier_of_worker assigns {len(self.tier_of_worker)} "
+                    f"workers but worker {worker} was queried; pin every "
+                    "worker explicitly (or omit for round-robin)"
+                )
+            return self.tier_of_worker[worker]
+        return worker % len(self.tier_factors)
+
+    def factor(self, worker: int, iteration: int) -> float:
+        return self.tier_factors[self.tier(worker)]
+
+    def describe(self) -> str:
+        inner = ",".join(f"{f:g}x" for f in self.tier_factors)
+        return f"tiered[{inner}]"
+
+
+class DiurnalSlowdown(SlowdownModel):
+    """Smooth periodic interference, phase-shifted per worker.
+
+    ``factor(w, k) = 1 + (peak - 1) * (1 + sin(2 pi (k / period +
+    w * phase_shift))) / 2`` — a load curve oscillating between 1x and
+    ``peak``x with period ``period`` iterations.  Per-worker phase
+    shifts stop the whole cluster from breathing in lockstep (which a
+    synchronous protocol would hide entirely).
+    """
+
+    def __init__(
+        self,
+        period: float = 32.0,
+        peak: float = 3.0,
+        phase_shift: float = 1.0 / 7.0,
+    ) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        if peak < 1.0:
+            raise ValueError(f"peak must be >= 1, got {peak}")
+        self.period = float(period)
+        self.peak = float(peak)
+        self.phase_shift = float(phase_shift)
+
+    def factor(self, worker: int, iteration: int) -> float:
+        phase = iteration / self.period + worker * self.phase_shift
+        wave = (1.0 + math.sin(2.0 * math.pi * phase)) / 2.0
+        return 1.0 + (self.peak - 1.0) * wave
+
+    def describe(self) -> str:
+        return f"diurnal(peak={self.peak:g}x, period={self.period:g})"

@@ -1,0 +1,147 @@
+"""Scenario specification: serializable recipe -> built Scenario.
+
+:class:`ScenarioSpec` is to scenarios what
+:class:`~repro.harness.spec.ExperimentSpec` is to runs: a frozen,
+JSON-serializable description (``family`` + ``params``) that resolves
+through the scenario registry into a :class:`Scenario` — the built
+bundle of a slowdown model plus a fault plan that the protocol
+builders consume.
+
+Back compatibility: :class:`~repro.harness.spec.SlowdownSpec` (the
+pre-scenario heterogeneity description) converts losslessly via
+:meth:`ScenarioSpec.from_slowdown`; ``ExperimentSpec`` accepts either.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.hetero.slowdown import SlowdownModel
+from repro.net.links import LinkModel
+from repro.scenarios.faults import FaultPlan, MessageLoss, StallOverlaySlowdown
+from repro.scenarios.registry import get_scenario
+from repro.sim.rng import RngStreams
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.harness.spec import SlowdownSpec
+
+
+@dataclass
+class Scenario:
+    """A built scenario: the objects a cluster needs, ready to wire.
+
+    Attributes:
+        name: The family it was built from (label in reports).
+        slowdown: Pure heterogeneity model (no fault stalls).
+        faults: Crash / link / loss plan composing with the slowdown.
+    """
+
+    name: str
+    slowdown: SlowdownModel
+    faults: FaultPlan = field(default_factory=FaultPlan)
+
+    def compute_slowdown(self, native_faults: bool = False) -> SlowdownModel:
+        """The slowdown a :class:`~repro.hetero.compute.ComputeModel` gets.
+
+        Protocols with native crash support (``native_faults=True``,
+        i.e. Hop) receive the pure slowdown — their workers enact the
+        crash events themselves.  Everything else gets the crash
+        downtime *added* onto the crash iteration's factor (not
+        multiplied: the downtime is absolute dead time, independent of
+        whatever slowdown hits that iteration — same semantics as
+        hop's native flat timeout).
+        """
+        if native_faults or not self.faults.crashes:
+            return self.slowdown
+        return StallOverlaySlowdown(self.slowdown, self.faults.stall_model())
+
+    def wrap_links(self, base: LinkModel) -> LinkModel:
+        return self.faults.wrap_links(base)
+
+    def message_loss(self, streams: RngStreams) -> Optional[MessageLoss]:
+        return self.faults.message_loss(streams)
+
+    def describe(self) -> str:
+        if self.faults.empty:
+            return self.slowdown.describe()
+        return f"{self.slowdown.describe()} + {self.faults.describe()}"
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Serializable description of one scenario family instance.
+
+    ``family`` names a registered scenario builder; ``params`` are the
+    family-specific knobs (all JSON-safe).  ``build`` resolves through
+    :mod:`repro.scenarios.registry`.
+    """
+
+    family: str = "none"
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def build(self, n_workers: int, streams: RngStreams) -> Scenario:
+        info = get_scenario(self.family)
+        return info.builder(dict(self.params), n_workers, streams)
+
+    def describe(self) -> str:
+        if not self.params:
+            return self.family
+        inner = ", ".join(
+            f"{key}={value!r}" for key, value in sorted(self.params.items())
+        )
+        return f"{self.family}({inner})"
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {"family": self.family, "params": _jsonify_params(self.params)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ScenarioSpec":
+        return cls(
+            family=payload["family"],
+            params=_restore_params(payload.get("params", {})),
+        )
+
+    # ------------------------------------------------------------------
+    # Back compatibility with SlowdownSpec
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_slowdown(cls, slowdown: "SlowdownSpec") -> "ScenarioSpec":
+        """Lossless conversion from the pre-scenario description."""
+        if slowdown.kind == "none":
+            return cls("none")
+        if slowdown.kind == "random":
+            params: Dict[str, object] = {"factor": slowdown.factor}
+            if slowdown.probability is not None:
+                params["probability"] = slowdown.probability
+            return cls("random", params)
+        if slowdown.kind == "deterministic":
+            return cls("straggler", {"workers": dict(slowdown.workers)})
+        raise ValueError(f"unknown slowdown kind {slowdown.kind!r}")
+
+
+def _jsonify_params(params: Dict[str, object]) -> Dict[str, object]:
+    """JSON objects need string keys; tag int-keyed maps for restore."""
+    out: Dict[str, object] = {}
+    for key, value in params.items():
+        if isinstance(value, dict):
+            out[key] = {str(k): v for k, v in value.items()}
+        else:
+            out[key] = value
+    return out
+
+
+def _restore_params(params: Dict[str, object]) -> Dict[str, object]:
+    out: Dict[str, object] = {}
+    for key, value in params.items():
+        if isinstance(value, dict):
+            try:
+                out[key] = {int(k): v for k, v in value.items()}
+            except (TypeError, ValueError):
+                out[key] = dict(value)
+        else:
+            out[key] = value
+    return out

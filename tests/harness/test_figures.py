@@ -52,5 +52,6 @@ def test_registry_covers_the_evaluation_section():
         "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
         "fig18", "fig19", "fig20", "fig21", "table1",
         "fig22",  # extension: registry-wide protocol comparison
+        "fig23",  # extension: protocol x scenario-family grid
     }
     assert set(ALL_FIGURES) == expected

@@ -126,3 +126,150 @@ class TestCLI:
                     "--iterations", "4",
                 ]
             )
+
+
+class TestCLISlowdownKnobs:
+    """--slowdown exposes every SlowdownSpec knob (factor, probability,
+    multi-worker straggler maps), not just hardcoded recipes."""
+
+    def _parse(self, *argv):
+        from repro.cli import build_parser
+
+        return build_parser().parse_args(["train", *argv])
+
+    def _spec_slowdown(self, *argv):
+        from repro.cli import _train_slowdown
+
+        return _train_slowdown(self._parse(*argv))
+
+    def test_random_defaults_match_paper(self):
+        slowdown = self._spec_slowdown("--slowdown", "random")
+        assert slowdown.kind == "random"
+        assert slowdown.factor == 6.0
+        assert slowdown.probability is None  # 1/n at build time
+
+    def test_random_factor_and_probability_override(self):
+        slowdown = self._spec_slowdown(
+            "--slowdown", "random",
+            "--slowdown-factor", "3.5",
+            "--slowdown-prob", "0.25",
+        )
+        assert slowdown.factor == 3.5
+        assert slowdown.probability == 0.25
+
+    def test_straggler_default_matches_paper(self):
+        slowdown = self._spec_slowdown("--slowdown", "straggler")
+        assert slowdown.kind == "deterministic"
+        assert slowdown.workers == {0: 4.0}
+
+    def test_straggler_factor_override(self):
+        slowdown = self._spec_slowdown(
+            "--slowdown", "straggler", "--slowdown-factor", "9"
+        )
+        assert slowdown.workers == {0: 9.0}
+
+    def test_multi_worker_straggler_map(self):
+        slowdown = self._spec_slowdown(
+            "--slowdown", "straggler", "--stragglers", "0:4,3:2.5,5:6"
+        )
+        assert slowdown.workers == {0: 4.0, 3: 2.5, 5: 6.0}
+
+    def test_malformed_straggler_map_rejected(self):
+        with pytest.raises(SystemExit):
+            self._parse("--slowdown", "straggler", "--stragglers", "0=4")
+
+    def test_knobs_without_matching_kind_are_an_error(self):
+        """--stragglers / --slowdown-prob must not silently run a
+        clean cluster when the matching --slowdown kind is missing."""
+        with pytest.raises(SystemExit):
+            self._spec_slowdown("--stragglers", "0:4")
+        with pytest.raises(SystemExit):
+            self._spec_slowdown("--slowdown-prob", "0.5")
+        with pytest.raises(SystemExit):
+            self._spec_slowdown(
+                "--slowdown", "straggler", "--slowdown-prob", "0.5"
+            )
+        with pytest.raises(SystemExit):
+            self._spec_slowdown("--slowdown-factor", "2")
+        with pytest.raises(SystemExit):
+            self._spec_slowdown(
+                "--slowdown", "straggler",
+                "--stragglers", "0:4",
+                "--slowdown-factor", "9",
+            )
+
+    def test_scenario_param_without_scenario_is_an_error(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "train",
+                    "--workers", "4",
+                    "--iterations", "4",
+                    "--scenario-param", "worker=2",
+                ]
+            )
+
+    def test_scenario_and_slowdown_are_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "train",
+                    "--workers", "4",
+                    "--iterations", "4",
+                    "--scenario", "bursty",
+                    "--slowdown", "straggler",
+                ]
+            )
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "train",
+                    "--workers", "4",
+                    "--iterations", "4",
+                    "--scenario", "bursty",
+                    "--slowdown-factor", "9",
+                ]
+            )
+
+    def test_train_runs_with_custom_knobs(self, capsys):
+        code = main(
+            [
+                "train",
+                "--workers", "6",
+                "--iterations", "6",
+                "--slowdown", "random",
+                "--slowdown-factor", "2.0",
+                "--slowdown-prob", "0.5",
+            ]
+        )
+        assert code == 0
+        assert "wall_time" in capsys.readouterr().out
+
+    def test_train_runs_with_multi_straggler(self, capsys):
+        code = main(
+            [
+                "train",
+                "--workers", "6",
+                "--iterations", "6",
+                "--slowdown", "straggler",
+                "--stragglers", "0:3,2:2",
+            ]
+        )
+        assert code == 0
+        assert "wall_time" in capsys.readouterr().out
+
+    def test_run_summary_includes_fault_fields(self, tmp_path):
+        code = main(
+            [
+                "train",
+                "--workers", "6",
+                "--iterations", "6",
+                "--scenario", "lossy-net",
+                "--scenario-param", "probability=0.2",
+                "--out", str(tmp_path / "lossy.json"),
+            ]
+        )
+        assert code == 0
+        loaded = json.loads((tmp_path / "lossy.json").read_text())
+        assert loaded["messages_dropped"] > 0
+        assert loaded["fault_events"] == []

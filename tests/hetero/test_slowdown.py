@@ -60,6 +60,63 @@ class TestRandomSlowdown:
         assert "6" in model.describe()
 
 
+class TestRandomSlowdownStateless:
+    """The counter-based rewrite must reproduce the legacy memo draws."""
+
+    def test_identical_factors_to_legacy_sequential_stream(self):
+        # The original implementation consumed one draw per query from
+        # streams.stream("slowdown", worker) and memoized the result.
+        # Workers query their iterations in order, so the iteration-k
+        # factor was the k-th draw of that stream.  Re-derive those
+        # draws here and require the stateless model to match exactly.
+        from repro.sim.rng import derive_seed
+
+        for seed in (0, 1, 3, 42):
+            model = RandomSlowdown(
+                RngStreams(seed), factor=6.0, probability=0.25
+            )
+            for worker in range(3):
+                legacy_rng = np.random.default_rng(
+                    derive_seed(seed, f"slowdown/{worker}")
+                )
+                legacy = [
+                    6.0 if legacy_rng.random() < 0.25 else 1.0
+                    for _ in range(64)
+                ]
+                fresh = [model.factor(worker, k) for k in range(64)]
+                assert fresh == legacy
+
+    def test_no_unbounded_memo(self):
+        model = RandomSlowdown(RngStreams(0), probability=0.5)
+        for k in range(0, 10_000, 7):
+            model.factor(0, k)
+        # Stateless draws: nothing per-iteration may accumulate.
+        assert not hasattr(model, "_memo")
+        per_iteration_state = [
+            v for v in vars(model).values() if isinstance(v, dict) and len(v) > 100
+        ]
+        assert not per_iteration_state
+
+    def test_far_future_iteration_is_cheap_and_consistent(self):
+        model = RandomSlowdown(RngStreams(9), probability=0.5)
+        far = model.factor(2, 10**12)
+        assert far in (1.0, model.slow_factor)
+        assert model.factor(2, 10**12) == far
+
+    def test_query_order_independent(self):
+        a = RandomSlowdown(RngStreams(5), probability=0.5)
+        b = RandomSlowdown(RngStreams(5), probability=0.5)
+        keys = [(w, k) for w in range(3) for k in range(30)]
+        forward = {key: a.factor(*key) for key in keys}
+        backward = {key: b.factor(*key) for key in reversed(keys)}
+        assert forward == backward
+
+    def test_rejects_negative_iteration(self):
+        model = RandomSlowdown(RngStreams(0))
+        with pytest.raises(ValueError):
+            model.factor(0, -1)
+
+
 class TestDeterministicSlowdown:
     def test_only_chosen_worker_slow(self):
         model = DeterministicSlowdown({2: 4.0})

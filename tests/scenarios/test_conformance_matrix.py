@@ -1,0 +1,144 @@
+"""The cross-protocol x cross-scenario conformance matrix.
+
+The standing gate for every future protocol or scenario PR: *every*
+registered protocol must complete under *every* universal scenario
+family, with
+
+* no deadlock (the run finishes; ``DeadlockError`` fails the cell),
+* a finite final loss, and
+* bitwise-identical ``TrainingRun`` stats across two same-seed runs
+  (the whole stack — scenario models, fault injection, simulation —
+  stays deterministic).
+
+Non-universal families (permanent ``crash``) are excluded by
+definition — they require native crash support — and covered by the
+dedicated hop crash tests instead.  New protocols and new scenario
+families are picked up automatically through the two registries.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.gap import gap_bound_matrix
+from repro.graphs import bipartite_ring, ring_based
+from repro.harness import ExperimentSpec, run_spec, svm_workload
+from repro.protocols import registered_protocols
+from repro.scenarios import ScenarioSpec, registered_scenarios
+
+#: Gossip protocols need a bipartite graph; everyone else runs the
+#: paper's ring-based topology.
+BIPARTITE_PROTOCOLS = ("adpsgd", "momentum-tracking")
+
+N_WORKERS = 4
+MAX_ITER = 5
+
+WORKLOAD = svm_workload("smoke")
+
+
+def conformance_spec(protocol: str, family: str, seed: int = 1) -> ExperimentSpec:
+    topology = (
+        bipartite_ring(N_WORKERS)
+        if protocol in BIPARTITE_PROTOCOLS
+        else ring_based(N_WORKERS)
+    )
+    extras = {"ps_staleness": 2} if protocol == "ps-ssp" else {}
+    return ExperimentSpec(
+        name=f"conformance/{protocol}/{family}",
+        workload=WORKLOAD,
+        topology=topology,
+        protocol=protocol,
+        scenario=ScenarioSpec(family),
+        max_iter=MAX_ITER,
+        seed=seed,
+        **extras,
+    )
+
+
+def run_fingerprint(run) -> dict:
+    """The exactly-comparable stats of a run (bitwise determinism)."""
+    return {
+        "wall_time": run.wall_time,
+        "final_params": run.final_params.tobytes(),
+        "final_loss": run.final_loss,
+        "final_accuracy": run.final_accuracy,
+        "iterations_completed": list(run.iterations_completed),
+        "iterations_skipped": list(run.iterations_skipped),
+        "messages_sent": run.messages_sent,
+        "bytes_sent": run.bytes_sent,
+        "messages_dropped": run.messages_dropped,
+        "consensus": run.consensus,
+        "max_gap": run.gap.max_observed(),
+        "fault_events": run.fault_events,
+    }
+
+
+@pytest.mark.parametrize("family", registered_scenarios(universal_only=True))
+@pytest.mark.parametrize("protocol", registered_protocols())
+def test_protocol_scenario_cell(protocol, family):
+    """One matrix cell: completes, converges finitely, deterministic."""
+    first = run_spec(conformance_spec(protocol, family))
+
+    # No deadlock: every worker ran to the end.
+    assert all(c == MAX_ITER for c in first.iterations_completed), (
+        f"{protocol} under {family}: iterations "
+        f"{first.iterations_completed}"
+    )
+    # Finite loss: training stayed numerically sane.
+    assert first.final_loss is not None and math.isfinite(first.final_loss)
+    assert np.isfinite(first.final_params).all()
+    assert math.isfinite(first.wall_time) and first.wall_time > 0
+
+    # Bitwise-identical stats across two same-seed runs.
+    second = run_spec(conformance_spec(protocol, family))
+    assert run_fingerprint(first) == run_fingerprint(second), (
+        f"{protocol} under {family} is not deterministic"
+    )
+
+
+def test_matrix_covers_at_least_six_families():
+    assert len(registered_scenarios(universal_only=True)) >= 6
+
+
+def test_matrix_covers_every_registered_protocol():
+    assert len(registered_protocols()) >= 6
+
+
+class TestCrashRestartBlastRadius:
+    """The acceptance cell: crash-restart's neighbor blast radius must
+    respect Theorem 2's iteration-gap bound."""
+
+    def test_hop_crash_restart_gap_within_theorem2_bound(self):
+        from repro.core.config import backup_config
+
+        topology = ring_based(6)
+        config = backup_config(n_backup=1, max_ig=3)
+        spec = ExperimentSpec(
+            name="crash-restart-gap",
+            workload=WORKLOAD,
+            topology=topology,
+            protocol="hop",
+            config=config,
+            scenario=ScenarioSpec(
+                "crash-restart",
+                {"worker": 2, "at": 4, "downtime_iters": 8.0},
+            ),
+            max_iter=16,
+            seed=3,
+        )
+        run = run_spec(spec)
+        assert all(c == 16 for c in run.iterations_completed)
+        bounds = gap_bound_matrix(topology, "backup+tokens", max_ig=3)
+        assert not run.gap.violations(bounds)
+        kinds = [event["kind"] for event in run.fault_events]
+        assert kinds.count("crashed") == 1
+        assert kinds.count("restarted") == 1
+
+    def test_crash_restart_under_every_protocol(self):
+        """The crash-restart family is universal: nobody deadlocks."""
+        for protocol in registered_protocols():
+            run = run_spec(conformance_spec(protocol, "crash-restart"))
+            assert all(c == MAX_ITER for c in run.iterations_completed), (
+                f"{protocol} stalled under crash-restart"
+            )

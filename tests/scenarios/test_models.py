@@ -1,0 +1,191 @@
+"""Unit tests for the scenario slowdown models and trace replay."""
+
+import json
+
+import pytest
+
+from repro.scenarios import (
+    DiurnalSlowdown,
+    MarkovSlowdown,
+    RecordingSlowdown,
+    TieredSlowdown,
+    TraceSlowdown,
+    record_run_factors,
+)
+from repro.sim import RngStreams
+
+
+class TestMarkovSlowdown:
+    def test_factors_are_one_or_slow(self):
+        model = MarkovSlowdown(RngStreams(0), factor=6.0)
+        values = {model.factor(w, k) for w in range(4) for k in range(200)}
+        assert values <= {1.0, 6.0}
+
+    def test_bursts_are_temporally_correlated(self):
+        """Given it is slow now, the chain is far likelier than the
+        marginal rate to stay slow next iteration."""
+        model = MarkovSlowdown(
+            RngStreams(1), factor=6.0, p_enter=0.05, p_exit=0.25
+        )
+        stay_slow = total_slow = slow_any = total = 0
+        for w in range(8):
+            for k in range(500):
+                now = model.factor(w, k) == 6.0
+                nxt = model.factor(w, k + 1) == 6.0
+                total += 1
+                slow_any += now
+                if now:
+                    total_slow += 1
+                    stay_slow += nxt
+        marginal = slow_any / total
+        conditional = stay_slow / total_slow
+        assert conditional > 2 * marginal
+        assert conditional == pytest.approx(1 - 0.25, abs=0.1)
+
+    def test_query_order_independent(self):
+        a = MarkovSlowdown(RngStreams(2))
+        b = MarkovSlowdown(RngStreams(2))
+        keys = [(w, k) for w in range(3) for k in range(50)]
+        forward = {key: a.factor(*key) for key in keys}
+        backward = {key: b.factor(*key) for key in reversed(keys)}
+        assert forward == backward
+
+    def test_workers_have_independent_chains(self):
+        model = MarkovSlowdown(RngStreams(3), p_enter=0.3, p_exit=0.3)
+        a = [model.factor(0, k) for k in range(200)]
+        b = [model.factor(1, k) for k in range(200)]
+        assert a != b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MarkovSlowdown(RngStreams(0), factor=0.5)
+        with pytest.raises(ValueError):
+            MarkovSlowdown(RngStreams(0), p_enter=1.5)
+        with pytest.raises(ValueError):
+            MarkovSlowdown(RngStreams(0), p_exit=-0.1)
+        with pytest.raises(ValueError):
+            MarkovSlowdown(RngStreams(0)).factor(0, -1)
+
+    def test_describe(self):
+        assert "markov" in MarkovSlowdown(RngStreams(0)).describe()
+
+
+class TestTieredSlowdown:
+    def test_round_robin_assignment(self):
+        model = TieredSlowdown((1.0, 2.0, 4.0))
+        assert model.factor(0, 0) == 1.0
+        assert model.factor(1, 99) == 2.0
+        assert model.factor(2, 0) == 4.0
+        assert model.factor(3, 0) == 1.0  # wraps
+
+    def test_explicit_assignment(self):
+        model = TieredSlowdown((1.0, 8.0), tier_of_worker=(1, 0, 0, 1))
+        assert model.factor(0, 0) == 8.0
+        assert model.factor(1, 0) == 1.0
+        assert model.factor(3, 7) == 8.0
+
+    def test_iteration_invariant(self):
+        model = TieredSlowdown((1.0, 3.0))
+        assert model.factor(1, 0) == model.factor(1, 10_000)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TieredSlowdown(())
+        with pytest.raises(ValueError):
+            TieredSlowdown((0.5,))
+        with pytest.raises(ValueError):
+            TieredSlowdown((1.0, 2.0), tier_of_worker=(5,))
+
+    def test_explicit_assignment_must_cover_queried_workers(self):
+        """A pinned assignment must not silently wrap for extra
+        workers — that would run a different heterogeneity profile
+        than the user specified."""
+        model = TieredSlowdown((1.0, 8.0), tier_of_worker=(1, 0))
+        with pytest.raises(ValueError):
+            model.factor(2, 0)
+
+
+class TestDiurnalSlowdown:
+    def test_oscillates_between_one_and_peak(self):
+        model = DiurnalSlowdown(period=16, peak=3.0)
+        values = [model.factor(0, k) for k in range(64)]
+        assert min(values) >= 1.0
+        assert max(values) <= 3.0
+        assert max(values) > 2.5  # actually reaches near the peak
+
+    def test_periodic(self):
+        model = DiurnalSlowdown(period=8, peak=2.0)
+        for k in range(8):
+            assert model.factor(0, k) == pytest.approx(model.factor(0, k + 8))
+
+    def test_workers_phase_shifted(self):
+        model = DiurnalSlowdown(period=16, peak=4.0)
+        a = [model.factor(0, k) for k in range(16)]
+        b = [model.factor(1, k) for k in range(16)]
+        assert a != b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalSlowdown(period=0)
+        with pytest.raises(ValueError):
+            DiurnalSlowdown(peak=0.5)
+
+
+class TestTraceSlowdown:
+    def test_replays_table_with_default(self):
+        model = TraceSlowdown({(0, 3): 6.0, (2, 1): 4.0})
+        assert model.factor(0, 3) == 6.0
+        assert model.factor(2, 1) == 4.0
+        assert model.factor(1, 1) == 1.0
+
+    def test_round_trip_through_json_file(self, tmp_path):
+        original = TraceSlowdown(
+            {(0, 3): 6.0, (1, 7): 2.5, (3, 0): 1.0 + 2**-40},
+            source="unit-test",
+        )
+        path = original.save(tmp_path / "trace.json")
+        loaded = TraceSlowdown.load(path)
+        assert loaded.factors == original.factors
+        assert loaded.default == original.default
+        assert loaded.source == original.source
+
+    def test_rejects_foreign_payload(self):
+        with pytest.raises(ValueError):
+            TraceSlowdown.from_dict({"format": "something-else"})
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceSlowdown({}, default=0.5)
+        with pytest.raises(ValueError):
+            TraceSlowdown({(0, 0): 0.2})
+
+
+class TestRecordingSlowdown:
+    def test_records_exactly_what_was_served(self):
+        inner = TieredSlowdown((1.0, 2.0))
+        recorder = RecordingSlowdown(inner)
+        assert recorder.factor(1, 5) == 2.0
+        assert recorder.recorded == {(1, 5): 2.0}
+
+    def test_record_replay_is_bit_exact(self, tmp_path):
+        inner = MarkovSlowdown(RngStreams(7), factor=6.0, p_enter=0.2)
+        recorder = RecordingSlowdown(inner)
+        grid = [(w, k) for w in range(4) for k in range(32)]
+        served = {key: recorder.factor(*key) for key in grid}
+        path = recorder.save(tmp_path / "markov.json")
+        replay = TraceSlowdown.load(path)
+        assert {key: replay.factor(*key) for key in grid} == served
+
+    def test_record_run_factors_materializes_grid(self):
+        trace = record_run_factors(TieredSlowdown((1.0, 3.0)), 2, 4)
+        assert trace.factor(1, 2) == 3.0
+        assert trace.factor(0, 0) == 1.0
+
+    def test_trace_json_is_sparse(self, tmp_path):
+        """Only non-default entries are stored."""
+        trace = record_run_factors(TieredSlowdown((1.0, 3.0)), 2, 4)
+        payload = trace.to_dict()
+        assert "0" not in payload["factors"]  # worker 0 is all-default
+        assert set(payload["factors"]["1"]) == {"0", "1", "2", "3"}
+        text = json.dumps(payload)
+        assert "3.0" in text

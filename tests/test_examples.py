@@ -31,6 +31,7 @@ def test_examples_directory_complete():
         "topology_design.py",
         "protocol_comparison.py",
         "gap_theory_tour.py",
+        "scenario_tour.py",
     } <= names
 
 
@@ -66,3 +67,12 @@ def test_gap_theory_tour():
     result = run_example("gap_theory_tour.py")
     assert result.returncode == 0, result.stderr
     assert "Theorem 2's containment guarantee" in result.stdout
+
+
+def test_scenario_tour():
+    result = run_example("scenario_tour.py", "--preset", "smoke")
+    assert result.returncode == 0, result.stderr
+    assert "Scenario sweep" in result.stdout
+    assert "crashed" in result.stdout
+    assert "restarted" in result.stdout
+    assert "Trace replay" in result.stdout
