@@ -1,21 +1,36 @@
 #!/usr/bin/env python
-"""Measure the perf baseline and write BENCH_BASELINE.json.
+"""Measure the perf baseline and update BENCH_BASELINE.json.
 
-Records the wall-clock of the acceptance workload —
-``fig12_heterogeneity(preset="bench", workload_name="cnn")`` — plus
-microbenchmarks of the conv/pool kernels, alongside the frozen numbers
-measured at the seed commit on the same class of machine.  Future PRs
-rerun this script and compare against ``current`` to keep a perf
-trajectory (regressions show up as a shrinking ``speedup_vs_seed``).
+Records wall-clock numbers for the repository's standing perf
+workloads:
+
+* ``fig12_heterogeneity(preset="bench", workload_name="cnn")`` — the
+  ML-heavy acceptance figure (min over ``--repeats`` runs),
+* the ``fig24`` 64-worker hop scaling cell (svm/bench, 40 iterations,
+  light tracing — min of 3),
+* the bare-engine sim-core microbenchmark (events/sec, best of 3),
+* conv/pool kernel microbenchmarks (bench-preset shapes, float32),
+
+alongside two frozen reference points: the seed commit (``seed``) and
+the measurement taken immediately before PR 4's simulator-core
+refactor (``pr4_pre_refactor``, same-machine alternating A/B).  Every
+run *appends* a dated entry to the ``history`` list, so the perf
+trajectory accumulates instead of being overwritten.
+
+This container's CPU throughput oscillates between fast and slow
+epochs (~1.5-2x over minutes); min-of-N per metric plus the recorded
+alternating pre/post A/B keeps ratios meaningful.
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench_baseline.py [--output BENCH_BASELINE.json]
+    PYTHONPATH=src python scripts/bench_baseline.py \
+        [--output BENCH_BASELINE.json] [--repeats 2] [--label "..."]
 """
 
 from __future__ import annotations
 
 import argparse
+import datetime
 import json
 import os
 import platform
@@ -25,9 +40,14 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.graphs import ring_based
 from repro.harness.figures import fig12_heterogeneity
 from repro.harness.parallel import default_jobs
+from repro.harness.profiling import sim_core_events_per_sec
+from repro.harness.spec import ExperimentSpec, run_spec
+from repro.harness.workloads import svm_workload
 from repro.ml.layers import Conv2D, MaxPool2D
+from repro.protocols.base import LIGHT_TRACE
 
 #: Measured at the seed commit (46021bc) on the 1-CPU reference
 #: container, sequential figures, float64 conv path with np.add.at
@@ -38,6 +58,16 @@ SEED_BASELINE = {
     "conv_backward_us": 562.0,
     "maxpool_forward_us": 171.3,
     "maxpool_backward_us": 37.8,
+}
+
+#: Measured at the start of PR 4 (commit 6986d1d, pre-refactor code) on
+#: the same container via alternating pre/post A/B subprocess rounds
+#: (min over rounds, warm process; fig24 cell without light tracing —
+#: the feature did not exist yet).
+PR4_PRE_REFACTOR = {
+    "fig12_bench_cnn_seconds": 4.04,
+    "fig24_hop64_seconds": 0.52,
+    "sim_core_events_per_sec": 625_000,
 }
 
 # Bench-preset CNN first-block shapes, matching the profile hot spot.
@@ -81,15 +111,59 @@ def pool_microbench() -> dict:
     return {"maxpool_forward_us": forward_us, "maxpool_backward_us": backward_us}
 
 
-def figure_bench() -> dict:
-    start = time.perf_counter()
-    result = fig12_heterogeneity(preset="bench", workload_name="cnn")
-    elapsed = time.perf_counter() - start
-    if not result.passed():
-        raise SystemExit(
-            f"fig12 shape checks failed: {result.failures()}"
-        )
-    return {"fig12_bench_cnn_seconds": round(elapsed, 3)}
+def figure_bench(repeats: int) -> dict:
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = fig12_heterogeneity(preset="bench", workload_name="cnn")
+        best = min(best, time.perf_counter() - start)
+        if not result.passed():
+            raise SystemExit(f"fig12 shape checks failed: {result.failures()}")
+    return {"fig12_bench_cnn_seconds": round(best, 3)}
+
+
+def fig24_cell_bench() -> dict:
+    """The fig24 64-worker hop cell (the scaling acceptance number)."""
+    spec = ExperimentSpec(
+        name="scale/hop/64",
+        workload=svm_workload("bench"),
+        topology=ring_based(64),
+        protocol="hop",
+        max_iter=40,
+        seed=0,
+        trace_channels=LIGHT_TRACE,
+    )
+    run_spec(spec)  # warm (index plans, imports)
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        run = run_spec(spec)
+        best = min(best, time.perf_counter() - start)
+    if any(c != 40 for c in run.iterations_completed):
+        raise SystemExit("fig24 cell did not complete all iterations")
+    return {"fig24_hop64_seconds": round(best, 3)}
+
+
+def sim_core_bench() -> dict:
+    return {"sim_core_events_per_sec": round(sim_core_events_per_sec())}
+
+
+def _load_history(path: Path) -> list:
+    """Existing history (synthesizing one entry from a legacy snapshot)."""
+    if not path.exists():
+        return []
+    previous = json.loads(path.read_text())
+    history = previous.get("history")
+    if history is not None:
+        return history
+    # Legacy single-snapshot layout: preserve it as the first entry.
+    return [
+        {
+            "date": "2026-07-01",
+            "label": "PR 1-3 snapshot (legacy single-entry layout)",
+            "current": previous.get("current", {}),
+        }
+    ]
 
 
 def main(argv=None) -> int:
@@ -98,13 +172,45 @@ def main(argv=None) -> int:
         "--output",
         default=str(Path(__file__).resolve().parent.parent / "BENCH_BASELINE.json"),
     )
+    parser.add_argument(
+        "--repeats", type=int, default=2,
+        help="fig12 timing runs (min is recorded)",
+    )
+    parser.add_argument(
+        "--label", default="",
+        help="history-entry label (e.g. the PR being measured)",
+    )
     args = parser.parse_args(argv)
+    output = Path(args.output)
 
     current = {}
-    current.update(figure_bench())
+    current.update(figure_bench(args.repeats))
+    current.update(fig24_cell_bench())
+    current.update(sim_core_bench())
     current.update(conv_microbench())
     current.update(pool_microbench())
     current = {key: round(value, 2) for key, value in current.items()}
+
+    history = _load_history(output)
+    history.append(
+        {
+            "date": datetime.date.today().isoformat(),
+            "label": args.label or "bench_baseline run",
+            "current": current,
+        }
+    )
+
+    def ratios(reference: dict, invert_keys=("sim_core_events_per_sec",)):
+        out = {}
+        for key, ref in reference.items():
+            value = current.get(key)
+            if not value or not ref:
+                continue
+            # Throughput metrics improve upward; times improve downward.
+            out[key] = round(
+                value / ref if key in invert_keys else ref / value, 2
+            )
+        return out
 
     report = {
         "machine": {
@@ -114,16 +220,22 @@ def main(argv=None) -> int:
             "default_jobs": default_jobs(),
         },
         "workload": "fig12_heterogeneity(preset='bench', workload_name='cnn')"
+                    " + fig24 hop/64 scaling cell (svm bench, 40 iters,"
+                    " light trace) + sim-core events/sec"
                     " + bench-preset conv/pool kernel shapes (float32)",
+        "methodology": "min-of-N per metric (N: fig12 --repeats, fig24 3,"
+                       " sim-core 3); this container's CPU oscillates"
+                       " ~1.5-2x between throughput epochs, so ratios"
+                       " against the recorded pre-refactor numbers were"
+                       " validated with alternating same-epoch A/B runs",
         "seed": SEED_BASELINE,
+        "pr4_pre_refactor": PR4_PRE_REFACTOR,
         "current": current,
-        "speedup_vs_seed": {
-            key: round(SEED_BASELINE[key] / value, 2)
-            for key, value in current.items()
-            if key in SEED_BASELINE and value > 0
-        },
+        "speedup_vs_seed": ratios(SEED_BASELINE),
+        "speedup_vs_pre_refactor": ratios(PR4_PRE_REFACTOR),
+        "history": history,
     }
-    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    output.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
     return 0
 

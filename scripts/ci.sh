@@ -33,6 +33,25 @@ echo "== bench smoke: fig21 (instant) + fig16 at smoke preset =="
 python -m pytest -x -q benchmarks/test_fig21_spectral_gaps.py
 python -m repro figures --preset smoke --only fig16
 
+echo "== scaling smoke: fig24 smallest cells (8/16 workers) =="
+python -m repro figures --preset smoke --only fig24
+
+echo "== sim-core microbenchmark: generous events/sec floor =="
+# ~1.0M events/sec on the reference container after the PR 4 engine
+# fast path (625k before it).  The 200k floor is ~5x headroom: it only
+# trips on a real regression (an accidental O(n^2), a de-inlined hot
+# loop), never on machine noise.
+python - <<'PY'
+from repro.harness.profiling import sim_core_events_per_sec
+
+rate = sim_core_events_per_sec()
+floor = 200_000
+assert rate > floor, (
+    f"sim-core regressed: {rate:,.0f} events/sec (floor {floor:,})"
+)
+print(f"sim-core OK: {rate:,.0f} events/sec (floor {floor:,})")
+PY
+
 echo "== docs: README / ARCHITECTURE code blocks =="
 python scripts/check_docs.py
 

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Record pinned-seed golden TrainingRun stats for the determinism gate.
+
+Runs every registered protocol under every universal scenario family on
+a small cluster (see :mod:`repro.harness.golden`) and writes the
+exactly-comparable run stats (floats as IEEE-754 hex, parameter vectors
+as SHA-256 of their raw bytes) to ``tests/scenarios/golden_stats.json``.
+
+The recorded file is the bitwise-determinism contract for simulator
+refactors: ``tests/scenarios/test_conformance_matrix.py`` replays every
+cell and asserts equality, so a perf PR that changes event ordering or
+floating-point accumulation order fails loudly instead of silently
+shifting every figure.
+
+Re-record (and review the diff!) only when a PR *intentionally* changes
+simulation semantics::
+
+    PYTHONPATH=src python scripts/record_golden_stats.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.harness.golden import conformance_spec, golden_fingerprint  # noqa: E402
+from repro.harness.spec import run_spec  # noqa: E402
+from repro.protocols import registered_protocols  # noqa: E402
+from repro.scenarios import registered_scenarios  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        default=str(REPO / "tests" / "scenarios" / "golden_stats.json"),
+    )
+    args = parser.parse_args(argv)
+
+    cells = {}
+    for protocol in registered_protocols():
+        for family in registered_scenarios(universal_only=True):
+            run = run_spec(conformance_spec(protocol, family))
+            cells[f"{protocol}/{family}"] = golden_fingerprint(run)
+            print(f"recorded {protocol}/{family}")
+
+    payload = {
+        "comment": (
+            "Pinned-seed golden TrainingRun stats (floats as IEEE-754 "
+            "hex). Regenerate with scripts/record_golden_stats.py only "
+            "for intentional semantic changes."
+        ),
+        "cells": cells,
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=1) + "\n")
+    print(f"{len(cells)} cells -> {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

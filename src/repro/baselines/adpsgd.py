@@ -59,6 +59,7 @@ class ADPSGDCluster(ProtocolCluster):
         seed: int = 0,
         update_size: Optional[float] = None,
         evaluate: bool = True,
+        trace_channels=None,
     ) -> None:
         topology.validate()
         self.active_set, self.passive_set = topology.bipartite_sets()
@@ -73,6 +74,7 @@ class ADPSGDCluster(ProtocolCluster):
             seed=seed,
             update_size=update_size,
             evaluate=evaluate,
+            trace_channels=trace_channels,
         )
         self.topology = topology
         self.links = links or uniform_links()

@@ -51,6 +51,7 @@ class RingAllReduceCluster(ProtocolCluster):
         seed: int = 0,
         update_size: Optional[float] = None,
         evaluate: bool = True,
+        trace_channels=None,
     ) -> None:
         if n_workers < 2:
             raise ValueError("ring all-reduce needs >= 2 workers")
@@ -65,6 +66,7 @@ class RingAllReduceCluster(ProtocolCluster):
             seed=seed,
             update_size=update_size,
             evaluate=evaluate,
+            trace_channels=trace_channels,
         )
         self.link = link or Link()
 

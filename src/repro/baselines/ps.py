@@ -117,6 +117,7 @@ class ParameterServerCluster(ProtocolCluster):
         seed: int = 0,
         update_size: Optional[float] = None,
         evaluate: bool = True,
+        trace_channels=None,
     ) -> None:
         if mode not in ("bsp", "async", "ssp"):
             raise ValueError(f"unknown PS mode {mode!r}")
@@ -135,6 +136,7 @@ class ParameterServerCluster(ProtocolCluster):
             seed=seed,
             update_size=update_size,
             evaluate=evaluate,
+            trace_channels=trace_channels,
         )
         self.mode = mode
         self.protocol = f"ps-{mode}"

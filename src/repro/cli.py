@@ -8,6 +8,8 @@ Commands:
 * ``graphs``   — inspect a topology (spectral gap, diameter, degrees).
 * ``protocols`` — list every protocol in the registry with citations.
 * ``scenarios`` — list every scenario family in the registry.
+* ``profile``  — cProfile one training run (plus a bare-engine
+  events/sec microbenchmark) to find simulator hot spots.
 
 ``train --protocol`` accepts any name from the protocol registry
 (:mod:`repro.protocols.registry`): ``hop``, ``notify_ack``, ``ps``
@@ -265,6 +267,37 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.harness.profiling import profile_spec, sim_core_events_per_sec
+    from repro.protocols.base import LIGHT_TRACE
+
+    if args.engine_only:
+        rate = sim_core_events_per_sec()
+        print(f"sim-core microbenchmark: {rate:,.0f} events/sec")
+        return 0
+
+    workload = workload_by_name(args.workload, args.preset)
+    topology = graph_by_name(args.graph, args.workers)
+    spec = ExperimentSpec(
+        name="profile",
+        workload=workload,
+        topology=topology,
+        protocol=args.protocol,
+        max_iter=args.iterations,
+        seed=args.seed,
+        trace_channels=None if args.full_trace else LIGHT_TRACE,
+    )
+    print(
+        f"profiling {args.protocol} x {args.workers} workers x "
+        f"{args.iterations} iterations ({args.workload}/{args.preset})..."
+    )
+    report = profile_spec(spec, sort=args.sort, limit=args.limit)
+    print(report.render())
+    rate = sim_core_events_per_sec()
+    print(f"sim-core microbenchmark: {rate:,.0f} events/sec")
+    return 0
+
+
 def _cmd_graphs(args: argparse.Namespace) -> int:
     topology = graph_by_name(args.graph, args.workers)
     topology.validate()
@@ -375,6 +408,43 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--out", help="write a JSON run summary here")
     train.set_defaults(func=_cmd_train)
+
+    profile = sub.add_parser(
+        "profile",
+        help="cProfile one training run and report simulator hot spots",
+    )
+    profile.add_argument("--workload", default="svm", choices=("cnn", "svm"))
+    profile.add_argument("--preset", default="bench",
+                         choices=("smoke", "bench", "paper"))
+    profile.add_argument(
+        "--protocol",
+        default="hop",
+        choices=tuple(registered_protocols(include_aliases=True)),
+    )
+    profile.add_argument("--graph", default="ring_based")
+    profile.add_argument("--workers", type=int, default=64)
+    profile.add_argument("--iterations", type=int, default=40)
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument(
+        "--sort", default="cumulative",
+        choices=("cumulative", "tottime", "ncalls"),
+        help="pstats sort key for the hot-function table",
+    )
+    profile.add_argument(
+        "--limit", type=int, default=25,
+        help="rows in the hot-function table",
+    )
+    profile.add_argument(
+        "--full-trace", action="store_true",
+        help="record every tracer channel (default: LIGHT_TRACE, so "
+             "profiling measures the configuration perf runs use)",
+    )
+    profile.add_argument(
+        "--engine-only", action="store_true",
+        help="skip the training run; only the bare-engine events/sec "
+             "microbenchmark",
+    )
+    profile.set_defaults(func=_cmd_profile)
 
     graphs = sub.add_parser("graphs", help="inspect a topology")
     graphs.add_argument("--graph", default="ring_based")

@@ -97,6 +97,7 @@ class HopCluster(ProtocolCluster):
         update_size: Optional[float] = None,
         token_rtt: Optional[float] = None,
         evaluate: bool = True,
+        trace_channels=None,
         machines: Optional[Sequence[int]] = None,
         machine_uplink: Optional[Link] = None,
         crash_at: Optional[Dict[int, int]] = None,
@@ -117,6 +118,7 @@ class HopCluster(ProtocolCluster):
             seed=seed,
             update_size=update_size,
             evaluate=evaluate,
+            trace_channels=trace_channels,
         )
         if config.mode == "backup":
             min_in = min(
@@ -291,9 +293,18 @@ class HopCluster(ProtocolCluster):
                 workers.append(worker)
         self._workers = workers
         peers = {worker.wid: worker for worker in workers}
+        # Only crash-restart-with-resync ever reads another worker's
+        # ``current_params``; everyone else skips the per-iteration
+        # snapshot copy entirely (zero-copy fast path).
+        needs_snapshots = any(
+            not event.permanent and event.resync
+            for event in self.crash_events.values()
+        )
         for worker in workers:
             if hasattr(worker, "peers"):
                 worker.peers = peers  # restart re-sync needs live peers
+            if needs_snapshots and hasattr(worker, "snapshot_params"):
+                worker.snapshot_params = True
             env.process(worker.run(), name=f"worker-{worker.wid}")
 
     def _check_complete(self, runtime: ProtocolRuntime) -> None:

@@ -166,13 +166,17 @@ class GapTracker:
         self.iterations = np.zeros(n_workers, dtype=int)
         self.max_gap = np.zeros((n_workers, n_workers), dtype=float)
         self.transitions = 0
+        # Scratch row reused by record(): one transition per worker
+        # per iteration makes this an allocation hot spot at scale.
+        self._gap_row = np.zeros(n_workers, dtype=int)
 
     def record(self, worker: int, iteration: int) -> None:
         """Report that ``worker`` just entered ``iteration``."""
         self.iterations[worker] = iteration
         self.transitions += 1
-        gaps_as_i = self.iterations[worker] - self.iterations
-        self.max_gap[worker, :] = np.maximum(self.max_gap[worker, :], gaps_as_i)
+        row = self._gap_row
+        np.subtract(iteration, self.iterations, out=row)
+        np.maximum(self.max_gap[worker, :], row, out=self.max_gap[worker, :])
         # The pair (j, worker) gaps only shrink when `worker` advances,
         # so no update needed for the other rows.
 

@@ -22,7 +22,7 @@ from repro.core.queues import TokenQueue, UpdateQueue
 from repro.core.reducers import mean_reduce
 from repro.core.update import Update
 from repro.hetero.compute import ComputeModel
-from repro.net.message import CONTROL_SIZE, Message
+from repro.net.message import CONTROL_SIZE
 from repro.net.network import Network
 from repro.sim.engine import Environment
 from repro.sim.trace import StatAccumulator, Tracer
@@ -76,38 +76,36 @@ class NotifyAckWorker:
         self.ack_wait = StatAccumulator()
         self.recv_wait = StatAccumulator()
         self.losses = StatAccumulator()
-        self.final_params: np.ndarray = model.get_params()
+        self.final_params: np.ndarray = model.get_params_copy()
+        #: Reusable reduce accumulator (see HopWorker.reduce_scratch).
+        self.reduce_scratch = None
 
     @property
     def update_queue(self) -> UpdateQueue:
         return self.update_queues[self.wid]
 
     def _send_update(self, params: np.ndarray, iteration: int) -> None:
-        payload = params.copy()
+        # One shared Update for the whole fan-out (receivers only read
+        # it; queues track entries by identity).
+        update = Update(params.copy(), iteration, self.wid)
         for j in self.out_neighbors:
             if j == self.wid:
-                self.update_queue.enqueue(Update(payload, iteration, self.wid))
+                self.update_queue.enqueue(update)
                 continue
-            queue = self.update_queues[j]
-            message = Message(
-                src=self.wid,
-                dst=j,
-                kind="update",
-                payload=Update(payload, iteration, self.wid),
-                size=self.update_size,
-            )
-            self.network.send(
-                message, deliver=lambda m, q=queue: q.enqueue(m.payload)
+            self.network.push(
+                self.wid,
+                j,
+                self.update_size,
+                update,
+                self.update_queues[j].enqueue,
             )
 
     def _send_acks(self, iteration: int) -> None:
         """NOTIFY consumed -> ACK to every in-coming neighbor."""
         for j in self._ack_targets:
-            queue = self.ack_queues[(self.wid, j)]
-            message = Message(
-                src=self.wid, dst=j, kind="ack", size=CONTROL_SIZE
+            self.network.push(
+                self.wid, j, CONTROL_SIZE, 1, self.ack_queues[(self.wid, j)].put
             )
-            self.network.send(message, deliver=lambda m, q=queue: q.put(1))
 
     def run(self):
         x = self.model.get_params()
@@ -142,7 +140,12 @@ class NotifyAckWorker:
                 self.in_degree, iteration=k
             )
             self.recv_wait.add(self.env.now - recv_start)
-            x = mean_reduce(updates)
+            # In-place accumulate into the reusable scratch; every read
+            # of the previous ``x`` (model write, optimizer step, send
+            # payload) happened before this point.
+            self.reduce_scratch = x = mean_reduce(
+                updates, out=self.reduce_scratch
+            )
             self._send_acks(k)
 
             self.tracer.log(f"loss/{self.wid}", self.env.now, loss)

@@ -28,6 +28,8 @@ from repro.sim.events import Event
 class DequeueRequest(Event):
     """A pending tagged dequeue; succeeds with a list of updates."""
 
+    __slots__ = ("count", "iteration", "sender", "queue")
+
     def __init__(
         self,
         queue: "UpdateQueue",
@@ -159,6 +161,8 @@ class UpdateQueue:
     # ------------------------------------------------------------------
     def _dispatch(self) -> None:
         """Satisfy waiters (FIFO) whose tag-counts are now available."""
+        if not self._waiters:
+            return
         progressed = True
         while progressed:
             progressed = False
@@ -214,6 +218,9 @@ class RotatingUpdateQueue:
         self._slots: List[List[Update]] = [[] for _ in range(self.n_queues)]
         self._waiters: List[DequeueRequest] = []
         self.peak_occupancy = 0
+        #: Live entry count, maintained incrementally so enqueue does
+        #: not re-sum every slot on the hot path.
+        self._occupancy = 0
         self.total_enqueued = 0
         self.dropped_stale = 0
 
@@ -221,11 +228,13 @@ class RotatingUpdateQueue:
         return self._slots[iteration % self.n_queues]
 
     def enqueue(self, update: Update) -> None:
-        self._slot_of(update.iteration).append(update)
+        self._slots[update.iteration % self.n_queues].append(update)
         self.total_enqueued += 1
-        occupancy = sum(len(slot) for slot in self._slots)
-        self.peak_occupancy = max(self.peak_occupancy, occupancy)
-        self._dispatch()
+        self._occupancy += 1
+        if self._occupancy > self.peak_occupancy:
+            self.peak_occupancy = self._occupancy
+        if self._waiters:
+            self._dispatch()
 
     def dequeue(
         self,
@@ -264,6 +273,7 @@ class RotatingUpdateQueue:
             else:
                 remaining.append(update)
         self._slots[iteration % self.n_queues] = remaining
+        self._occupancy -= len(matches)
         return matches
 
     def size(
@@ -289,16 +299,22 @@ class RotatingUpdateQueue:
             dropped += len(slot) - len(keep)
             self._slots[index] = keep
         self.dropped_stale += dropped
+        self._occupancy -= dropped
         return dropped
 
     def _purge_stale(self, live_iteration: int) -> None:
         """Drop reused-slot leftovers older than the live iteration."""
         slot = self._slot_of(live_iteration)
         keep = [u for u in slot if u.iteration >= live_iteration]
-        self.dropped_stale += len(slot) - len(keep)
+        purged = len(slot) - len(keep)
+        if purged:
+            self.dropped_stale += purged
+            self._occupancy -= purged
         self._slots[live_iteration % self.n_queues] = keep
 
     def _dispatch(self) -> None:
+        if not self._waiters:
+            return
         progressed = True
         while progressed:
             progressed = False
@@ -314,6 +330,7 @@ class RotatingUpdateQueue:
                     taken = matching[: request.count]
                     for update in taken:
                         slot.remove(update)
+                    self._occupancy -= len(taken)
                     self._waiters.remove(request)
                     request.succeed(taken)
                     progressed = True
@@ -331,6 +348,8 @@ class RotatingUpdateQueue:
 
 class TokenAcquire(Event):
     """A pending token acquisition; succeeds when tokens are granted."""
+
+    __slots__ = ("count", "queue")
 
     def __init__(self, queue: "TokenQueue", count: int) -> None:
         super().__init__(queue.env)

@@ -30,12 +30,34 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class RecvStrategy:
-    """Base class; subclasses implement :meth:`recv_reduce`."""
+    """Base class; subclasses implement :meth:`recv_reduce`.
+
+    The returned vector is the worker's reusable reduce scratch
+    (``worker.reduce_scratch``): valid until that worker's next
+    ``recv_reduce``, at which point it is overwritten in place.  The
+    worker's loop consumes it before the next receive; anything that
+    must outlive the iteration (sent payloads, resync snapshots) takes
+    an explicit copy.
+    """
 
     def recv_reduce(self, worker: "HopWorker", iteration: int):
         """Generator: block per the advance condition, return reduced params."""
         raise NotImplementedError
         yield  # pragma: no cover - marks this as a generator template
+
+
+def standard_reduce(worker: "HopWorker", updates) -> "object":
+    """Mean-reduce ``updates`` into the worker's reusable scratch.
+
+    The single reduction contract of standard mode: used by
+    :class:`StandardRecv` (and by the hop worker's inlined
+    standard-mode fast path, which skips only the generator
+    indirection, never the semantics).
+    """
+    worker.reduce_scratch = reduced = mean_reduce(
+        updates, out=worker.reduce_scratch
+    )
+    return reduced
 
 
 class StandardRecv(RecvStrategy):
@@ -44,7 +66,7 @@ class StandardRecv(RecvStrategy):
     def recv_reduce(self, worker: "HopWorker", iteration: int):
         need = worker.in_degree
         updates = yield worker.update_queue.dequeue(need, iteration=iteration)
-        return mean_reduce(updates)
+        return standard_reduce(worker, updates)
 
 
 class BackupRecv(RecvStrategy):
@@ -65,7 +87,7 @@ class BackupRecv(RecvStrategy):
         required = yield worker.update_queue.dequeue(need, iteration=iteration)
         extra = worker.update_queue.dequeue_available(iteration=iteration)
         worker.n_extra_updates += len(extra)
-        return mean_reduce(list(required) + extra)
+        return standard_reduce(worker, list(required) + extra)
 
 
 class StalenessRecv(RecvStrategy):
@@ -141,8 +163,11 @@ class StalenessRecv(RecvStrategy):
             )
         if self.reduce_flavor == "uniform":
             # The simple average the paper compared Eq. (2) against.
-            return mean_reduce(contributors)
-        return staleness_weighted_reduce(contributors, iteration, self.staleness)
+            return standard_reduce(worker, contributors)
+        worker.reduce_scratch = reduced = staleness_weighted_reduce(
+            contributors, iteration, self.staleness, out=worker.reduce_scratch
+        )
+        return reduced
 
 
 def make_recv_strategy(config) -> RecvStrategy:

@@ -5,27 +5,80 @@ Staleness mode uses the paper's Equation (2): an iteration-weighted
 average where an update from iteration ``Iter(u)`` at a worker in
 iteration ``k`` with staleness bound ``s`` gets weight
 ``Iter(u) - (k - s) + 1`` (newer updates count more).
+
+Both reducers accumulate directly into a caller-supplied scratch buffer
+(``out=``) instead of materializing an ``(n_updates, dim)`` stack: the
+per-iteration hot path of every worker does zero parameter-sized
+allocations once its scratch is warm.  The accumulation order (first
+update, then ``+=`` each subsequent one, then one division) is exactly
+the order ``np.stack(...).mean(axis=0)`` used, so results are
+bit-identical to the pre-refactor implementation — the golden-stats
+conformance suite pins this.
+
+Accumulation happens in the common dtype of the *updates* (float32
+parameters reduce in float32).  Weights are cast to that dtype before
+multiplying, fixing the historical drift where float64 weights promoted
+a float32 reduce to float64 mid-flight.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.core.update import Update
 
 
-def mean_reduce(updates: Sequence[Update]) -> np.ndarray:
-    """Figure 4 / Figure 8: simple average of the received parameters."""
+def _accumulator(
+    updates: Sequence[Update], out: Optional[np.ndarray]
+) -> np.ndarray:
+    """``out`` if it matches the reduce dtype/shape, else a fresh buffer."""
+    first = updates[0].params
+    dtype = first.dtype
+    for update in updates[1:]:
+        if update.params.dtype != dtype:
+            dtype = np.result_type(*[u.params.dtype for u in updates])
+            break
+    if out is None or out.shape != first.shape or out.dtype != dtype:
+        out = np.empty(first.shape, dtype=dtype)
+    return out
+
+
+def mean_reduce(
+    updates: Sequence[Update], out: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Figure 4 / Figure 8: simple average of the received parameters.
+
+    Args:
+        updates: The received updates (non-empty).
+        out: Optional reusable scratch buffer; reused when its shape and
+            the reduce dtype match, else a fresh buffer is allocated.
+
+    Returns:
+        The buffer holding the average (``out`` when it was usable).
+    """
     if not updates:
         raise ValueError("cannot reduce zero updates")
-    stacked = np.stack([u.params for u in updates])
-    return stacked.mean(axis=0)
+    out = _accumulator(updates, out)
+    np.copyto(out, updates[0].params)
+    for update in updates[1:]:
+        out += update.params
+    out /= len(updates)
+    return out
 
 
-def weighted_reduce(updates: Sequence[Update], weights: Sequence[float]) -> np.ndarray:
-    """Average with explicit non-negative weights (normalized)."""
+def weighted_reduce(
+    updates: Sequence[Update],
+    weights: Sequence[float],
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Average with explicit non-negative weights (normalized).
+
+    The accumulation stays in the updates' dtype: weights are cast
+    before the multiply, so float32 parameters produce a float32
+    result instead of silently promoting to float64.
+    """
     if not updates:
         raise ValueError("cannot reduce zero updates")
     if len(updates) != len(weights):
@@ -36,12 +89,20 @@ def weighted_reduce(updates: Sequence[Update], weights: Sequence[float]) -> np.n
     total = weights.sum()
     if total <= 0:
         raise ValueError("weights must not all be zero")
-    stacked = np.stack([u.params for u in updates])
-    return (weights[:, None] * stacked).sum(axis=0) / total
+    out = _accumulator(updates, out)
+    cast = out.dtype.type
+    np.multiply(updates[0].params, cast(weights[0]), out=out)
+    for update, weight in zip(updates[1:], weights[1:]):
+        out += update.params * cast(weight)
+    out /= cast(total)
+    return out
 
 
 def staleness_weighted_reduce(
-    updates: Sequence[Update], iteration: int, staleness: int
+    updates: Sequence[Update],
+    iteration: int,
+    staleness: int,
+    out: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """The paper's Equation (2).
 
@@ -54,6 +115,7 @@ def staleness_weighted_reduce(
             in-neighbor.
         iteration: The receiving worker's iteration ``k``.
         staleness: The staleness bound ``s``.
+        out: Optional reusable scratch buffer (see :func:`mean_reduce`).
     """
     if not updates:
         raise ValueError("cannot reduce zero updates")
@@ -66,4 +128,4 @@ def staleness_weighted_reduce(
                 "unsatisfactory updates must be dropped before the reduce"
             )
         weights.append(update.iteration - floor + 1.0)
-    return weighted_reduce(updates, weights)
+    return weighted_reduce(updates, weights, out=out)

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class Update:
     """A parameter update sent between workers.
 

@@ -21,11 +21,15 @@ import numpy as np
 from repro.core.config import HopConfig
 from repro.core.gap import GapTracker
 from repro.core.queues import TokenQueue
-from repro.core.recv import RecvStrategy, make_recv_strategy
+from repro.core.recv import (
+    RecvStrategy,
+    StandardRecv,
+    make_recv_strategy,
+    standard_reduce,
+)
 from repro.core.skip import JumpDecision, SkipPolicy
 from repro.core.update import Update
 from repro.hetero.compute import ComputeModel
-from repro.net.message import Message
 from repro.net.network import Network
 from repro.scenarios.faults import CrashEvent
 from repro.sim.engine import Environment
@@ -33,10 +37,15 @@ from repro.sim.trace import StatAccumulator, Tracer
 
 
 class ClusterState:
-    """Shared cluster-visible state (iteration counters, done flags)."""
+    """Shared cluster-visible state (iteration counters, done flags).
+
+    ``iterations`` is a plain list: it is read and written with scalar
+    indices on the per-send hot path, where Python ints beat numpy
+    scalar boxing.
+    """
 
     def __init__(self, n_workers: int) -> None:
-        self.iterations = np.zeros(n_workers, dtype=int)
+        self.iterations = [0] * n_workers
         self.done = np.zeros(n_workers, dtype=bool)
 
     def all_done(self) -> bool:
@@ -118,6 +127,26 @@ class HopWorker:
         #: Out-neighbors we take tokens from (paper: TokenQ(j -> self)).
         self._token_providers = topology.out_neighbors(wid, include_self=False)
 
+        #: Reusable reduce accumulator (managed by the recv strategies).
+        self.reduce_scratch = None
+        # Per-neighbor send plumbing, prebuilt once: remote update
+        # queues' bound enqueues double as the delivery callbacks for
+        # Network.push (no per-message closure, no Message wrapper).
+        self._remote_out = [j for j in self.out_neighbors if j != wid]
+        self._deliver_to = {
+            j: update_queues[j].enqueue for j in self._remote_out
+        }
+        #: When True, :attr:`current_params` is kept as an owned
+        #: end-of-iteration snapshot (needed only when some peer may
+        #: crash-restart and re-sync from us; set by the cluster).
+        self.snapshot_params = False
+        # Per-iteration tracer channels, bound once (the key f-strings
+        # and dict lookups leave the hot loop; disabled channels are
+        # no-ops).
+        self._log_iter = tracer.channel(f"iter/{wid}")
+        self._log_loss = tracer.channel(f"loss/{wid}")
+        self._log_duration = tracer.channel(f"duration/{wid}")
+
         # Statistics
         self.iterations_completed = 0
         self.iterations_skipped = 0
@@ -130,9 +159,9 @@ class HopWorker:
         self.recv_wait = StatAccumulator()
         self.token_wait = StatAccumulator()
         self.losses = StatAccumulator()
-        self.final_params: np.ndarray = model.get_params()
+        self.final_params: np.ndarray = model.get_params_copy()
         #: Latest parameter vector (snapshot other workers re-sync from).
-        self.current_params: np.ndarray = model.get_params()
+        self.current_params: np.ndarray = model.get_params_copy()
 
     # ------------------------------------------------------------------
     # Queue access
@@ -147,30 +176,29 @@ class HopWorker:
     # ------------------------------------------------------------------
     def _send(self, params: np.ndarray, iteration: int) -> None:
         """Figure 4's Send: enqueue to every out-neighbor (self locally)."""
-        payload = params.copy()
-        for j in self.out_neighbors:
-            if j == self.wid:
-                self.update_queue.enqueue(Update(payload, iteration, self.wid))
-                continue
-            if (
-                self.cfg.check_receiver_iteration
-                and self.state.iterations[j] > iteration
-            ):
+        wid = self.wid
+        # One immutable Update shared by every destination queue:
+        # receivers only read (params, iteration, sender) and queues
+        # track entries by identity, so the fan-out needs a single
+        # payload copy and a single tag object per Send.
+        update = Update(params.copy(), iteration, wid)
+        # Self-delivery is hoisted out of the neighbor loop.  It is
+        # order-independent: enqueueing to our own queue schedules no
+        # events (this worker cannot be blocked on its own queue while
+        # it is the one executing Send), so remote sends keep their
+        # exact relative event ordering.
+        self.update_queue.enqueue(update)
+        check = self.cfg.check_receiver_iteration
+        iterations = self.state.iterations
+        push = self.network.push
+        size = self.update_size
+        for j in self._remote_out:
+            if check and iterations[j] > iteration:
                 # Section 6.2(b): receiver already moved past this
                 # iteration; the update would be dropped as stale.
                 self.n_suppressed_sends += 1
                 continue
-            queue = self.update_queues[j]
-            message = Message(
-                src=self.wid,
-                dst=j,
-                kind="update",
-                payload=Update(payload, iteration, self.wid),
-                size=self.update_size,
-            )
-            self.network.send(
-                message, deliver=lambda m, q=queue: q.enqueue(m.payload)
-            )
+            push(wid, j, size, update, self._deliver_to[j])
 
     def _compute(self, params: np.ndarray) -> Tuple[float, np.ndarray]:
         """Real gradient math on this worker's model replica."""
@@ -275,75 +303,138 @@ class HopWorker:
     # Main loop
     # ------------------------------------------------------------------
     def run(self):
-        """The worker process (Figures 4, 7, 8, 9 + Section 5)."""
+        """The worker process (Figures 4, 7, 8, 9 + Section 5).
+
+        Parameter-plane note: ``x`` aliases this worker's reduce
+        scratch from the first iteration on, so the loop is careful to
+        finish every read of ``x`` (send payload copy, model write,
+        optimizer step) *before* the next ``recv_reduce`` overwrites
+        the scratch in place.  The optimizer step is evaluated before
+        the receive for exactly that reason — it depends only on
+        ``(x, grad, k)``, so the move is value-identical.
+        """
+        # Hot-loop locals: the body runs once per iteration per worker
+        # and every attribute chain below would otherwise be re-resolved
+        # each time.  All hoisted objects are stable for the lifetime of
+        # the process.
+        env = self.env
+        timeout = env.timeout
+        wid = self.wid
+        max_iter = self.max_iter
+        parallel = self.cfg.computation_graph == "parallel"
+        use_tokens = self.cfg.use_token_queues
+        if use_tokens:
+            consumer_queues = [
+                self.token_queues[(wid, j)] for j in self._token_consumers
+            ]
+            provider_queues = [
+                self.token_queues[(j, wid)] for j in self._token_providers
+            ]
+        else:
+            consumer_queues = provider_queues = []
+        iterations = self.state.iterations
+        gap_record = self.gap_tracker.record
+        duration_of = self.compute_model.duration
+        opt_step = self.optimizer.step
+        recv_reduce = self.recv.recv_reduce
+        # Standard mode inlines its one-dequeue receive below, skipping
+        # the per-iteration strategy-generator indirection (behavior is
+        # identical to StandardRecv.recv_reduce).
+        standard = type(self.recv) is StandardRecv
+        dequeue = self.update_queue.dequeue
+        in_degree = self.in_degree
+        log_iter, log_loss, log_duration = (
+            self._log_iter,
+            self._log_loss,
+            self._log_duration,
+        )
+
         x = self.model.get_params()
         k = 0
-        while k < self.max_iter:
+        while k < max_iter:
             if self._crash_pending and k >= self.crash_event.at_iteration:
                 self._crash_pending = False
                 x = yield from self._crash(x, k)
                 if x is None:
                     return self.iterations_completed
-            start = self.env.now
-            self.state.iterations[self.wid] = k
-            self.gap_tracker.record(self.wid, k)
-            self.tracer.log(f"iter/{self.wid}", start, k)
+            start = env.now
+            iterations[wid] = k
+            gap_record(wid, k)
+            log_iter(start, k)
 
             # Insert tokens for in-coming neighbors (Figure 7 line 10).
-            if self.cfg.use_token_queues:
-                for j in self._token_consumers:
-                    self.token_queues[(self.wid, j)].put(1)
+            if use_tokens:
+                for queue in consumer_queues:
+                    queue.put(1)
 
-            if self.cfg.computation_graph == "parallel":
+            if parallel:
                 # Figure 2(b): Send, then Compute overlapping Recv.
                 self._send(x, k)
                 loss, grad = self._compute(x)
-                yield self.env.timeout(self.compute_model.duration(self.wid, k))
-                recv_start = self.env.now
-                reduced = yield from self.recv.recv_reduce(self, k)
-                self.recv_wait.add(self.env.now - recv_start)
-                delta = self.optimizer.step(x, grad, k)
-                x = reduced + delta
+                yield timeout(duration_of(wid, k))
+                delta = opt_step(x, grad, k)
+                recv_start = env.now
+                if standard:
+                    updates = yield dequeue(in_degree, iteration=k)
+                    reduced = standard_reduce(self, updates)
+                else:
+                    reduced = yield from recv_reduce(self, k)
+                self.recv_wait.add(env.now - recv_start)
+                if reduced.dtype == delta.dtype:
+                    # Apply in place on the reduce scratch; bitwise
+                    # equal to ``reduced + delta``.
+                    np.add(reduced, delta, out=reduced)
+                    x = reduced
+                else:
+                    # Dtype promotion (float32 iteration-0 reduce plus
+                    # a float64 delta) still allocates, exactly as the
+                    # out-of-place add did.
+                    x = reduced + delta
             else:
                 # Figure 2(a): Compute, Apply, then Send / Recv / Reduce.
                 loss, grad = self._compute(x)
-                yield self.env.timeout(self.compute_model.duration(self.wid, k))
-                delta = self.optimizer.step(x, grad, k)
+                yield timeout(duration_of(wid, k))
+                delta = opt_step(x, grad, k)
                 applied = x + delta
                 self._send(applied, k)
-                recv_start = self.env.now
-                reduced = yield from self.recv.recv_reduce(self, k)
-                self.recv_wait.add(self.env.now - recv_start)
+                recv_start = env.now
+                if standard:
+                    updates = yield dequeue(in_degree, iteration=k)
+                    reduced = standard_reduce(self, updates)
+                else:
+                    reduced = yield from recv_reduce(self, k)
+                self.recv_wait.add(env.now - recv_start)
                 x = reduced
 
-            self.tracer.log(f"loss/{self.wid}", self.env.now, loss)
+            log_loss(env.now, loss)
             self.losses.add(loss)
             self.iterations_completed = k + 1
-            self.current_params = x
+            # ``x`` aliases the scratch; peers re-syncing after a
+            # crash-restart need a stable end-of-iteration snapshot.
+            self.current_params = x.copy() if self.snapshot_params else x
 
             # Advance: acquire tokens, possibly jumping (Section 5).
             next_k = k + 1
-            if self.cfg.use_token_queues and next_k < self.max_iter:
+            if use_tokens and next_k < max_iter:
                 advance = 1
                 jump = self._plan_jump(k)
                 if jump is not None:
                     x = yield from self._execute_jump(x, k, jump)
                     next_k = jump.target
                     advance = jump.advance
-                token_start = self.env.now
+                token_start = env.now
                 if self.token_rtt > 0:
-                    yield self.env.timeout(self.token_rtt)
+                    yield timeout(self.token_rtt)
                 acquires = [
-                    self.token_queues[(j, self.wid)].acquire(advance)
-                    for j in self._token_providers
+                    queue.acquire(advance) for queue in provider_queues
                 ]
                 if acquires:
-                    yield self.env.all_of(acquires)
-                self.token_wait.add(self.env.now - token_start)
+                    yield env.all_of(acquires)
+                self.token_wait.add(env.now - token_start)
 
-            duration = self.env.now - start
+            duration = env.now - start
             self.iteration_durations.add(duration)
-            self.tracer.log(f"duration/{self.wid}", self.env.now, duration)
+            log_duration(env.now, duration)
             k = next_k
 
         self.final_params = x

@@ -24,6 +24,7 @@ from repro.harness.figures import (
     fig21_spectral_gaps,
     fig22_protocols,
     fig23_scenario_grid,
+    fig24_scaling,
     table1_gap_bounds,
 )
 from repro.harness.report import (
@@ -109,6 +110,7 @@ __all__ = [
     "fig21_spectral_gaps",
     "fig22_protocols",
     "fig23_scenario_grid",
+    "fig24_scaling",
     "figure_to_dict",
     "final_smoothed_loss",
     "iteration_rate_speedup",

@@ -1,0 +1,89 @@
+"""Golden-stats determinism contract for the simulator core.
+
+One :func:`conformance_spec` cell per registered protocol x universal
+scenario family, plus a bitwise-exact :func:`golden_fingerprint` of the
+resulting :class:`~repro.protocols.base.TrainingRun`.  The recorded
+fingerprints (``tests/scenarios/golden_stats.json``, written by
+``scripts/record_golden_stats.py``) pin the simulator's numerical and
+event-ordering behavior: any refactor of the engine, network, reducers
+or parameter plane must reproduce every cell bit-for-bit, or explain
+itself and re-record.
+
+Floats are serialized as IEEE-754 hex (``float.hex``) so JSON
+round-trips cannot launder a one-ulp drift; parameter vectors are
+SHA-256 digests of their raw bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+from repro.graphs import bipartite_ring, ring_based
+from repro.harness.spec import ExperimentSpec
+from repro.harness.workloads import svm_workload
+from repro.scenarios import ScenarioSpec
+
+#: Gossip protocols need a bipartite graph; everyone else runs the
+#: paper's ring-based topology.
+BIPARTITE_PROTOCOLS = ("adpsgd", "momentum-tracking")
+
+#: Small-cluster pin: big enough to exercise real concurrency,
+#: small enough that the full matrix stays a seconds-scale gate.
+N_WORKERS = 4
+MAX_ITER = 5
+
+
+def conformance_spec(
+    protocol: str, family: str, seed: int = 1
+) -> ExperimentSpec:
+    """The pinned spec for one protocol x scenario conformance cell."""
+    topology = (
+        bipartite_ring(N_WORKERS)
+        if protocol in BIPARTITE_PROTOCOLS
+        else ring_based(N_WORKERS)
+    )
+    extras = {"ps_staleness": 2} if protocol == "ps-ssp" else {}
+    return ExperimentSpec(
+        name=f"conformance/{protocol}/{family}",
+        workload=svm_workload("smoke"),
+        topology=topology,
+        protocol=protocol,
+        scenario=ScenarioSpec(family),
+        max_iter=MAX_ITER,
+        seed=seed,
+        **extras,
+    )
+
+
+def _hexfloat(value) -> Optional[str]:
+    return None if value is None else float(value).hex()
+
+
+def golden_fingerprint(run) -> dict:
+    """JSON-safe, bitwise-exact fingerprint of a TrainingRun."""
+    return {
+        "wall_time": _hexfloat(run.wall_time),
+        "final_params_sha256": hashlib.sha256(
+            run.final_params.tobytes()
+        ).hexdigest(),
+        "final_params_dtype": str(run.final_params.dtype),
+        "final_loss": _hexfloat(run.final_loss),
+        "final_accuracy": _hexfloat(run.final_accuracy),
+        "iterations_completed": [int(c) for c in run.iterations_completed],
+        "iterations_skipped": [int(s) for s in run.iterations_skipped],
+        "messages_sent": int(run.messages_sent),
+        "bytes_sent": _hexfloat(run.bytes_sent),
+        "messages_dropped": int(run.messages_dropped),
+        "consensus": _hexfloat(run.consensus),
+        "max_gap": _hexfloat(run.gap.max_observed()),
+        "fault_events": [
+            {
+                "kind": event["kind"],
+                "worker": int(event["worker"]),
+                "time": _hexfloat(event["time"]),
+                "iteration": int(event["iteration"]),
+            }
+            for event in run.fault_events
+        ],
+    }

@@ -115,6 +115,9 @@ class ExperimentSpec:
             width; static-partition ablation).
         momentum_mode: ``"tracking"`` or ``"quasi-global"`` for the
             momentum-tracking gossip protocol.
+        trace_channels: Optional tracer-channel allowlist forwarded to
+            the cluster's :class:`~repro.sim.trace.Tracer` (``None``
+            records every channel).
     """
 
     name: str
@@ -133,6 +136,9 @@ class ExperimentSpec:
     group_size: int = 4
     static_groups: bool = False
     momentum_mode: str = "tracking"
+    #: Optional tracer-channel allowlist (see repro.sim.trace.Tracer);
+    #: perf-focused runs pass repro.protocols.base.LIGHT_TRACE.
+    trace_channels: Optional[tuple] = None
 
     def with_(self, **changes) -> "ExperimentSpec":
         """A modified copy (dataclasses.replace sugar)."""

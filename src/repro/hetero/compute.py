@@ -51,6 +51,14 @@ class ComputeModel:
         self.slowdown = slowdown or NoSlowdown()
         self.jitter = float(jitter)
         self._streams = streams or RngStreams(0)
+        # Clean homogeneous-time fast path: with no slowdown model and
+        # no jitter, duration() is a constant per worker — precompute
+        # the floats so the per-iteration call is one list index.
+        self._static = (
+            [float(t) for t in self.base_times]
+            if type(self.slowdown) is NoSlowdown and self.jitter == 0.0
+            else None
+        )
 
     @property
     def n_workers(self) -> int:
@@ -58,6 +66,8 @@ class ComputeModel:
 
     def duration(self, worker: int, iteration: int) -> float:
         """Simulated seconds of gradient computation for this iteration."""
+        if self._static is not None:
+            return self._static[worker]
         base = self.base_times[worker]
         factor = self.slowdown.factor(worker, iteration)
         noise = 1.0

@@ -17,7 +17,7 @@ Each worker samples minibatches from its own RNG stream via
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -145,10 +145,26 @@ class Batcher:
         self.y = y
         self.batch_size = int(batch_size)
         self._rng = rng
+        # Index rows prefetched in blocks: one integers() call per
+        # _PREFETCH batches instead of per batch.  A (k, batch) block
+        # draw consumes the Generator stream exactly like k sequential
+        # (batch,) draws (values and post-draw state are identical), so
+        # batches are unchanged — this only amortizes the call.
+        self._block: Optional[np.ndarray] = None
+        self._cursor = 0
+
+    _PREFETCH = 32
 
     def next_batch(self) -> Tuple[np.ndarray, np.ndarray]:
         """Sample a batch uniformly with replacement (paper's SGD model)."""
-        idx = self._rng.integers(0, len(self.x), size=self.batch_size)
+        block = self._block
+        if block is None or self._cursor >= len(block):
+            block = self._block = self._rng.integers(
+                0, len(self.x), size=(self._PREFETCH, self.batch_size)
+            )
+            self._cursor = 0
+        idx = block[self._cursor]
+        self._cursor += 1
         return self.x[idx], self.y[idx]
 
     def __repr__(self) -> str:

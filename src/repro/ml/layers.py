@@ -66,11 +66,20 @@ class Dense(Layer):
         self._x = x if training else None
         return x @ self.W.data.T + self.b.data
 
-    def backward(self, dout: np.ndarray) -> np.ndarray:
+    def backward(
+        self, dout: np.ndarray, need_input_grad: bool = True
+    ) -> Optional[np.ndarray]:
+        """Accumulate parameter grads; return ``dx`` (or ``None``).
+
+        ``need_input_grad=False`` skips the input-gradient matmul —
+        used for a network's first layer, whose ``dx`` has no consumer.
+        """
         if self._x is None:
             raise RuntimeError("backward() before forward(training=True)")
         self.W.grad += dout.T @ self._x
         self.b.grad += dout.sum(axis=0)
+        if not need_input_grad:
+            return None
         return dout @ self.W.data
 
     def __repr__(self) -> str:
@@ -238,6 +247,25 @@ def _flat_arange(size: int) -> np.ndarray:
     return indices
 
 
+@lru_cache(maxsize=64)
+def _pool_scatter_base(
+    x_shape: Tuple[int, int, int, int], s: int
+) -> np.ndarray:
+    """Flat index of each pooling window's top-left input pixel.
+
+    ``base + (first // s) * w + first % s`` is the flat input index of
+    the window element selected by ``first``, so pool backward becomes
+    a single fancy scatter into a zeroed flat buffer — no expanded
+    (windows, s*s) intermediate and no transposed reassembly copy.
+    """
+    n, c, h, w = x_shape
+    rows = np.arange(n * c * (h // s)).reshape(n, c, h // s, 1)
+    cols = np.arange(w // s).reshape(1, 1, 1, w // s)
+    base = (rows * s * w + cols * s).reshape(n, c, h // s, w // s)
+    base.setflags(write=False)
+    return base
+
+
 class Conv2D(Layer):
     """2D convolution (im2col), NCHW layout.
 
@@ -289,9 +317,10 @@ class Conv2D(Layer):
             x_pad[:, :, pad : h + pad, pad : w + pad] = x
         else:
             x_pad = np.ascontiguousarray(x)
-        # im2col as one flat gather through the cached index plan.
+        # im2col as one flat gather through the cached index plan
+        # (fancy indexing: measurably faster than ndarray.take here).
         # cols: (C*K*K, N*out_h*out_w), columns ordered (n, out_h, out_w).
-        cols = x_pad.ravel().take(plan).reshape(
+        cols = x_pad.ravel()[plan].reshape(
             c * k * k, n * out_h * out_w
         )
 
@@ -306,7 +335,15 @@ class Conv2D(Layer):
             self._cache = None
         return out
 
-    def backward(self, dout: np.ndarray) -> np.ndarray:
+    def backward(
+        self, dout: np.ndarray, need_input_grad: bool = True
+    ) -> Optional[np.ndarray]:
+        """Accumulate parameter grads; return ``dx`` (or ``None``).
+
+        ``need_input_grad=False`` skips the whole col2im half of the
+        pass — :class:`~repro.ml.models.Sequential` uses it for the
+        first layer of a network, whose input gradient has no consumer.
+        """
         if self._cache is None:
             raise RuntimeError("backward() before forward(training=True)")
         x_shape, x_dtype, cols = self._cache
@@ -317,6 +354,8 @@ class Conv2D(Layer):
         dout_mat = dout.transpose(1, 0, 2, 3).reshape(self.out_channels, -1)
         self.b.grad += dout_mat.sum(axis=1)
         self.W.grad += (dout_mat @ cols.T).reshape(self.W.shape)
+        if not need_input_grad:
+            return None
 
         W_row = self.W.data.reshape(self.out_channels, -1)
         dcols = W_row.T @ dout_mat  # (C*K*K, N*out_h*out_w)
@@ -393,6 +432,31 @@ class MaxPool2D(Layer):
         s = self.size
         if h % s or w % s:
             raise ValueError(f"input {h}x{w} not divisible by pool size {s}")
+        if s == 2:
+            # 2x2 fast path: a three-comparison max tree over strided
+            # window views — no transposed window copy, no argmax
+            # inner loop.  Bit-identical to the generic path, including
+            # first-max tie-breaking (strict > keeps the earlier
+            # window position on ties).
+            r = x.reshape(n, c, h // 2, 2, w // 2, 2)
+            w00 = r[:, :, :, 0, :, 0]
+            w01 = r[:, :, :, 0, :, 1]
+            w10 = r[:, :, :, 1, :, 0]
+            w11 = r[:, :, :, 1, :, 1]
+            top_right = w01 > w00
+            top = np.where(top_right, w01, w00)
+            bottom_right = w11 > w10
+            bottom = np.where(bottom_right, w11, w10)
+            bottom_wins = bottom > top
+            out = np.where(bottom_wins, bottom, top)
+            if training:
+                first = np.where(
+                    bottom_wins, bottom_right + 2, top_right + 0
+                )
+                self._cache = (x.shape, first)
+            else:
+                self._cache = None
+            return out
         # windows: (N, C, H/s, W/s, s*s)
         windows = (
             x.reshape(n, c, h // s, s, w // s, s)
@@ -413,14 +477,14 @@ class MaxPool2D(Layer):
         x_shape, first = self._cache
         n, c, h, w = x_shape
         s = self.size
-        expanded = np.zeros((first.size, s * s), dtype=dout.dtype)
-        rows = _flat_arange(first.size)
-        expanded[rows, first.ravel()] = dout.ravel()
-        return (
-            expanded.reshape(n, c, h // s, w // s, s, s)
-            .transpose(0, 1, 2, 4, 3, 5)
-            .reshape(n, c, h, w)
-        )
+        # One fancy scatter through the cached flat-index base: each
+        # window routes its gradient to the selected input pixel
+        # directly, with no (windows, s*s) intermediate and no
+        # transposed reassembly copy.
+        dx = np.zeros(n * c * h * w, dtype=dout.dtype)
+        base = _pool_scatter_base(x_shape, s)
+        dx[base + (first // s) * w + first % s] = dout
+        return dx.reshape(n, c, h, w)
 
     def __repr__(self) -> str:
         return f"MaxPool2D({self.size})"

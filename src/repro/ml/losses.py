@@ -30,20 +30,36 @@ class SoftmaxCrossEntropy(Loss):
     """Multi-class cross entropy over unnormalized scores.
 
     ``targets`` are integer class labels of shape ``(N,)``.
+
+    The shift/exp/normalize chain runs in one reusable probability
+    buffer (per loss instance — each model owns its loss), so the
+    per-minibatch hot path allocates only the returned gradient.  The
+    operation order matches the former out-of-place arithmetic exactly.
     """
+
+    def __init__(self) -> None:
+        self._probs: np.ndarray = np.zeros(0)
+        self._rows: np.ndarray = np.zeros(0, dtype=np.intp)
 
     def value_and_grad(
         self, scores: np.ndarray, targets: np.ndarray
     ) -> Tuple[float, np.ndarray]:
         n = scores.shape[0]
         targets = np.asarray(targets, dtype=int)
-        shifted = scores - scores.max(axis=1, keepdims=True)
-        exp = np.exp(shifted)
-        probs = exp / exp.sum(axis=1, keepdims=True)
+        dtype = scores.dtype if scores.dtype.kind == "f" else np.float64
+        probs = self._probs
+        if probs.shape != scores.shape or probs.dtype != dtype:
+            probs = self._probs = np.empty(scores.shape, dtype=dtype)
+        rows = self._rows
+        if rows.size != n:
+            rows = self._rows = np.arange(n)
+        np.subtract(scores, scores.max(axis=1, keepdims=True), out=probs)
+        np.exp(probs, out=probs)
+        probs /= probs.sum(axis=1, keepdims=True)
         eps = 1e-12
-        loss = float(-np.mean(np.log(probs[np.arange(n), targets] + eps)))
+        loss = float(-np.mean(np.log(probs[rows, targets] + eps)))
         dscores = probs.copy()
-        dscores[np.arange(n), targets] -= 1.0
+        dscores[rows, targets] -= 1.0
         dscores /= n
         return loss, dscores
 
@@ -58,13 +74,18 @@ class LogisticLoss(Loss):
 
     @staticmethod
     def _signed_targets(targets: np.ndarray) -> np.ndarray:
+        # Two cheap vectorized membership checks instead of the former
+        # np.unique + np.isin pair: this runs once per minibatch on the
+        # training hot path.  Outputs are unchanged.
         targets = np.asarray(targets, dtype=np.float64).ravel()
-        unique = np.unique(targets)
-        if np.all(np.isin(unique, (0.0, 1.0))):
+        positive = targets == 1.0
+        if (positive | (targets == 0.0)).all():
             return 2.0 * targets - 1.0
-        if np.all(np.isin(unique, (-1.0, 1.0))):
+        if (positive | (targets == -1.0)).all():
             return targets
-        raise ValueError(f"labels must be 0/1 or -1/+1, got {unique}")
+        raise ValueError(
+            f"labels must be 0/1 or -1/+1, got {np.unique(targets)}"
+        )
 
     def value_and_grad(
         self, scores: np.ndarray, targets: np.ndarray
@@ -75,9 +96,13 @@ class LogisticLoss(Loss):
         if s.shape != y.shape:
             raise ValueError(f"scores {s.shape} vs targets {y.shape}")
         margins = y * s
-        # log(1 + exp(-m)) computed stably.
-        loss = float(np.mean(np.logaddexp(0.0, -margins)))
-        sigma = expit(-margins)  # = exp(-m) / (1 + exp(-m)), overflow-safe
+        # ``-margins`` feeds both the stable log term and the sigmoid;
+        # negate once.  add.reduce/size is np.mean minus the wrapper —
+        # bit-identical, and this runs once per minibatch.
+        neg_margins = -margins
+        losses = np.logaddexp(0.0, neg_margins)  # log(1 + exp(-m)), stable
+        loss = float(np.add.reduce(losses) / losses.size)
+        sigma = expit(neg_margins)  # = exp(-m) / (1 + exp(-m)), overflow-safe
         dscores = (-y * sigma) / s.size
         return loss, dscores.reshape(original_shape)
 

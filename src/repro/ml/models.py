@@ -21,13 +21,7 @@ from repro.ml.layers import (
     ReLU,
 )
 from repro.ml.losses import Loss, LogisticLoss, SoftmaxCrossEntropy
-from repro.ml.params import (
-    Parameter,
-    flatten_grads,
-    flatten_params,
-    total_size,
-    unflatten_into,
-)
+from repro.ml.params import Parameter, pack_parameters, readonly_view
 
 
 class Sequential:
@@ -35,6 +29,11 @@ class Sequential:
 
     def __init__(self, layers: Sequence[Layer]) -> None:
         self.layers = list(layers)
+        # The first layer's input gradient has no consumer; layers
+        # whose backward accepts need_input_grad can skip computing it
+        # (for a leading Conv2D that is the entire col2im pass).
+        first = self.layers[0] if self.layers else None
+        self._first_supports_skip = isinstance(first, (Conv2D, Dense))
 
     def parameters(self) -> List[Parameter]:
         params: List[Parameter] = []
@@ -45,14 +44,20 @@ class Sequential:
     def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
         out = x
         for layer in self.layers:
-            out = layer.forward(out, training=training)
+            out = layer.forward(out, training)
         return out
 
-    def backward(self, dout: np.ndarray) -> np.ndarray:
+    def backward(self, dout: np.ndarray) -> Optional[np.ndarray]:
+        """Backpropagate; returns the input gradient (or ``None`` when
+        the first layer elides it — no caller consumes it)."""
         grad = dout
-        for layer in reversed(self.layers):
+        for layer in reversed(self.layers[1:]):
             grad = layer.backward(grad)
-        return grad
+        if not self.layers:
+            return grad
+        if self._first_supports_skip:
+            return self.layers[0].backward(grad, need_input_grad=False)
+        return self.layers[0].backward(grad)
 
     def __repr__(self) -> str:
         inner = ", ".join(repr(layer) for layer in self.layers)
@@ -69,6 +74,16 @@ class Model:
     * :meth:`loss_and_grad` — minibatch loss and flat gradient,
     * :meth:`predict` / :meth:`evaluate` — inference.
 
+    All parameters live as views into one contiguous flat buffer (see
+    :func:`repro.ml.params.pack_parameters`), so the flat interface is
+    zero-copy: :meth:`get_params` and :meth:`loss_and_grad` return
+    *read-only views* of buffers this model owns and overwrites on the
+    next :meth:`set_params` / :meth:`loss_and_grad` call.  Callers that
+    store the vector across such calls must take
+    :meth:`get_params_copy` (or ``.copy()`` the view) — see
+    docs/ARCHITECTURE.md's performance-architecture section for the
+    ownership rules.
+
     Args:
         network: The layer stack.
         loss: Loss object mapping scores to (value, dscores).
@@ -84,42 +99,75 @@ class Model:
         self._params = network.parameters()
         if not self._params:
             raise ValueError("model has no trainable parameters")
+        self._repack()
+
+    def _repack(self) -> None:
+        """(Re)alias all parameters into the contiguous flat buffers."""
+        self._flat, self._flat_grad = pack_parameters(self._params)
+        self._flat_view = readonly_view(self._flat)
+        self._grad_view = readonly_view(self._flat_grad)
 
     @property
     def dim(self) -> int:
-        return total_size(self._params)
+        return int(self._flat.size)
 
     def get_params(self) -> np.ndarray:
-        return flatten_params(self._params)
+        """Read-only view of the live flat parameter buffer (O(1)).
+
+        The view tracks every subsequent :meth:`set_params`; copy it to
+        keep a snapshot.
+        """
+        return self._flat_view
+
+    def get_params_copy(self) -> np.ndarray:
+        """An owned snapshot of the current parameters."""
+        return self._flat.copy()
 
     def set_params(self, flat: np.ndarray) -> None:
-        unflatten_into(self._params, flat)
+        """Copy ``flat`` into the parameter buffer (one memcpy)."""
+        if (
+            type(flat) is np.ndarray
+            and flat.ndim == 1
+            and flat.size == self._flat.size
+        ):
+            np.copyto(self._flat, flat)
+            return
+        flat = np.asarray(flat)
+        if flat.size != self._flat.size:
+            raise ValueError(
+                f"flat vector has {flat.size} entries, parameters need "
+                f"{self._flat.size}"
+            )
+        np.copyto(self._flat, flat.reshape(-1))
 
     def zero_grad(self) -> None:
-        for p in self._params:
-            p.zero_grad()
+        self._flat_grad.fill(0.0)
 
     def loss_and_grad(
         self, x: np.ndarray, y: np.ndarray
     ) -> Tuple[float, np.ndarray]:
-        """Mean minibatch loss and the flat gradient at current params."""
+        """Mean minibatch loss and the flat gradient at current params.
+
+        The gradient is a read-only view of the model's flat grad
+        buffer, valid until the next ``loss_and_grad`` / ``zero_grad``
+        call; copy it to keep it across computes.
+        """
         self.zero_grad()
         scores = self.network.forward(x, training=True)
         value, dscores = self.loss.value_and_grad(scores, y)
         self.network.backward(dscores)
-        grad = flatten_grads(self._params)
         if self.l2 > 0.0:
-            flat = flatten_params(self._params)
+            flat = self._flat
             value += 0.5 * self.l2 * float(flat @ flat)
-            grad = grad + self.l2 * flat
-        return value, grad
+            return value, self._flat_grad + self.l2 * flat
+        return value, self._grad_view
 
     def loss_value(self, x: np.ndarray, y: np.ndarray) -> float:
         """Loss without touching gradients (evaluation)."""
         scores = self.network.forward(x, training=False)
         value = self.loss.value(scores, y)
         if self.l2 > 0.0:
-            flat = self.get_params()
+            flat = self._flat
             value += 0.5 * self.l2 * float(flat @ flat)
         return value
 
@@ -132,6 +180,7 @@ class Model:
         for p in self._params:
             p.data = p.data.astype(dtype, copy=False)
             p.grad = np.zeros_like(p.data)
+        self._repack()
         return self
 
     def predict(self, x: np.ndarray) -> np.ndarray:

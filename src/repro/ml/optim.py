@@ -73,6 +73,8 @@ class SGD:
         self.momentum = float(momentum)
         self.weight_decay = float(weight_decay)
         self._velocity: Optional[np.ndarray] = None
+        #: Reusable weight-decay accumulator (allocation-free hot path).
+        self._scratch: Optional[np.ndarray] = None
 
     def reset(self) -> None:
         """Forget momentum state (used when a worker skips iterations)."""
@@ -81,18 +83,36 @@ class SGD:
     def step(
         self, params: np.ndarray, grad: np.ndarray, iteration: int = 0
     ) -> np.ndarray:
-        """Compute the additive update ``delta`` for this iteration."""
-        grad = np.asarray(grad, dtype=np.float64)
+        """Compute the additive update ``delta`` for this iteration.
+
+        State updates (momentum, weight-decay accumulation) happen in
+        place in reusable float64 buffers; only the returned ``delta``
+        is a fresh array (the caller owns it).  The in-place operation
+        order reproduces the former out-of-place arithmetic bit for
+        bit.
+        """
         if self.weight_decay > 0.0:
-            grad = grad + self.weight_decay * np.asarray(params, dtype=np.float64)
-        if self.momentum > 0.0:
-            if self._velocity is None:
-                self._velocity = np.zeros_like(grad)
-            self._velocity = self.momentum * self._velocity + grad
-            effective = self._velocity
+            scratch = self._scratch
+            if scratch is None or scratch.shape != np.shape(grad):
+                scratch = self._scratch = np.empty(
+                    np.shape(grad), dtype=np.float64
+                )
+            # Bitwise equal to ``grad + wd * params`` in float64:
+            # addition commutes exactly and the casts are value-exact.
+            # dtype pins the loop to float64 even for float32 params.
+            np.multiply(params, self.weight_decay, out=scratch, dtype=np.float64)
+            scratch += grad
+            effective = scratch
         else:
-            effective = grad
-        return -self.schedule(iteration) * effective
+            effective = np.asarray(grad, dtype=np.float64)
+        if self.momentum > 0.0:
+            velocity = self._velocity
+            if velocity is None:
+                velocity = self._velocity = np.zeros_like(effective)
+            velocity *= self.momentum
+            velocity += effective
+            effective = velocity
+        return np.multiply(effective, -self.schedule(iteration))
 
     def clone(self) -> "SGD":
         """A fresh optimizer with the same hyper-parameters (new state)."""

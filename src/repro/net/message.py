@@ -15,7 +15,7 @@ from typing import Any
 CONTROL_SIZE = 1e-4
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A network message.
 

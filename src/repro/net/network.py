@@ -15,13 +15,54 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Optional, Sequence
 
+import heapq
+
 from repro.net.links import LinkModel
 from repro.net.message import Message
 from repro.sim.engine import Environment
-from repro.sim.events import Event
+from repro.sim.events import NORMAL, Event
 from repro.sim.process import Process
 from repro.sim.resources import Resource
 from repro.sim.trace import StatAccumulator
+
+
+class Delivery(Event):
+    """A scheduled message delivery (the closure-free send fast path).
+
+    One pre-triggered event on the heap whose single callback hands the
+    message (or bare payload, for :meth:`Network.push`) to the receiver
+    — no generator, no :class:`~repro.sim.process.Process` bootstrap,
+    no per-message name formatting.  Replaces the former
+    ``deliver-<kind>`` delivery process for plain-link sends
+    (shared-NIC sends still need a process to queue through the
+    uplink).
+    """
+
+    __slots__ = ("_deliver", "_message")
+
+    def __init__(
+        self,
+        env: Environment,
+        delay: float,
+        deliver: Callable[[Any], None],
+        message: Any,
+    ) -> None:
+        self.env = env
+        self.defused = False
+        self._ok = True
+        self._value = None
+        self._deliver = deliver
+        self._message = message
+        self.callbacks = [self._run]
+        heapq.heappush(
+            env._queue, (env._now + delay, NORMAL, next(env._eid), self)
+        )
+
+    def _run(self, event: Event) -> None:
+        self._deliver(self._message)
+
+    def __repr__(self) -> str:
+        return f"<Delivery {self._message!r} at {id(self):#x}>"
 
 
 class Network:
@@ -62,6 +103,16 @@ class Network:
         self.message_loss = message_loss
         self.bytes_sent = StatAccumulator()
         self.messages_sent = 0
+        # Uniform-fabric fast path: a plain LinkModel with no per-edge
+        # overrides gives every cross-worker message the same
+        # latency/bandwidth — resolve them once instead of per send.
+        # (Link-model subclasses, e.g. time-varying scenario wrappers,
+        # never take this path.)
+        self._uniform_link = (
+            self.links.default
+            if type(self.links) is LinkModel and not self.links.overrides
+            else None
+        )
 
     @property
     def messages_dropped(self) -> int:
@@ -83,29 +134,49 @@ class Network:
             return None
         return self.egress_nics[src]
 
+    def _plain_transfer(self, src: int, dst: int, size: float) -> float:
+        """Delivery delay on a plain (non-NIC) link, loss included.
+
+        The single source of truth for both :meth:`send` and
+        :meth:`push` — the uniform-link shortcut, the link-model
+        fallback and the loss-penalty gate must never diverge between
+        the two hot paths.
+        """
+        link = self._uniform_link
+        if link is not None and src != dst:
+            transfer = link.latency + size / link.bandwidth
+        else:
+            transfer = self.links.transfer_time(src, dst, size)
+        if self.message_loss is not None:
+            transfer += self._loss_penalty(src, dst, transfer)
+        return transfer
+
     def send(
         self,
         message: Message,
         deliver: Callable[[Message], None],
-    ) -> Process:
-        """Fire-and-forget delivery after the link transfer time."""
+    ) -> Event:
+        """Fire-and-forget delivery after the link transfer time.
+
+        Returns the event that fires at delivery: a :class:`Delivery`
+        on plain links, a :class:`~repro.sim.process.Process` when the
+        transfer serializes through a shared egress NIC.
+        """
         message.sent_at = self.env.now
         self.messages_sent += 1
         self.bytes_sent.add(message.size)
-        nic = self._egress_nic(message.src, message.dst)
+        # Common case first: no egress NICs configured at all.
+        nic = (
+            self._egress_nic(message.src, message.dst)
+            if self.egress_nics
+            else None
+        )
 
         if nic is None:
-            transfer = self.links.transfer_time(
+            delay = self._plain_transfer(
                 message.src, message.dst, message.size
             )
-            delay = transfer + self._loss_penalty(
-                message.src, message.dst, transfer
-            )
-
-            def delivery(env: Environment):
-                yield env.timeout(delay)
-                deliver(message)
-
+            return Delivery(self.env, delay, deliver, message)
         else:
             # Serialization happens at the shared machine uplink; only
             # the propagation latency remains on the link itself.  A
@@ -125,9 +196,38 @@ class Network:
                 yield env.timeout(latency + penalty)
                 deliver(message)
 
-        return self.env.process(
-            delivery(self.env), name=f"deliver-{message.kind}"
-        )
+            # No per-message f-string name: the generator's own name
+            # suffices for diagnostics.
+            return self.env.process(delivery(self.env))
+
+    def push(
+        self,
+        src: int,
+        dst: int,
+        size: float,
+        payload: Any,
+        deliver: Callable[[Any], None],
+    ) -> Event:
+        """Message-object-free send for protocol hot paths.
+
+        Timing, counters and loss injection are identical to
+        :meth:`send`; the payload is handed to ``deliver`` directly at
+        delivery time, skipping the :class:`~repro.net.message.Message`
+        wrapper (one object construction per message on the fan-out
+        path).  Transfers that must serialize through a shared egress
+        NIC fall back to the full :meth:`send` machinery.
+        """
+        if self.egress_nics and self._egress_nic(src, dst) is not None:
+            message = Message(
+                src=src, dst=dst, kind="update", payload=payload, size=size
+            )
+            return self.send(
+                message, deliver=lambda m: deliver(m.payload)
+            )
+        self.messages_sent += 1
+        self.bytes_sent.add(size)
+        delay = self._plain_transfer(src, dst, size)
+        return Delivery(self.env, delay, deliver, payload)
 
     def transfer(self, src: int, dst: int, size: float) -> Event:
         """An event that fires when a transfer completes (blocking send)."""

@@ -47,6 +47,14 @@ if TYPE_CHECKING:  # pragma: no cover - import-cycle guard for type hints
     from repro.core.gap import GapTracker
 
 
+#: Tracer channels every TrainingRun consumer depends on: loss curves,
+#: per-iteration durations (non-hop worker stats) and the crash
+#: lifecycle.  Passing this as ``trace_channels`` keeps results intact
+#: while the remaining per-iteration diagnostics (iter/, jump/,
+#: finished/) become free no-ops.
+LIGHT_TRACE = ("loss", "duration", "crashed", "resynced", "restarted")
+
+
 class DeadlockError(RuntimeError):
     """The simulation ran out of events before all workers finished.
 
@@ -242,6 +250,7 @@ class ProtocolCluster:
         seed: int = 0,
         update_size: Optional[float] = None,
         evaluate: bool = True,
+        trace_channels: Optional[Tuple[str, ...]] = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("need at least one worker")
@@ -260,6 +269,9 @@ class ProtocolCluster:
         )
         self._update_size = update_size
         self.evaluate = evaluate
+        self.trace_channels = (
+            tuple(trace_channels) if trace_channels is not None else None
+        )
 
     # ------------------------------------------------------------------
     # Construction helpers (shared by every protocol)
@@ -411,7 +423,7 @@ class ProtocolCluster:
         models = self._build_models()
         runtime = ProtocolRuntime(
             env=env,
-            tracer=Tracer(),
+            tracer=Tracer(channels=self.trace_channels),
             gap=GapTracker(self.n_workers),
             models=models,
             update_size=self._resolve_update_size(models),

@@ -69,6 +69,7 @@ class MomentumTrackingCluster(ADPSGDCluster):
         seed: int = 0,
         update_size: Optional[float] = None,
         evaluate: bool = True,
+        trace_channels=None,
     ) -> None:
         if momentum_mode not in MOMENTUM_MODES:
             raise ValueError(
@@ -87,6 +88,7 @@ class MomentumTrackingCluster(ADPSGDCluster):
             seed=seed,
             update_size=update_size,
             evaluate=evaluate,
+            trace_channels=trace_channels,
         )
         self.momentum_mode = momentum_mode
         self.beta = (

@@ -148,6 +148,7 @@ class PartialAllReduceCluster(ProtocolCluster):
         seed: int = 0,
         update_size: Optional[float] = None,
         evaluate: bool = True,
+        trace_channels=None,
     ) -> None:
         super().__init__(
             n_workers=n_workers,
@@ -160,6 +161,7 @@ class PartialAllReduceCluster(ProtocolCluster):
             seed=seed,
             update_size=update_size,
             evaluate=evaluate,
+            trace_channels=trace_channels,
         )
         self.links = links or uniform_links()
         self.schedule = GroupSchedule(

@@ -55,11 +55,17 @@ class Event:
     Lifecycle: *pending* -> *triggered* (value set, scheduled on the
     event heap) -> *processed* (callbacks executed by the engine).
 
+    ``__slots__`` keeps events dict-free: the engine creates several
+    events per message and per iteration, so attribute storage is on
+    the simulator's hottest allocation path.
+
     Attributes:
         env: The environment this event belongs to.
         callbacks: Functions ``cb(event)`` invoked when the event is
             processed.  ``None`` once processed.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "defused")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -102,22 +108,22 @@ class Event:
     # ------------------------------------------------------------------
     def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not PENDING:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self, priority=priority)
+        self.env.schedule_triggered(self, priority)
         return self
 
     def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
         """Trigger the event as failed with ``exception``."""
         if not isinstance(exception, BaseException):
             raise TypeError(f"{exception!r} is not an exception")
-        if self.triggered:
+        if self._value is not PENDING:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = False
         self._value = exception
-        self.env.schedule(self, priority=priority)
+        self.env.schedule_triggered(self, priority)
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -143,12 +149,20 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires automatically after ``delay`` simulated time units."""
+    """An event that fires automatically after ``delay`` simulated time units.
+
+    Prefer ``env.timeout(delay)``: it builds the same object through an
+    inlined fast path that skips the generic ``schedule`` machinery.
+    """
+
+    __slots__ = ("_delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
+        self.env = env
+        self.callbacks = []
+        self.defused = False
         self._delay = delay
         self._ok = True
         self._value = value
@@ -164,6 +178,8 @@ class Timeout(Event):
 
 class ConditionValue:
     """Ordered mapping of the events a condition has collected values from."""
+
+    __slots__ = ("events",)
 
     def __init__(self) -> None:
         self.events: list = []
@@ -202,6 +218,8 @@ class Condition(Event):
     Used through the :class:`AllOf` / :class:`AnyOf` helpers.  If any
     constituent event fails, the condition fails with that exception.
     """
+
+    __slots__ = ("_evaluate", "_events", "_count", "_done")
 
     def __init__(
         self,
@@ -264,12 +282,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Triggers once *all* of ``events`` have succeeded."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env, Condition.all_events, events)
 
 
 class AnyOf(Condition):
     """Triggers once *any* of ``events`` has succeeded."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env, Condition.any_events, events)

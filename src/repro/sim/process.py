@@ -26,6 +26,8 @@ class Process(Event):
         name: Optional human-readable name (for debugging/tracing).
     """
 
+    __slots__ = ("_generator", "name", "_target", "_send", "_throw")
+
     def __init__(
         self,
         env: "Environment",
@@ -36,17 +38,24 @@ class Process(Event):
             raise TypeError(f"{generator!r} is not a generator")
         super().__init__(env)
         self._generator = generator
+        # Bound methods cached once: _resume runs once per event.
+        self._send = generator.send
+        self._throw = generator.throw
         self.name = name or getattr(generator, "__name__", "process")
         #: The event this process is currently waiting on.
         self._target: Optional[Event] = None
 
         # Kick the process off via an initialization event so that it
         # starts inside the engine loop, not synchronously at creation.
-        init = Event(env)
+        # Built inline (same fields Event.__init__ + succeed() would
+        # set) — process spawn is on the per-message hot path.
+        init = Event.__new__(Event)
+        init.env = env
+        init.defused = False
         init._ok = True
         init._value = None
-        init.callbacks.append(self._resume)
-        env.schedule(init, priority=URGENT)
+        init.callbacks = [self._resume]
+        env.schedule_triggered(init, URGENT)
 
     @property
     def target(self) -> Optional[Event]:
@@ -67,12 +76,12 @@ class Process(Event):
         while True:
             try:
                 if event._ok:
-                    target = self._generator.send(event._value)
+                    target = self._send(event._value)
                 else:
                     # The exception is being delivered into the process,
                     # which counts as handling it.
                     event.defused = True
-                    target = self._generator.throw(event._value)
+                    target = self._throw(event._value)
             except StopIteration as stop:
                 self._target = None
                 self.env._active_process = None

@@ -19,6 +19,8 @@ if TYPE_CHECKING:  # pragma: no cover
 class Request(Event):
     """A pending acquisition of a :class:`Resource` slot."""
 
+    __slots__ = ("resource",)
+
     def __init__(self, resource: "Resource") -> None:
         super().__init__(resource.env)
         self.resource = resource

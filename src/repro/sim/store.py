@@ -27,6 +27,8 @@ if TYPE_CHECKING:  # pragma: no cover
 class StorePut(Event):
     """Event representing a pending ``put``; succeeds when admitted."""
 
+    __slots__ = ("item", "store")
+
     def __init__(self, store: "Store", item: Any) -> None:
         super().__init__(store.env)
         self.item = item
@@ -39,6 +41,8 @@ class StorePut(Event):
 
 class StoreGet(Event):
     """Event representing a pending ``get``; succeeds with the item."""
+
+    __slots__ = ("filter", "store")
 
     def __init__(self, store: "Store", filter: Optional[Callable] = None) -> None:
         super().__init__(store.env)

@@ -3,26 +3,72 @@
 :class:`Tracer` records named time-series during a run (loss curves,
 iteration timestamps, queue occupancy, ...); :class:`StatAccumulator`
 keeps streaming summary statistics without storing samples.
+
+Hot-path producers should grab a *channel* once
+(``log = tracer.channel(f"iter/{wid}")``) and call it per event: the
+key string is formatted and hashed exactly once, and when the channel
+is disabled (a ``Tracer`` built with an allowlist of consumed
+prefixes) the returned callable is a shared no-op, so unconsumed
+series cost nothing per event.
 """
 
 from __future__ import annotations
 
 import math
-from collections import defaultdict
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 
-class Tracer:
-    """Records ``(time, value)`` samples under string keys."""
+def _noop_log(time: float, value: object = None) -> None:
+    """Shared sink for disabled tracer channels."""
 
-    def __init__(self) -> None:
-        self._records: Dict[str, List[Tuple[float, object]]] = defaultdict(list)
+
+class Tracer:
+    """Records ``(time, value)`` samples under string keys.
+
+    Args:
+        channels: Optional allowlist of key *prefixes* (the part before
+            the first ``/``).  ``None`` records everything; otherwise
+            only series whose prefix is listed are stored and every
+            other :meth:`log` / :meth:`channel` becomes a no-op.
+    """
+
+    __slots__ = ("_records", "_channels")
+
+    def __init__(self, channels: Optional[Sequence[str]] = None) -> None:
+        self._records: Dict[str, List[Tuple[float, object]]] = {}
+        self._channels = None if channels is None else frozenset(channels)
+
+    def enabled(self, key: str) -> bool:
+        """Whether samples logged under ``key`` are stored."""
+        if self._channels is None:
+            return True
+        return key.partition("/")[0] in self._channels
+
+    def channel(self, key: str) -> Callable[..., None]:
+        """A fast-path appender bound to one series.
+
+        Returns ``log(time, value=None)``; a shared no-op when the
+        series is disabled, so callers can log unconditionally.
+        """
+        if not self.enabled(key):
+            return _noop_log
+        append = self._records.setdefault(key, []).append
+
+        def log(time: float, value: object = None) -> None:
+            append((time, value))
+
+        return log
 
     def log(self, key: str, time: float, value: object = None) -> None:
         """Append one sample to the series ``key``."""
-        self._records[key].append((time, value))
+        if not self.enabled(key):
+            return
+        records = self._records.get(key)
+        if records is None:
+            records = self._records[key] = []
+        records.append((time, value))
 
     def keys(self) -> List[str]:
         return sorted(self._records.keys())
@@ -50,8 +96,9 @@ class Tracer:
     def merge(self, other: "Tracer") -> None:
         """Fold another tracer's records into this one (stable order)."""
         for key, records in other._records.items():
-            self._records[key].extend(records)
-            self._records[key].sort(key=lambda tv: tv[0])
+            merged = self._records.setdefault(key, [])
+            merged.extend(records)
+            merged.sort(key=lambda tv: tv[0])
 
     def __repr__(self) -> str:
         return f"<Tracer keys={len(self._records)}>"
@@ -59,6 +106,8 @@ class Tracer:
 
 class StatAccumulator:
     """Streaming count/mean/min/max/variance (Welford) accumulator."""
+
+    __slots__ = ("count", "mean", "_m2", "min", "max")
 
     def __init__(self) -> None:
         self.count = 0

@@ -29,6 +29,7 @@ class FakeWorker:
         self.n_extra_updates = 0
         self.n_staleness_blocks = 0
         self.n_cache_hits = 0
+        self.reduce_scratch = None
 
 
 def upd(iteration, sender, value):

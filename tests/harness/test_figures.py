@@ -53,5 +53,6 @@ def test_registry_covers_the_evaluation_section():
         "fig18", "fig19", "fig20", "fig21", "table1",
         "fig22",  # extension: registry-wide protocol comparison
         "fig23",  # extension: protocol x scenario-family grid
+        "fig24",  # extension: simulator scaling study
     }
     assert set(ALL_FIGURES) == expected

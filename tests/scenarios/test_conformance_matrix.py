@@ -14,46 +14,41 @@ Non-universal families (permanent ``crash``) are excluded by
 definition — they require native crash support — and covered by the
 dedicated hop crash tests instead.  New protocols and new scenario
 families are picked up automatically through the two registries.
+
+The determinism gate is two-layered: same-seed runs must agree with
+*each other* (below), and every cell must agree bit-for-bit with the
+golden fingerprints recorded in ``golden_stats.json`` before the PR 4
+simulator-core refactor — so engine/reducer/parameter-plane rework
+cannot silently shift any result.  Re-record the goldens (and review
+the diff) with ``scripts/record_golden_stats.py`` only for intentional
+semantic changes.
 """
 
+import json
 import math
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.core.gap import gap_bound_matrix
-from repro.graphs import bipartite_ring, ring_based
+from repro.graphs import ring_based
 from repro.harness import ExperimentSpec, run_spec, svm_workload
+from repro.harness.golden import (
+    MAX_ITER,
+    N_WORKERS,
+    conformance_spec,
+    golden_fingerprint,
+)
 from repro.protocols import registered_protocols
 from repro.scenarios import ScenarioSpec, registered_scenarios
 
-#: Gossip protocols need a bipartite graph; everyone else runs the
-#: paper's ring-based topology.
-BIPARTITE_PROTOCOLS = ("adpsgd", "momentum-tracking")
-
-N_WORKERS = 4
-MAX_ITER = 5
+assert N_WORKERS == 4 and MAX_ITER == 5, "golden pin moved; re-record"
 
 WORKLOAD = svm_workload("smoke")
 
-
-def conformance_spec(protocol: str, family: str, seed: int = 1) -> ExperimentSpec:
-    topology = (
-        bipartite_ring(N_WORKERS)
-        if protocol in BIPARTITE_PROTOCOLS
-        else ring_based(N_WORKERS)
-    )
-    extras = {"ps_staleness": 2} if protocol == "ps-ssp" else {}
-    return ExperimentSpec(
-        name=f"conformance/{protocol}/{family}",
-        workload=WORKLOAD,
-        topology=topology,
-        protocol=protocol,
-        scenario=ScenarioSpec(family),
-        max_iter=MAX_ITER,
-        seed=seed,
-        **extras,
-    )
+GOLDEN_PATH = Path(__file__).parent / "golden_stats.json"
+GOLDEN_CELLS = json.loads(GOLDEN_PATH.read_text())["cells"]
 
 
 def run_fingerprint(run) -> dict:
@@ -94,6 +89,21 @@ def test_protocol_scenario_cell(protocol, family):
     second = run_spec(conformance_spec(protocol, family))
     assert run_fingerprint(first) == run_fingerprint(second), (
         f"{protocol} under {family} is not deterministic"
+    )
+
+    # Bitwise-identical to the pre-refactor golden recording: pinned
+    # event ordering and floating-point accumulation order.  A new
+    # protocol/family without a golden yet fails loudly so the
+    # recording is refreshed deliberately.
+    key = f"{protocol}/{family}"
+    assert key in GOLDEN_CELLS, (
+        f"no golden recorded for {key}; run "
+        "scripts/record_golden_stats.py and review the diff"
+    )
+    assert golden_fingerprint(first) == GOLDEN_CELLS[key], (
+        f"{protocol} under {family} no longer matches the recorded "
+        "golden stats: the simulator's numerical or event-ordering "
+        "behavior changed"
     )
 
 
