@@ -122,6 +122,22 @@ def figure_bench(repeats: int) -> dict:
     return {"fig12_bench_cnn_seconds": round(best, 3)}
 
 
+def fig25_bench() -> dict:
+    """The fig25 churn study (the membership-plane acceptance number)."""
+    from repro.harness.figures import fig25_churn
+
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        result = fig25_churn(preset="bench", workload_name="svm")
+        best = min(best, time.perf_counter() - start)
+        if not result.passed():
+            raise SystemExit(
+                f"fig25 shape checks failed: {result.failures()}"
+            )
+    return {"fig25_bench_seconds": round(best, 3)}
+
+
 def fig24_cell_bench() -> dict:
     """The fig24 64-worker hop cell (the scaling acceptance number)."""
     spec = ExperimentSpec(
@@ -186,6 +202,7 @@ def main(argv=None) -> int:
     current = {}
     current.update(figure_bench(args.repeats))
     current.update(fig24_cell_bench())
+    current.update(fig25_bench())
     current.update(sim_core_bench())
     current.update(conv_microbench())
     current.update(pool_microbench())

@@ -36,6 +36,15 @@ python -m repro figures --preset smoke --only fig16
 echo "== scaling smoke: fig24 smallest cells (8/16 workers) =="
 python -m repro figures --preset smoke --only fig24
 
+echo "== membership smoke: fig25 churn study + golden-stats drift check =="
+# fig25 exercises the whole membership plane (leave/join/rewire across
+# the elastic protocols); the conformance matrix then asserts every
+# golden cell — the 90 pre-membership recordings AND the churn cells —
+# bit-for-bit, so a membership change can never silently shift a
+# static-run result.
+python -m repro figures --preset smoke --only fig25
+python -m pytest -x -q tests/scenarios/test_conformance_matrix.py
+
 echo "== sim-core microbenchmark: generous events/sec floor =="
 # ~1.0M events/sec on the reference container after the PR 4 engine
 # fast path (625k before it).  The 200k floor is ~5x headroom: it only

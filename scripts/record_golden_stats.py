@@ -28,7 +28,13 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
-from repro.harness.golden import conformance_spec, golden_fingerprint  # noqa: E402
+from repro.harness.golden import (  # noqa: E402
+    CHURN_CELLS,
+    ELASTIC_PROTOCOLS,
+    churn_conformance_spec,
+    conformance_spec,
+    golden_fingerprint,
+)
 from repro.harness.spec import run_spec  # noqa: E402
 from repro.protocols import registered_protocols  # noqa: E402
 from repro.scenarios import registered_scenarios  # noqa: E402
@@ -40,14 +46,39 @@ def main(argv=None) -> int:
         "--output",
         default=str(REPO / "tests" / "scenarios" / "golden_stats.json"),
     )
+    parser.add_argument(
+        "--only-missing",
+        action="store_true",
+        help="keep every cell already in the output file and record "
+        "only cells it lacks (the additive mode for new protocols or "
+        "families: existing recordings stay byte-identical)",
+    )
     args = parser.parse_args(argv)
+
+    existing = {}
+    if args.only_missing:
+        existing = json.loads(Path(args.output).read_text())["cells"]
 
     cells = {}
     for protocol in registered_protocols():
         for family in registered_scenarios(universal_only=True):
+            key = f"{protocol}/{family}"
+            if key in existing:
+                cells[key] = existing[key]
+                continue
             run = run_spec(conformance_spec(protocol, family))
-            cells[f"{protocol}/{family}"] = golden_fingerprint(run)
-            print(f"recorded {protocol}/{family}")
+            cells[key] = golden_fingerprint(run)
+            print(f"recorded {key}")
+    # Churn cells: elastic protocols only (the membership-plane gate).
+    for protocol in ELASTIC_PROTOCOLS:
+        for family in sorted(CHURN_CELLS):
+            key = f"{protocol}/{family}"
+            if key in existing:
+                cells[key] = existing[key]
+                continue
+            run = run_spec(churn_conformance_spec(protocol, family))
+            cells[key] = golden_fingerprint(run)
+            print(f"recorded {key}")
 
     payload = {
         "comment": (

@@ -45,6 +45,7 @@ class ADPSGDCluster(ProtocolCluster):
     """
 
     protocol = "adpsgd"
+    elastic = True
 
     def __init__(
         self,
@@ -60,6 +61,7 @@ class ADPSGDCluster(ProtocolCluster):
         update_size: Optional[float] = None,
         evaluate: bool = True,
         trace_channels=None,
+        churn=None,
     ) -> None:
         topology.validate()
         self.active_set, self.passive_set = topology.bipartite_sets()
@@ -78,6 +80,15 @@ class ADPSGDCluster(ProtocolCluster):
         )
         self.topology = topology
         self.links = links or uniform_links()
+        if churn is not None and churn.empty:
+            churn = None
+        if churn is not None:
+            churn = churn.clipped(max_iter)
+            churn.validate_for(topology.n)
+            if churn.empty:
+                churn = None
+        self.churn = churn
+        self._membership = None
 
     # ------------------------------------------------------------------
     # Gossip machinery (shared with MomentumTrackingCluster)
@@ -122,14 +133,81 @@ class ADPSGDCluster(ProtocolCluster):
                     wid, partner, self.gossip_payload(runtime.update_size)
                 )
             )
+            if (
+                self._membership is not None
+                and not self._membership.is_active(partner)
+            ):
+                # The partner departed while we waited for its lock /
+                # the round trip: abort — a departed worker's frozen
+                # parameters must not keep mixing in, nor be mutated.
+                return
             self._average_state(wid, partner, params)
             gossip_count[0] += 1
         finally:
             locks[partner].release(request)
 
+    def _elastic_partners(self, wid: int) -> Tuple[bool, List[int]]:
+        """Gossip partners re-resolved against the live membership view.
+
+        The repaired graph may not stay bipartite (bridging an even
+        ring creates odd cycles), but gossip safety only needs the
+        active/passive *coloring*, which is fixed at founding: partners
+        are the live out-neighbors of the opposite color, and edges the
+        repair created inside one color class simply carry no gossip.
+        """
+        topology = self._membership.view.topology
+        passive = [
+            j
+            for j in topology.out_neighbors(wid, include_self=False)
+            if j in self.passive_set and topology.is_active(j)
+        ]
+        return wid in self.active_set, passive
+
     # ------------------------------------------------------------------
     # Gossip worker process
     # ------------------------------------------------------------------
+    def _round(
+        self,
+        wid: int,
+        k: int,
+        runtime: ProtocolRuntime,
+        params: Dict[int, np.ndarray],
+        locks: Dict[int, Resource],
+        model,
+        optimizer: SGD,
+        batcher: Batcher,
+        gossip_count: List[int],
+        rng,
+        is_active: bool,
+        partners: List[int],
+    ):
+        """Generator: one gossip-SGD iteration (shared by the static
+        and elastic loops, so the two can never drift apart)."""
+        env = runtime.env
+        start = env.now
+        runtime.gap.record(wid, k)
+        model.set_params(params[wid])
+        xb, yb = batcher.next_batch()
+        loss, grad = model.loss_and_grad(xb, yb)
+        yield env.timeout(self.compute_model.duration(wid, k))
+
+        if is_active and partners:
+            # Atomic averaging with a random passive neighbor.  Under
+            # churn, a partner that departed mid-compute is skipped
+            # (its frozen parameters must not keep mixing in).
+            partner = int(partners[rng.integers(0, len(partners))])
+            if self._membership is None or self._membership.is_active(
+                partner
+            ):
+                yield from self._gossip(
+                    runtime, wid, partner, params, locks, gossip_count
+                )
+
+        # Apply the (pre-averaging) gradient to the averaged params.
+        params[wid] = params[wid] + optimizer.step(params[wid], grad, k)
+        runtime.tracer.log(f"loss/{wid}", env.now, loss)
+        runtime.tracer.log(f"duration/{wid}", env.now, env.now - start)
+
     def _worker(
         self,
         wid: int,
@@ -141,42 +219,139 @@ class ADPSGDCluster(ProtocolCluster):
         batcher: Batcher,
         gossip_count: List[int],
     ):
-        env = runtime.env
+        if self._membership is not None:
+            return (
+                yield from self._worker_elastic(
+                    wid,
+                    runtime,
+                    params,
+                    locks,
+                    model,
+                    optimizer,
+                    batcher,
+                    gossip_count,
+                )
+            )
         rng = self.streams.stream("gossip", wid)
         is_active, passive_neighbors = self._passive_partners(wid)
-
         for k in range(self.max_iter):
-            start = env.now
-            runtime.gap.record(wid, k)
-            model.set_params(params[wid])
-            xb, yb = batcher.next_batch()
-            loss, grad = model.loss_and_grad(xb, yb)
-            yield env.timeout(self.compute_model.duration(wid, k))
+            yield from self._round(
+                wid,
+                k,
+                runtime,
+                params,
+                locks,
+                model,
+                optimizer,
+                batcher,
+                gossip_count,
+                rng,
+                is_active,
+                passive_neighbors,
+            )
+        runtime.done[wid] = True
 
-            if is_active and passive_neighbors:
-                # Atomic averaging with a random passive neighbor.
-                partner = int(
-                    passive_neighbors[rng.integers(0, len(passive_neighbors))]
-                )
-                yield from self._gossip(
-                    runtime, wid, partner, params, locks, gossip_count
-                )
+    def _resync_payload(self, update_size: float) -> float:
+        """Joiner re-sync ships what a gossip exchange would."""
+        return self.gossip_payload(update_size)
 
-            # Apply the (pre-averaging) gradient to the averaged params.
-            params[wid] = params[wid] + optimizer.step(params[wid], grad, k)
-            runtime.tracer.log(f"loss/{wid}", env.now, loss)
-            runtime.tracer.log(f"duration/{wid}", env.now, env.now - start)
+    def _worker_elastic(
+        self,
+        wid: int,
+        runtime: ProtocolRuntime,
+        params: Dict[int, np.ndarray],
+        locks: Dict[int, Resource],
+        model,
+        optimizer: SGD,
+        batcher: Batcher,
+        gossip_count: List[int],
+    ):
+        """The gossip loop under membership churn.
+
+        Same math as the static loop; the differences are the
+        leave/join lifecycle (drain, rewire, re-sync from the sponsor)
+        and partner lists re-resolved at membership epoch boundaries.
+        """
+        env = runtime.env
+        membership = self._membership
+        rng = self.streams.stream("gossip", wid)
+        leave = membership.leave_event(wid)
+        k = 0
+        if not membership.is_active(wid):
+            started = yield membership.rejoin_event(wid)
+            if started is None:
+                runtime.done[wid] = True
+                return
+            yield from self._join_resync(runtime, wid, params)
+            k = started
+        local_epoch = -1
+        is_active = False
+        partners: List[int] = []
+        while k < self.max_iter:
+            if (
+                leave is not None
+                and k >= leave.leave_at
+                and membership.is_active(wid)
+            ):
+                membership.enact_leave(wid, env.now, k)
+                if leave.join_at is None:
+                    runtime.done[wid] = True
+                    return
+                started = yield membership.rejoin_event(wid)
+                if started is None:
+                    runtime.done[wid] = True
+                    return
+                yield from self._join_resync(runtime, wid, params)
+                leave = None  # the cycle is spent
+                k = started
+                continue
+            if membership.epoch != local_epoch:
+                local_epoch = membership.epoch
+                is_active, partners = self._elastic_partners(wid)
+            membership.on_iteration(wid, k, env.now)
+            yield from self._round(
+                wid,
+                k,
+                runtime,
+                params,
+                locks,
+                model,
+                optimizer,
+                batcher,
+                gossip_count,
+                rng,
+                is_active,
+                partners,
+            )
+            self._completed[wid] = k + 1
+            k += 1
         runtime.done[wid] = True
 
     # ------------------------------------------------------------------
     # ProtocolCluster hooks
     # ------------------------------------------------------------------
+    def _iterations_completed(self, runtime: ProtocolRuntime) -> List[int]:
+        if self._membership is not None:
+            return list(self._completed)
+        return super()._iterations_completed(runtime)
     def _start(self, runtime: ProtocolRuntime) -> None:
         env = runtime.env
+        if self.churn is not None:
+            from repro.membership import MembershipRuntime, MembershipView
+
+            view = MembershipView.founding(
+                self.topology,
+                absent=self.churn.initially_absent(),
+                policy=self.churn.policy,
+            )
+            self._membership = MembershipRuntime(
+                env, view, self.churn, self.max_iter, gap=runtime.gap
+            )
         self._params: Dict[int, np.ndarray] = {
             wid: runtime.models[wid].get_params()
             for wid in range(self.n_workers)
         }
+        self._completed = [0] * self.n_workers
         locks = {
             wid: Resource(env, capacity=1) for wid in self.passive_set
         }
@@ -222,6 +397,7 @@ def _build_adpsgd(spec) -> ADPSGDCluster:
     return ADPSGDCluster(
         topology=spec.topology,
         links=spec.scenario_links(),
+        churn=getattr(spec.built_scenario(), "churn", None),
         **spec_common_kwargs(spec),
     )
 
@@ -232,4 +408,5 @@ register_protocol(
     summary="AD-PSGD: asynchronous bipartite gossip averaging "
     "(unbounded gap)",
     paper="Lian et al. — ICML 2018 (arXiv:1710.06952)",
+    elastic=True,  # gossip survives churn: partners re-resolve per epoch
 )

@@ -142,4 +142,8 @@ register_protocol(
     summary="Synchronous chunked ring all-reduce (global lockstep "
     "barrier)",
     paper="Patarasuk & Yuan — JPDC 2009",
+    # A global barrier has no meaningful partial membership: churn
+    # scenarios are rejected at build time; static behavior is pinned
+    # bit-identically by the golden conformance cells.
+    elastic=False,
 )

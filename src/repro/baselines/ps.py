@@ -311,12 +311,17 @@ register_protocol(
     "workers) behind a shared-NIC hotspot",
     paper="Li et al. — OSDI 2014; Chen et al. — arXiv:1604.00981",
     aliases=("ps",),
+    # A central server has no meaningful partial membership: churn
+    # scenarios are rejected at build time; static behavior is pinned
+    # bit-identically by the golden conformance cells.
+    elastic=False,
 )
 register_protocol(
     "ps-async",
     _builder("async"),
     summary="Parameter server, fully asynchronous (Hogwild-style)",
     paper="Dean et al. — NeurIPS 2012",
+    elastic=False,
 )
 register_protocol(
     "ps-ssp",
@@ -324,4 +329,5 @@ register_protocol(
     summary="Parameter server, stale-synchronous (global staleness "
     "bound)",
     paper="Ho et al. — NeurIPS 2013",
+    elastic=False,
 )

@@ -6,8 +6,10 @@ Commands:
 * ``ablations`` — run the ablation studies.
 * ``train``    — one training run with any registered protocol.
 * ``graphs``   — inspect a topology (spectral gap, diameter, degrees).
-* ``protocols`` — list every protocol in the registry with citations.
-* ``scenarios`` — list every scenario family in the registry.
+* ``protocols`` — list every protocol in the registry with citations
+  (``--json`` for machine-readable rows incl. the ``elastic`` flag).
+* ``scenarios`` — list every scenario family in the registry
+  (``--json`` for machine-readable rows incl. the ``universal`` flag).
 * ``profile``  — cProfile one training run (plus a bare-engine
   events/sec microbenchmark) to find simulator hot spots.
 
@@ -242,11 +244,17 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
 
 def _cmd_protocols(args: argparse.Namespace) -> int:
+    rows = protocol_table()
+    if args.json:
+        print(json.dumps(rows, indent=2))
+        return 0
     print("registered protocols:")
-    for row in protocol_table():
+    for row in rows:
         name = row["name"]
         if row["aliases"]:
             name += f" (alias: {row['aliases']})"
+        if row["elastic"]:
+            name += "  [elastic: survives membership churn]"
         print(f"* {name}")
         print(f"    {row['summary']}")
         print(f"    [{row['paper']}]")
@@ -254,8 +262,12 @@ def _cmd_protocols(args: argparse.Namespace) -> int:
 
 
 def _cmd_scenarios(args: argparse.Namespace) -> int:
+    rows = scenario_table()
+    if args.json:
+        print(json.dumps(rows, indent=2))
+        return 0
     print("registered scenario families:")
-    for row in scenario_table():
+    for row in rows:
         name = row["name"]
         if row["aliases"]:
             name += f" (alias: {row['aliases']})"
@@ -454,10 +466,20 @@ def build_parser() -> argparse.ArgumentParser:
     protocols = sub.add_parser(
         "protocols", help="list the protocol registry"
     )
+    protocols.add_argument(
+        "--json", action="store_true",
+        help="machine-readable output (name, aliases, summary, paper, "
+             "elastic flag)",
+    )
     protocols.set_defaults(func=_cmd_protocols)
 
     scenarios = sub.add_parser(
         "scenarios", help="list the scenario-family registry"
+    )
+    scenarios.add_argument(
+        "--json", action="store_true",
+        help="machine-readable output (name, aliases, summary, paper, "
+             "universal flag)",
     )
     scenarios.set_defaults(func=_cmd_scenarios)
 

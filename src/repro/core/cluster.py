@@ -79,7 +79,13 @@ class HopCluster(ProtocolCluster):
             neighbor re-sync.
         message_loss: Optional loss-with-retransmit network fault model
             (:class:`repro.scenarios.faults.MessageLoss`).
+        churn: Optional :class:`~repro.membership.ChurnPlan` (hop
+            only): scripted worker leave/join with topology rewiring
+            through the membership plane; ``TrainingRun.membership_events``
+            records every enacted transition.
     """
+
+    elastic = True  # hop only; notify_ack rejects churn in __init__
 
     def __init__(
         self,
@@ -103,6 +109,7 @@ class HopCluster(ProtocolCluster):
         crash_at: Optional[Dict[int, int]] = None,
         crash_events: Optional[Dict[int, CrashEvent]] = None,
         message_loss=None,
+        churn=None,
     ) -> None:
         if protocol not in ("hop", "notify_ack"):
             raise ValueError(f"unknown protocol {protocol!r}")
@@ -155,11 +162,26 @@ class HopCluster(ProtocolCluster):
                 worker=wid, at_iteration=iteration
             )
         self.message_loss = message_loss
+        if churn is not None and churn.empty:
+            churn = None
+        if churn is not None:
+            if protocol != "hop":
+                raise ValueError(
+                    "membership churn requires the hop protocol "
+                    "(notify_ack is not elastic)"
+                )
+            churn = churn.clipped(max_iter)
+            churn.validate_for(topology.n)
+            if churn.empty:
+                churn = None
+        self.churn = churn
+        self._membership = None
 
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
-    def _build_update_queue(self, env: Environment, wid: int):
+    def _build_update_queue(self, env: Environment, wid: int, topology=None):
+        topology = topology if topology is not None else self.topology
         impl = self.config.effective_queue_impl
         if not self.config.use_token_queues:
             impl = "tagged"  # rotating slots need a bounded gap
@@ -168,17 +190,18 @@ class HopCluster(ProtocolCluster):
         capacity = None
         if self.config.bound_update_queues and self.config.use_token_queues:
             capacity = update_queue_capacity_bound(
-                self.topology, wid, self.config.max_ig
+                topology, wid, self.config.max_ig
             )
         return UpdateQueue(env, owner=wid, capacity=capacity)
 
     def _build_token_queues(
-        self, env: Environment
+        self, env: Environment, topology=None
     ) -> Dict[Tuple[int, int], TokenQueue]:
+        topology = topology if topology is not None else self.topology
         queues: Dict[Tuple[int, int], TokenQueue] = {}
         if not (self.protocol == "hop" and self.config.use_token_queues):
             return queues
-        for consumer, owner in self.topology.edges:
+        for consumer, owner in topology.edges:
             if consumer == owner:
                 continue
             # Edge consumer->owner means owner in Nout(consumer):
@@ -233,13 +256,45 @@ class HopCluster(ProtocolCluster):
         n = self.topology.n
         self._network = self._build_network(env)
         self._state = ClusterState(n)
+
+        # Membership plane (elastic hop runs): the founding view may
+        # exclude late joiners, and every queue/capacity derives from
+        # the *live* topology rather than the spec's static one.
+        membership = None
+        if self.churn is not None:
+            from repro.membership import HopMembership, MembershipView
+
+            view = MembershipView.founding(
+                self.topology,
+                absent=self.churn.initially_absent(),
+                policy=self.churn.policy,
+            )
+            live_topology = view.topology
+        else:
+            live_topology = self.topology
+
         update_queues = {
-            wid: self._build_update_queue(env, wid) for wid in range(n)
+            wid: self._build_update_queue(env, wid, live_topology)
+            for wid in range(n)
         }
 
         workers: List[object] = []
         if self.protocol == "hop":
-            token_queues = self._build_token_queues(env)
+            token_queues = self._build_token_queues(env, live_topology)
+            if self.churn is not None:
+                membership = HopMembership(
+                    env,
+                    view,
+                    self.churn,
+                    self.max_iter,
+                    state=self._state,
+                    config=self.config,
+                    update_queues=update_queues,
+                    token_queues=token_queues,
+                    gap=runtime.gap,
+                )
+                self._membership = membership
+                self._network.membership = membership
             for wid in range(n):
                 skip_policy = (
                     SkipPolicy(self.config.skip, self.config.max_ig)
@@ -249,7 +304,7 @@ class HopCluster(ProtocolCluster):
                 worker = HopWorker(
                     wid=wid,
                     env=env,
-                    topology=self.topology,
+                    topology=live_topology,
                     config=self.config,
                     model=runtime.models[wid],
                     optimizer=self.optimizer_proto.clone(),
@@ -293,19 +348,32 @@ class HopCluster(ProtocolCluster):
                 workers.append(worker)
         self._workers = workers
         peers = {worker.wid: worker for worker in workers}
-        # Only crash-restart-with-resync ever reads another worker's
-        # ``current_params``; everyone else skips the per-iteration
-        # snapshot copy entirely (zero-copy fast path).
+        # Only crash-restart-with-resync and membership (re)joins ever
+        # read another worker's ``current_params``; everyone else skips
+        # the per-iteration snapshot copy entirely (zero-copy fast
+        # path).
         needs_snapshots = any(
             not event.permanent and event.resync
             for event in self.crash_events.values()
         )
+        if self.churn is not None:
+            needs_snapshots = needs_snapshots or any(
+                event.join_at is not None and event.resync
+                for event in self.churn.events
+            )
         for worker in workers:
             if hasattr(worker, "peers"):
                 worker.peers = peers  # restart re-sync needs live peers
             if needs_snapshots and hasattr(worker, "snapshot_params"):
                 worker.snapshot_params = True
+            if membership is not None:
+                worker.membership = membership
+                worker.churn_event = self.churn.event_for(worker.wid)
+                if not membership.is_active(worker.wid):
+                    worker.down = True  # dark until the join is enacted
             env.process(worker.run(), name=f"worker-{worker.wid}")
+        if membership is not None:
+            membership.workers = peers
 
     def _check_complete(self, runtime: ProtocolRuntime) -> None:
         if not self._state.all_done():
@@ -395,6 +463,7 @@ def _build_hop(spec) -> HopCluster:
         machines=spec.machines,
         crash_events=scenario.faults.crash_events(),
         message_loss=spec.scenario_message_loss(),
+        churn=getattr(scenario, "churn", None),
         **spec_common_kwargs(spec),
     )
 
@@ -420,6 +489,7 @@ register_protocol(
     "bounded staleness, skipping)",
     paper="Luo, Lin, Zhuo, Qian — ASPLOS 2019 (arXiv:1902.01064)",
     native_faults=True,  # _build_hop wires crash_events into workers
+    elastic=True,  # full membership plane: queue-fabric repair + rewiring
 )
 register_protocol(
     "notify_ack",

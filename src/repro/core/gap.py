@@ -161,14 +161,35 @@ class GapTracker:
     ``Iter(i) - Iter(j)`` for every ordered pair.
     """
 
+    #: Sentinel ``Iter`` for non-member workers: so large that
+    #: ``iteration - sentinel`` is always deeply negative, freezing
+    #: every (live, departed) pair at its last both-live value without
+    #: any hot-path masking.  Far below the int64 edge so the record()
+    #: subtraction can never overflow.
+    INACTIVE_SENTINEL = np.iinfo(np.int64).max // 4
+
     def __init__(self, n_workers: int) -> None:
         self.n = n_workers
-        self.iterations = np.zeros(n_workers, dtype=int)
+        self.iterations = np.zeros(n_workers, dtype=np.int64)
         self.max_gap = np.zeros((n_workers, n_workers), dtype=float)
         self.transitions = 0
         # Scratch row reused by record(): one transition per worker
         # per iteration makes this an allocation hot spot at scale.
-        self._gap_row = np.zeros(n_workers, dtype=int)
+        self._gap_row = np.zeros(n_workers, dtype=np.int64)
+
+    def deactivate(self, worker: int) -> None:
+        """Membership leave: freeze every pair involving ``worker``.
+
+        The departed worker stops reporting (its row stays at its
+        historical maximum) and the sentinel makes live workers'
+        ``Iter(i) - Iter(worker)`` deeply negative, so observed gaps
+        only ever cover intervals where both workers were members.
+        """
+        self.iterations[worker] = self.INACTIVE_SENTINEL
+
+    def activate(self, worker: int, iteration: int = 0) -> None:
+        """Membership join: resume gap tracking from ``iteration``."""
+        self.iterations[worker] = iteration
 
     def record(self, worker: int, iteration: int) -> None:
         """Report that ``worker`` just entered ``iteration``."""

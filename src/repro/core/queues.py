@@ -156,6 +156,21 @@ class UpdateQueue:
         self.dropped_stale += dropped
         return dropped
 
+    def resize(self, capacity: Optional[int]) -> None:
+        """Re-provision the capacity bound (membership epoch boundary).
+
+        The Section 4.2 bound depends on the in-degree, which changes
+        when the membership plane rewires the graph; the new bound
+        never shrinks below the current occupancy (entries already
+        accepted stay accepted).
+        """
+        if capacity is None:
+            self.capacity = None
+            return
+        if capacity < 1:
+            raise ValueError("capacity must be positive or None")
+        self.capacity = max(int(capacity), len(self._entries))
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
@@ -386,6 +401,11 @@ class TokenQueue:
         self.total_inserted = initial
         self.total_acquired = 0
         self.peak = initial
+        #: Set when the owner departed the membership: acquisition is
+        #: free (the gap bound through a gone worker is vacuous) and
+        #: pending waiters are released, so nobody deadlocks on tokens
+        #: a departed worker will never insert.
+        self.closed = False
 
     def size(self) -> int:
         """Current token count (used for straggler self-identification)."""
@@ -409,7 +429,26 @@ class TokenQueue:
         self._dispatch()
         return request
 
+    def close(self) -> None:
+        """Owner departed: grant every pending and future acquisition."""
+        self.closed = True
+        self._dispatch()
+
+    def reopen(self, initial: int = 0) -> None:
+        """Owner rejoined: resume gating with a fresh invariant count."""
+        if initial < 0:
+            raise ValueError("initial token count must be >= 0")
+        self.closed = False
+        self._tokens = initial
+        self._dispatch()
+
     def _dispatch(self) -> None:
+        if self.closed:
+            while self._waiters:
+                request = self._waiters.pop(0)
+                self.total_acquired += request.count
+                request.succeed()
+            return
         while self._waiters and self._tokens >= self._waiters[0].count:
             request = self._waiters.pop(0)
             self._tokens -= request.count

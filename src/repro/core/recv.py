@@ -45,6 +45,16 @@ class RecvStrategy:
         raise NotImplementedError
         yield  # pragma: no cover - marks this as a generator template
 
+    def required(self, worker: "HopWorker", iteration: int) -> int:
+        """Updates a *blocking* dequeue at ``iteration`` must wait for.
+
+        The membership plane re-evaluates this when the graph is
+        rewired mid-wait (a pending request that counted a departed
+        in-neighbor is re-counted against the repaired neighborhood);
+        statically it is simply the strategy's advance condition.
+        """
+        return worker.expected_in(iteration)
+
 
 def standard_reduce(worker: "HopWorker", updates) -> "object":
     """Mean-reduce ``updates`` into the worker's reusable scratch.
@@ -61,10 +71,15 @@ def standard_reduce(worker: "HopWorker", updates) -> "object":
 
 
 class StandardRecv(RecvStrategy):
-    """Figure 4: need every in-neighbor's update of this iteration."""
+    """Figure 4: need every in-neighbor's update of this iteration.
+
+    ``expected_in`` equals the static in-degree unless the membership
+    plane is active, in which case it counts only members whose edge is
+    activated for ``iteration``.
+    """
 
     def recv_reduce(self, worker: "HopWorker", iteration: int):
-        need = worker.in_degree
+        need = worker.expected_in(iteration)
         updates = yield worker.update_queue.dequeue(need, iteration=iteration)
         return standard_reduce(worker, updates)
 
@@ -77,13 +92,20 @@ class BackupRecv(RecvStrategy):
             raise ValueError("n_backup must be >= 1")
         self.n_backup = n_backup
 
+    def required(self, worker: "HopWorker", iteration: int) -> int:
+        return max(1, worker.expected_in(iteration) - self.n_backup)
+
     def recv_reduce(self, worker: "HopWorker", iteration: int):
-        need = worker.in_degree - self.n_backup
+        need = worker.expected_in(iteration) - self.n_backup
         if need < 1:
-            raise ValueError(
-                f"worker {worker.wid}: n_backup={self.n_backup} leaves no "
-                f"required updates (in-degree {worker.in_degree})"
-            )
+            if worker.membership is None:
+                raise ValueError(
+                    f"worker {worker.wid}: n_backup={self.n_backup} leaves "
+                    f"no required updates (in-degree {worker.in_degree})"
+                )
+            # A rewired neighborhood may shrink below the static
+            # validation floor; the self-loop update always exists.
+            need = 1
         required = yield worker.update_queue.dequeue(need, iteration=iteration)
         extra = worker.update_queue.dequeue_available(iteration=iteration)
         worker.n_extra_updates += len(extra)
@@ -125,12 +147,25 @@ class StalenessRecv(RecvStrategy):
     def recv_reduce(self, worker: "HopWorker", iteration: int):
         floor = iteration - self.staleness
         contributors: List[Update] = []
+        elastic = worker.membership is not None
         for sender in worker.in_neighbors:
+            if (
+                elastic
+                and sender != worker.wid
+                and worker._in_activation.get(sender, 0) > iteration
+            ):
+                # Membership plane: this edge's updates start flowing
+                # at a later iteration — nothing to wait for yet.
+                continue
             drained = worker.update_queue.dequeue_available(sender=sender)
             newest_this_round = self._absorb(drained)
             # Block only while nothing fresh enough was EVER received
             # from this neighbor (prose semantics, Section 4.4).
             while self.freshest_iteration(sender) < floor:
+                if sender != worker.wid and sender not in worker.in_neighbors:
+                    # The neighbor departed mid-wait (its pending
+                    # per-sender dequeue was released by the rewire).
+                    break
                 worker.n_staleness_blocks += 1
                 got = yield worker.update_queue.dequeue(1, sender=sender)
                 newest_got = self._absorb(list(got))

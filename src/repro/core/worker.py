@@ -109,19 +109,32 @@ class HopWorker:
             crash_event = CrashEvent(worker=wid, at_iteration=crash_at)
         self.crash_event = crash_event
         self.crashed = False
-        #: True while this worker is dark (crash-restart downtime);
-        #: peers must not re-sync from it during the outage.
+        #: True while this worker is dark (crash-restart downtime, a
+        #: membership departure, or a not-yet-joined late worker);
+        #: peers must not re-sync from it while dark.
         self.down = False
         self._crash_pending = crash_event is not None
         self.n_restarts = 0
         #: Other workers by wid; set by the cluster after construction
         #: so a restarted worker can re-sync from a live in-neighbor.
         self.peers: Dict[int, "HopWorker"] = {}
+        #: Membership plane (elastic runs only; set by the cluster).
+        #: ``None`` keeps every static fast path untouched.
+        self.membership = None
+        #: This worker's scripted churn event, if any (set by cluster).
+        self.churn_event = None
+        #: True once this worker has left the membership (until rejoin).
+        self.departed = False
 
         self.recv: RecvStrategy = make_recv_strategy(config)
         self.in_neighbors = topology.in_neighbors(wid, include_self=True)
         self.out_neighbors = topology.out_neighbors(wid, include_self=True)
         self.in_degree = len(self.in_neighbors)
+        self._remote_in = tuple(j for j in self.in_neighbors if j != wid)
+        #: Per-edge activation iterations (membership plane; empty and
+        #: unread in static runs).
+        self._in_activation: Dict[int, int] = {}
+        self._out_activation: Dict[int, int] = {}
         #: In-neighbors we owe tokens to (paper: TokenQ(self -> j)).
         self._token_consumers = topology.in_neighbors(wid, include_self=False)
         #: Out-neighbors we take tokens from (paper: TokenQ(j -> self)).
@@ -172,6 +185,79 @@ class HopWorker:
         return self.update_queues[self.wid]
 
     # ------------------------------------------------------------------
+    # Membership plane (elastic runs; all no-ops when membership is None)
+    # ------------------------------------------------------------------
+    def expected_in(self, iteration: int) -> int:
+        """In-updates expected at ``iteration`` (the advance-condition m).
+
+        Statically this is ``|Nin|`` (self included).  Under the
+        membership plane it counts live in-neighbors whose edge is
+        activated for ``iteration``, so a receiver never blocks on
+        updates that predate an edge (or postdate a departure).
+        """
+        if self.membership is None:
+            return self.in_degree
+        activation = self._in_activation
+        expected = 1  # the self-loop update always arrives
+        for j in self._remote_in:
+            if activation.get(j, 0) <= iteration:
+                expected += 1
+        return expected
+
+    def apply_membership(self, membership) -> None:
+        """Re-resolve neighbor bindings from the live membership view.
+
+        Called by the membership runtime at every epoch transition; the
+        run loop re-hoists its topology-derived locals at the next
+        iteration top, while blocking state created *before* the
+        transition is repaired via :meth:`repair_pending_recv`.
+        """
+        topology = membership.view.topology
+        wid = self.wid
+        self.topology = topology
+        self.in_neighbors = topology.in_neighbors(wid, include_self=True)
+        self.out_neighbors = topology.out_neighbors(wid, include_self=True)
+        self.in_degree = len(self.in_neighbors)
+        self._remote_in = tuple(j for j in self.in_neighbors if j != wid)
+        self._token_consumers = topology.in_neighbors(wid, include_self=False)
+        self._token_providers = topology.out_neighbors(wid, include_self=False)
+        self._remote_out = [j for j in self.out_neighbors if j != wid]
+        self._deliver_to = {
+            j: self.update_queues[j].enqueue for j in self._remote_out
+        }
+        self._in_activation = {
+            j: membership.edge_activation(j, wid) for j in self._remote_in
+        }
+        self._out_activation = {
+            j: membership.edge_activation(wid, j) for j in self._remote_out
+        }
+
+    def repair_pending_recv(self, departed) -> None:
+        """Re-count pending blocking receives after a membership rewire.
+
+        A request created before the rewire may wait for a departed
+        in-neighbor's update that will never arrive; its count is
+        lowered to the repaired neighborhood's advance condition (never
+        raised — edges added by the rewire only activate at future
+        iterations).  Per-sender staleness waits on a departed sender
+        are released with an empty batch.
+        """
+        queue = self.update_queue
+        waiters = getattr(queue, "_waiters", None)
+        if not waiters:
+            return
+        for request in list(waiters):
+            if request.sender is not None:
+                if request.sender in departed:
+                    waiters.remove(request)
+                    request.succeed([])
+                continue
+            need = self.recv.required(self, request.iteration)
+            if need < request.count:
+                request.count = need
+        queue._dispatch()
+
+    # ------------------------------------------------------------------
     # Protocol steps
     # ------------------------------------------------------------------
     def _send(self, params: np.ndarray, iteration: int) -> None:
@@ -196,6 +282,31 @@ class HopWorker:
             if check and iterations[j] > iteration:
                 # Section 6.2(b): receiver already moved past this
                 # iteration; the update would be dropped as stale.
+                self.n_suppressed_sends += 1
+                continue
+            push(wid, j, size, update, self._deliver_to[j])
+
+    def _send_elastic(self, params: np.ndarray, iteration: int) -> None:
+        """Membership-aware Send: gate each edge by its activation.
+
+        Same semantics as :meth:`_send` plus the per-edge activation
+        check, kept separate so static runs pay nothing for it.
+        """
+        wid = self.wid
+        update = Update(params.copy(), iteration, wid)
+        self.update_queue.enqueue(update)
+        check = self.cfg.check_receiver_iteration
+        iterations = self.state.iterations
+        push = self.network.push
+        size = self.update_size
+        activation = self._out_activation
+        for j in self._remote_out:
+            if activation.get(j, 0) > iteration:
+                # The edge starts carrying updates at a later
+                # iteration (it was created by a rewire after the
+                # receiver's expectations for this one were fixed).
+                continue
+            if check and iterations[j] > iteration:
                 self.n_suppressed_sends += 1
                 continue
             push(wid, j, size, update, self._deliver_to[j])
@@ -239,14 +350,17 @@ class HopWorker:
         return refreshed
 
     # ------------------------------------------------------------------
-    # Failure injection (Section 3.4's "accidental node crashes")
+    # Departure lifecycle: crashes and membership churn share one path.
+    # A crash-restart *is* the membership lifecycle's leave+join special
+    # case — same worker, state carried over, no rewiring — so both
+    # re-enter through the same drain / re-sync helpers.
     # ------------------------------------------------------------------
     def _live_resync_source(self) -> Optional["HopWorker"]:
-        """A live in-neighbor to copy parameters from after a restart.
+        """A live in-neighbor to copy parameters from after a (re)join.
 
-        Skips peers that are permanently crashed *or* currently dark in
-        their own restart downtime — a dark machine cannot serve its
-        parameters.
+        Skips peers that are permanently crashed, departed from the
+        membership, or currently dark in their own downtime — a dark
+        machine cannot serve its parameters.
         """
         for j in self.in_neighbors:
             peer = self.peers.get(j)
@@ -255,19 +369,38 @@ class HopWorker:
                 and peer.wid != self.wid
                 and not peer.crashed
                 and not peer.down
+                and not peer.departed
             ):
                 return peer
         return None
+
+    def _sync_from_neighbor(self, x: np.ndarray, k: int, resync: bool = True):
+        """Generator: the default lifecycle's "re-sync params from
+        neighbors" step, shared by crash-restart and membership joins.
+
+        Pulls a live in-neighbor's current parameters (one blocking
+        parameter-sized transfer); with no live source (or
+        ``resync=False``) the worker resumes from its own state.
+        """
+        if resync:
+            source = self._live_resync_source()
+            if source is not None:
+                yield self.network.transfer(
+                    source.wid, self.wid, self.update_size
+                )
+                x = source.current_params.copy()
+                self.tracer.log(f"resynced/{self.wid}", self.env.now, k)
+        return x
 
     def _crash(self, x: np.ndarray, k: int):
         """Generator: enact this worker's crash event at iteration ``k``.
 
         Permanent: stop cold — no sends, no token inserts, no done flag;
         Theorem 2 bounds the blast radius.  Crash-restart: go dark for
-        the downtime, re-sync parameters from a live in-neighbor (one
-        parameter-sized transfer), then resume at iteration ``k`` —
-        tokens and queue contents live in the fabric, not on the
-        worker, so protocol invariants survive the outage untouched.
+        the downtime, then rejoin in place (same neighbors, no rewire)
+        through the shared re-sync lifecycle — tokens and queue
+        contents live in the fabric, not on the worker, so protocol
+        invariants survive the outage untouched.
 
         Returns ``None`` for a permanent crash (caller must stop), or
         the parameter vector to resume with.
@@ -285,19 +418,41 @@ class HopWorker:
         if downtime > 0:
             yield self.env.timeout(downtime)
         self.down = False
-        if event.resync:
-            source = self._live_resync_source()
-            if source is not None:
-                # Pull the neighbor's current parameters (blocking
-                # parameter-sized transfer), replacing lost state.
-                yield self.network.transfer(
-                    source.wid, self.wid, self.update_size
-                )
-                x = source.current_params.copy()
-                self.tracer.log(f"resynced/{self.wid}", self.env.now, k)
+        x = yield from self._sync_from_neighbor(x, k, resync=event.resync)
         self.n_restarts += 1
         self.tracer.log(f"restarted/{self.wid}", self.env.now, k)
         return x
+
+    def _churn_leave(self, x: np.ndarray, k: int, event):
+        """Generator: enact this worker's scripted departure at ``k``.
+
+        The default lifecycle: *drain* (stop participating; the
+        membership runtime repairs peers' pending waits), *rewire* (the
+        plan's policy repairs the graph and re-derives weights), and on
+        rejoin *re-sync params from neighbors*.  Permanent leaves
+        return ``None``; a rejoin returns ``(params, start_iteration)``.
+        """
+        membership = self.membership
+        self.down = True
+        self.departed = True
+        self.final_params = x
+        membership.enact_leave(self.wid, self.env.now, k)
+        if event.join_at is None:
+            # Permanent leave: unlike a crash, departure is *clean* —
+            # the worker leaves the membership, so its absence strands
+            # nobody and it counts as finished.
+            self.state.done[self.wid] = True
+            return None
+        started = yield membership.rejoin_event(self.wid)
+        if started is None:
+            # The rejoin fell past the run horizon.
+            self.state.done[self.wid] = True
+            return None
+        self.departed = False
+        self.down = False
+        x = yield from self._sync_from_neighbor(x, started, resync=event.resync)
+        self.iterations_skipped += max(0, started - k)
+        return x, started
 
     # ------------------------------------------------------------------
     # Main loop
@@ -321,6 +476,10 @@ class HopWorker:
         timeout = env.timeout
         wid = self.wid
         max_iter = self.max_iter
+        membership = self.membership
+        elastic = membership is not None
+        churn_event = self.churn_event if elastic else None
+        send = self._send_elastic if elastic else self._send
         parallel = self.cfg.computation_graph == "parallel"
         use_tokens = self.cfg.use_token_queues
         if use_tokens:
@@ -339,8 +498,9 @@ class HopWorker:
         recv_reduce = self.recv.recv_reduce
         # Standard mode inlines its one-dequeue receive below, skipping
         # the per-iteration strategy-generator indirection (behavior is
-        # identical to StandardRecv.recv_reduce).
-        standard = type(self.recv) is StandardRecv
+        # identical to StandardRecv.recv_reduce).  Elastic runs take
+        # the strategy path so the advance condition tracks membership.
+        standard = type(self.recv) is StandardRecv and not elastic
         dequeue = self.update_queue.dequeue
         in_degree = self.in_degree
         log_iter, log_loss, log_duration = (
@@ -351,7 +511,53 @@ class HopWorker:
 
         x = self.model.get_params()
         k = 0
+        local_epoch = membership.epoch if elastic else 0
+        if elastic and not membership.is_active(wid):
+            # Late joiner: dark outside the cluster until the plan's
+            # join trigger fires and the membership plane wires us in.
+            started = yield membership.rejoin_event(wid)
+            if started is None:
+                self.final_params = x
+                self.state.done[wid] = True
+                return 0
+            self.down = False
+            x = yield from self._sync_from_neighbor(
+                x,
+                started,
+                resync=churn_event.resync if churn_event is not None else True,
+            )
+            churn_event = None  # a late joiner has no leave scripted
+            self.iterations_skipped += started  # pre-join iterations
+            k = started
         while k < max_iter:
+            if elastic:
+                if membership.epoch != local_epoch:
+                    # Epoch boundary: re-hoist the topology-derived
+                    # locals (apply_membership already rebound the
+                    # attributes they derive from).
+                    local_epoch = membership.epoch
+                    in_degree = self.in_degree
+                    if use_tokens:
+                        consumer_queues = [
+                            self.token_queues[(wid, j)]
+                            for j in self._token_consumers
+                        ]
+                        provider_queues = [
+                            self.token_queues[(j, wid)]
+                            for j in self._token_providers
+                        ]
+                if (
+                    churn_event is not None
+                    and churn_event.leave_at is not None
+                    and k >= churn_event.leave_at
+                ):
+                    resumed = yield from self._churn_leave(x, k, churn_event)
+                    churn_event = None
+                    if resumed is None:
+                        return self.iterations_completed
+                    x, k = resumed
+                    continue  # rebind against the rejoin epoch
+                membership.on_iteration(wid, k, env.now)
             if self._crash_pending and k >= self.crash_event.at_iteration:
                 self._crash_pending = False
                 x = yield from self._crash(x, k)
@@ -369,7 +575,7 @@ class HopWorker:
 
             if parallel:
                 # Figure 2(b): Send, then Compute overlapping Recv.
-                self._send(x, k)
+                send(x, k)
                 loss, grad = self._compute(x)
                 yield timeout(duration_of(wid, k))
                 delta = opt_step(x, grad, k)
@@ -396,7 +602,7 @@ class HopWorker:
                 yield timeout(duration_of(wid, k))
                 delta = opt_step(x, grad, k)
                 applied = x + delta
-                self._send(applied, k)
+                send(applied, k)
                 recv_start = env.now
                 if standard:
                     updates = yield dequeue(in_degree, iteration=k)

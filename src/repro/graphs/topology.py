@@ -10,11 +10,24 @@ paper's notation (Section 3.1):
 * ``W[i, j]`` is the influence of worker ``i``'s update on worker ``j``
   (the paper's :math:`W_{ij}`); for well-behaved training ``W`` should
   be doubly stochastic.
+
+Elastic membership (the membership plane, :mod:`repro.membership`)
+extends the static picture: a topology carries an *active* node set
+over a fixed id space ``0..n-1`` and an *epoch* stamp, and
+:meth:`Topology.without_node` / :meth:`Topology.with_node` derive
+repaired graphs for worker leave/join.  Removal bridges the departed
+node's in-neighbors to its out-neighbors, which provably preserves
+strong connectivity among the remaining nodes; the bridge edges carry
+provenance so a later re-join of the same node retires exactly the
+repairs its departure caused (``without_node(i).with_node(i)``
+round-trips the edge support).  Inactive nodes keep only their
+self-loop, so buffers sized by ``n`` (the zero-copy parameter plane,
+queues, gap trackers) never need to shrink or shift ids.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -34,6 +47,15 @@ class Topology:
             ``W[i, j] > 0`` exactly on edges.  If omitted, uniform
             in-degree weights (the paper's Eq. 1) are used.
         name: Human-readable topology name for reports.
+        active: Optional member subset of ``range(n)``.  Non-members
+            may carry no edges besides their self-loop.  ``None`` means
+            every node is a member (the static case).
+        epoch: Membership epoch stamp; derivation methods
+            (:meth:`without_node`, :meth:`with_node`) increment it.
+        repair_sources: Provenance of repair edges added by
+            :meth:`without_node`: ``{(src, dst): frozenset(removed
+            nodes that caused it)}``.  Internal to the derivation
+            round-trip; defaults to empty.
     """
 
     def __init__(
@@ -42,16 +64,39 @@ class Topology:
         edges: Iterable[Tuple[int, int]],
         weights: Optional[np.ndarray] = None,
         name: str = "custom",
+        active: Optional[Iterable[int]] = None,
+        epoch: int = 0,
+        repair_sources: Optional[Dict[Tuple[int, int], FrozenSet[int]]] = None,
     ) -> None:
         if n < 1:
             raise TopologyError(f"need at least one worker, got n={n}")
         self.n = int(n)
         self.name = name
+        self.epoch = int(epoch)
+        if active is None:
+            self.active: FrozenSet[int] = frozenset(range(n))
+        else:
+            self.active = frozenset(int(i) for i in active)
+            if not self.active:
+                raise TopologyError("need at least one active worker")
+            if not all(0 <= i < n for i in self.active):
+                raise TopologyError(f"active set {sorted(self.active)} out of range")
+        self.repair_sources: Dict[Tuple[int, int], FrozenSet[int]] = dict(
+            repair_sources or {}
+        )
 
         edge_set: Set[Tuple[int, int]] = set()
+        full = len(self.active) == n
         for src, dst in edges:
             if not (0 <= src < n and 0 <= dst < n):
                 raise TopologyError(f"edge ({src}, {dst}) out of range for n={n}")
+            if not full and src != dst and (
+                src not in self.active or dst not in self.active
+            ):
+                raise TopologyError(
+                    f"edge ({src}, {dst}) touches an inactive node "
+                    f"(active: {sorted(self.active)})"
+                )
             edge_set.add((int(src), int(dst)))
         for i in range(n):
             edge_set.add((i, i))
@@ -104,7 +149,134 @@ class Topology:
 
     def with_weights(self, weights: np.ndarray) -> "Topology":
         """A copy of this topology with a different weight matrix."""
-        return Topology(self.n, self._edges, weights=weights, name=self.name)
+        return Topology(
+            self.n,
+            self._edges,
+            weights=weights,
+            name=self.name,
+            active=self.active,
+            epoch=self.epoch,
+            repair_sources=self.repair_sources,
+        )
+
+    # ------------------------------------------------------------------
+    # Membership derivation (the membership plane's structural layer)
+    # ------------------------------------------------------------------
+    def is_active(self, node: int) -> bool:
+        return node in self.active
+
+    def active_nodes(self) -> Tuple[int, ...]:
+        """Member ids, sorted (stable iteration order for repairs)."""
+        return tuple(sorted(self.active))
+
+    def without_node(self, node: int, name: Optional[str] = None) -> "Topology":
+        """An epoch-incremented repaired graph with ``node`` removed.
+
+        The departed node keeps only its self-loop; every (in-neighbor,
+        out-neighbor) pair of the removed node is bridged, which
+        preserves strong connectivity among the remaining members (any
+        path through ``node`` contracts onto a bridge edge).  Bridge
+        edges record ``node`` as their cause so :meth:`with_node` can
+        retire them exactly.  Weights are re-derived uniformly (Eq. 1);
+        apply a :class:`~repro.membership.policies.RewirePolicy` for a
+        different scheme.
+        """
+        if node not in self.active:
+            raise TopologyError(f"node {node} is not an active member")
+        remaining = self.active - {node}
+        if not remaining:
+            raise TopologyError("cannot remove the last active worker")
+        edges: Set[Tuple[int, int]] = {
+            (s, d) for s, d in self._edges if s != node and d != node
+        }
+        repair = {
+            edge: causes
+            for edge, causes in self.repair_sources.items()
+            if node not in edge
+        }
+        ins = [
+            u
+            for u in self.in_neighbors(node, include_self=False)
+            if u in remaining
+        ]
+        outs = [
+            v
+            for v in self.out_neighbors(node, include_self=False)
+            if v in remaining
+        ]
+        for u in ins:
+            for v in outs:
+                if u == v:
+                    continue
+                if (u, v) not in edges:
+                    edges.add((u, v))
+                    repair[(u, v)] = frozenset({node})
+                elif (u, v) in repair:
+                    # An existing repair edge this removal also needs:
+                    # it must survive until *every* cause has rejoined.
+                    repair[(u, v)] = repair[(u, v)] | {node}
+        return Topology(
+            self.n,
+            edges,
+            name=name or self.name,
+            active=remaining,
+            epoch=self.epoch + 1,
+            repair_sources=repair,
+        )
+
+    def with_node(
+        self,
+        node: int,
+        in_neighbors: Sequence[int] = (),
+        out_neighbors: Sequence[int] = (),
+        name: Optional[str] = None,
+    ) -> "Topology":
+        """An epoch-incremented graph with ``node`` (re)joined.
+
+        ``in_neighbors`` / ``out_neighbors`` are the member nodes the
+        joiner wires to (typically its original neighbors restricted to
+        the current active set).  Repair edges caused *solely* by this
+        node's earlier departure are retired, so a remove/re-add pair
+        round-trips the edge support exactly.
+        """
+        if node in self.active:
+            raise TopologyError(f"node {node} is already an active member")
+        if not (0 <= node < self.n):
+            raise TopologyError(f"node {node} out of range for n={self.n}")
+        neighbors = set(in_neighbors) | set(out_neighbors)
+        for other in neighbors:
+            if other == node:
+                continue
+            if other not in self.active:
+                raise TopologyError(
+                    f"cannot wire joiner {node} to inactive node {other}"
+                )
+        if not (neighbors - {node}):
+            raise TopologyError(
+                f"joiner {node} needs at least one member neighbor"
+            )
+        edges: Set[Tuple[int, int]] = set(self._edges)
+        repair: Dict[Tuple[int, int], FrozenSet[int]] = {}
+        for edge, causes in self.repair_sources.items():
+            causes = causes - {node}
+            if causes:
+                repair[edge] = causes
+            else:
+                edges.discard(edge)
+        for u in in_neighbors:
+            if u != node:
+                edges.add((int(u), node))
+        for v in out_neighbors:
+            if v != node:
+                edges.add((node, int(v)))
+        return Topology(
+            self.n,
+            edges,
+            name=name or self.name,
+            active=self.active | {node},
+            epoch=self.epoch + 1,
+            repair_sources=repair,
+        )
 
     # ------------------------------------------------------------------
     # Structure queries
@@ -182,7 +354,17 @@ class Topology:
         return float(np.max(D[np.isfinite(D)]))
 
     def is_strongly_connected(self) -> bool:
-        return bool(np.all(np.isfinite(self.shortest_path_matrix())))
+        """Every active member reaches every other active member.
+
+        Inactive nodes (only their self-loop) are outside the
+        communication fabric and do not count; with every node active
+        this is the classic full-matrix check.
+        """
+        D = self.shortest_path_matrix()
+        if len(self.active) == self.n:
+            return bool(np.all(np.isfinite(D)))
+        members = sorted(self.active)
+        return bool(np.all(np.isfinite(D[np.ix_(members, members)])))
 
     def is_bipartite(self) -> bool:
         """Two-colorability of the underlying undirected graph.
@@ -267,4 +449,9 @@ class Topology:
 
     def __repr__(self) -> str:
         n_edges = len(self._edges) - self.n  # exclude self-loops
-        return f"<Topology {self.name!r} n={self.n} edges={n_edges}>"
+        membership = (
+            ""
+            if len(self.active) == self.n and self.epoch == 0
+            else f" active={len(self.active)}/{self.n} epoch={self.epoch}"
+        )
+        return f"<Topology {self.name!r} n={self.n} edges={n_edges}{membership}>"

@@ -25,6 +25,7 @@ from repro.harness.figures import (
     fig22_protocols,
     fig23_scenario_grid,
     fig24_scaling,
+    fig25_churn,
     table1_gap_bounds,
 )
 from repro.harness.report import (
@@ -111,6 +112,7 @@ __all__ = [
     "fig22_protocols",
     "fig23_scenario_grid",
     "fig24_scaling",
+    "fig25_churn",
     "figure_to_dict",
     "final_smoothed_loss",
     "iteration_rate_speedup",

@@ -1066,6 +1066,186 @@ def fig24_scaling(
 
 
 # ----------------------------------------------------------------------
+# Figure 25 (extension): membership churn study
+# ----------------------------------------------------------------------
+def fig25_churn(
+    preset: str = "bench", workload_name: str = "svm", seed: int = 0
+) -> FigureResult:
+    """Elastic protocols under Poisson membership churn.
+
+    Not a figure from the Hop paper: it opens the scenario axis the
+    membership plane enables — workers leaving and rejoining
+    mid-training with live topology rewiring (Moshpit SGD's regime,
+    arXiv:2103.03239; Prague re-partitions groups every round).  For
+    churn rates from 0 (static) upward it runs every elastic protocol
+    (hop/backup, adpsgd, partial-allreduce) under ``churn-poisson``
+    and reports convergence, the realized iteration gap, the spectral
+    gap of every repaired topology, and the rewire control cost —
+    loss + gap + rewire cost vs. churn rate.
+    """
+    n, max_iter = _scale(preset)
+    rates = {
+        "smoke": (0.0, 0.15),
+        "bench": (0.0, 0.06, 0.12, 0.25),
+        "paper": (0.0, 0.05, 0.1, 0.2, 0.4),
+    }[preset]
+    workload = by_name(workload_name, preset)
+    result = FigureResult(
+        "fig25",
+        f"Membership churn ({workload_name}): elastic protocols vs "
+        "Poisson join/leave rate",
+    )
+    topology = ring_based(n)
+    gossip_topology = bipartite_ring(n)
+    hop_config = backup_config(n_backup=1, max_ig=4)
+    contenders = {
+        "hop/backup": dict(protocol="hop", config=hop_config),
+        "adpsgd": dict(protocol="adpsgd", topology=gossip_topology),
+        "partial-allreduce": dict(protocol="partial-allreduce"),
+    }
+    rejoin_after = max(2, max_iter // 3)
+    specs = {}
+    for label, options in contenders.items():
+        options = dict(options)
+        topo = options.pop("topology", topology)
+        for rate in rates:
+            scenario = ScenarioSpec(
+                "churn-poisson",
+                {
+                    "rate": rate,
+                    "horizon": max_iter,
+                    "rejoin_after": rejoin_after,
+                },
+            )
+            specs[f"{label}/{rate}"] = ExperimentSpec(
+                name=f"{label}/churn-{rate}",
+                workload=workload,
+                topology=topo,
+                scenario=scenario,
+                max_iter=max_iter,
+                seed=seed,
+                **options,
+            )
+    runs = run_specs(specs)
+
+    losses: Dict[str, Dict[float, float]] = {}
+    for label in contenders:
+        losses[label] = {}
+        for rate in rates:
+            run = runs[f"{label}/{rate}"]
+            events = run.membership_events
+            rewires = [e for e in events if e["kind"] == "rewire"]
+            leaves = sum(1 for e in events if e["kind"] == "leave")
+            joins = sum(1 for e in events if e["kind"] == "join")
+            loss = final_smoothed_loss(run)
+            losses[label][rate] = loss
+            result.rows.append(
+                {
+                    "protocol": label,
+                    "rate": rate,
+                    "final_loss": loss,
+                    "wall_time": run.wall_time,
+                    "leaves": leaves,
+                    "joins": joins,
+                    "rewire_cost": sum(e["rewire_cost"] for e in rewires),
+                    "min_spectral_gap": (
+                        min(e["spectral_gap"] for e in rewires)
+                        if rewires
+                        else np.nan
+                    ),
+                    "observed_max_gap": run.gap.max_observed(),
+                    "messages_dropped": run.messages_dropped,
+                }
+            )
+    for label in contenders:
+        result.series[label] = (
+            np.array(rates, dtype=float),
+            np.array([losses[label][rate] for rate in rates]),
+        )
+
+    top = rates[-1]
+    for label in contenders:
+        for rate in rates:
+            run = runs[f"{label}/{rate}"]
+            loss = losses[label][rate]
+            result.check(
+                f"{label} converges under churn rate {rate}",
+                np.isfinite(loss) and loss < 1.0,
+                f"final_loss={loss:.3f}",
+            )
+            leavers = {
+                event["worker"]
+                for event in run.membership_events
+                if event["kind"] == "leave"
+            }
+            stalled = [
+                wid
+                for wid, completed in enumerate(run.iterations_completed)
+                if completed != max_iter and wid not in leavers
+            ]
+            result.check(
+                f"{label}/{rate}: every never-leaving worker finishes",
+                not stalled,
+                f"stalled={stalled}" if stalled else "",
+            )
+        clean = runs[f"{label}/0.0"]
+        result.check(
+            f"{label}: rate 0 runs a static membership "
+            "(no events, nothing dropped at members)",
+            not clean.membership_events,
+            f"events={clean.membership_events}",
+        )
+        churned = runs[f"{label}/{top}"]
+        result.check(
+            f"{label}: churn actually happens at rate {top}",
+            any(e["kind"] == "leave" for e in churned.membership_events),
+            f"events={[e['kind'] for e in churned.membership_events]}",
+        )
+        gaps = [
+            e["spectral_gap"]
+            for e in churned.membership_events
+            if e["kind"] == "rewire"
+        ]
+        result.check(
+            f"{label}: every repaired topology keeps mixing "
+            "(positive spectral gap after each rewire)",
+            all(g > 0 for g in gaps),
+            f"spectral gaps={[round(g, 3) for g in gaps]}",
+        )
+    # The static column is still the paper's regime: Theorem 2 holds.
+    clean_hop = runs["hop/backup/0.0"]
+    bounds = gap_bound_matrix(
+        topology, "backup+tokens", max_ig=hop_config.max_ig
+    )
+    violations = clean_hop.gap.violations(bounds)
+    result.check(
+        "hop at rate 0 respects Theorem 2's gap bound (static regime "
+        "unchanged by the membership plane)",
+        not violations,
+        f"violations={violations}" if violations else "",
+    )
+    hop_costs = [
+        row["rewire_cost"]
+        for row in result.rows
+        if row["protocol"] == "hop/backup"
+    ]
+    result.check(
+        "rewire control cost grows with churn rate (hop)",
+        hop_costs[0] == 0 and hop_costs[-1] > 0,
+        f"costs per rate={hop_costs}",
+    )
+    result.notes = (
+        "churn-poisson draws a scripted plan at build time (seeded), "
+        "so every cell is bit-deterministic.  min_spectral_gap is the "
+        "worst mixing rate over the run's repaired topologies; "
+        "rewire_cost counts control messages (2 per changed edge).  "
+        "Leavers rejoin after "
+        f"{rejoin_after} frontier iterations when the horizon allows."
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
 # Table 1: iteration-gap bounds, theory vs observation
 # ----------------------------------------------------------------------
 def table1_gap_bounds(preset: str = "bench", seed: int = 0) -> FigureResult:
@@ -1160,5 +1340,6 @@ ALL_FIGURES: Dict[str, Callable[..., FigureResult]] = {
     "fig22": fig22_protocols,
     "fig23": fig23_scenario_grid,
     "fig24": fig24_scaling,
+    "fig25": fig25_churn,
     "table1": table1_gap_bounds,
 }

@@ -33,9 +33,21 @@ BIPARTITE_PROTOCOLS = ("adpsgd", "momentum-tracking")
 N_WORKERS = 4
 MAX_ITER = 5
 
+#: Protocols registered elastic: they additionally run the churn cells.
+ELASTIC_PROTOCOLS = ("adpsgd", "hop", "partial-allreduce")
+
+#: Pinned params for the churn conformance cells: one permanent leave,
+#: one leave/rejoin cycle (scripted), and a seeded Poisson draw — small
+#: enough for the 4-worker pin, rich enough to cross every lifecycle
+#: path (leave, rewire, rejoin, re-sync).
+CHURN_CELLS = {
+    "churn": {"leaves": {3: 2}, "cycles": {2: [1, 2]}},
+    "churn-poisson": {"rate": 0.5, "horizon": 5, "rejoin_after": 1},
+}
+
 
 def conformance_spec(
-    protocol: str, family: str, seed: int = 1
+    protocol: str, family: str, seed: int = 1, params: Optional[dict] = None
 ) -> ExperimentSpec:
     """The pinned spec for one protocol x scenario conformance cell."""
     topology = (
@@ -49,10 +61,19 @@ def conformance_spec(
         workload=svm_workload("smoke"),
         topology=topology,
         protocol=protocol,
-        scenario=ScenarioSpec(family),
+        scenario=ScenarioSpec(family, dict(params or {})),
         max_iter=MAX_ITER,
         seed=seed,
         **extras,
+    )
+
+
+def churn_conformance_spec(
+    protocol: str, family: str, seed: int = 1
+) -> ExperimentSpec:
+    """The pinned churn cell for one elastic protocol."""
+    return conformance_spec(
+        protocol, family, seed=seed, params=CHURN_CELLS[family]
     )
 
 
@@ -62,7 +83,7 @@ def _hexfloat(value) -> Optional[str]:
 
 def golden_fingerprint(run) -> dict:
     """JSON-safe, bitwise-exact fingerprint of a TrainingRun."""
-    return {
+    fingerprint = {
         "wall_time": _hexfloat(run.wall_time),
         "final_params_sha256": hashlib.sha256(
             run.final_params.tobytes()
@@ -87,3 +108,16 @@ def golden_fingerprint(run) -> dict:
             for event in run.fault_events
         ],
     }
+    if run.membership_events:
+        # Only churn cells carry this key, so the 90 pre-membership
+        # recordings stay byte-identical.
+        fingerprint["membership_events"] = [
+            {
+                key: _hexfloat(value)
+                if isinstance(value, float)
+                else value
+                for key, value in event.items()
+            }
+            for event in run.membership_events
+        ]
+    return fingerprint

@@ -35,6 +35,10 @@ def run_to_dict(run: TrainingRun, curve_bins: int = 40) -> dict:
         "bytes_sent": float(run.bytes_sent),
         "messages_dropped": int(run.messages_dropped),
         "fault_events": [dict(event) for event in run.fault_events],
+        "membership_events": [
+            {key: _jsonify(value) for key, value in event.items()}
+            for event in run.membership_events
+        ],
         "max_gap": run.gap.max_observed(),
         "final_loss": run.final_loss,
         "final_accuracy": run.final_accuracy,

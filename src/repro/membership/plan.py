@@ -1,0 +1,288 @@
+"""Churn plans: the scripted membership timeline of one run.
+
+A :class:`ChurnPlan` is to the membership plane what a
+:class:`~repro.scenarios.faults.FaultPlan` is to fault injection: a
+frozen, JSON-safe description of who leaves and joins when, built by
+the ``churn`` scenario families and consumed by every elastic protocol.
+Events are keyed by *iteration* (the departing worker's own counter for
+leaves, the cluster frontier for join triggers) so the same plan is
+meaningful across protocols with different clocks.
+
+:func:`poisson_plan` draws a scripted plan from a seeded stream —
+Moshpit-style random churn stays bit-reproducible because the draw
+happens once at scenario build time, never inside the simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One worker's membership timeline.
+
+    Args:
+        worker: The worker the event applies to.
+        leave_at: Iteration (the worker's own counter) at whose top the
+            worker departs.  ``None`` means the worker starts *outside*
+            the cluster (a late joiner).
+        join_at: Cluster-frontier iteration that triggers the (re)join.
+            ``None`` with ``leave_at`` set means a permanent leave.
+        resync: Whether the (re)joining worker copies parameters from a
+            live neighbor (the default lifecycle) or resumes from its
+            own stale state.
+    """
+
+    worker: int
+    leave_at: Optional[int] = None
+    join_at: Optional[int] = None
+    resync: bool = True
+
+    def __post_init__(self) -> None:
+        if self.leave_at is None and self.join_at is None:
+            raise ValueError(
+                f"churn event for worker {self.worker} needs leave_at, "
+                "join_at, or both"
+            )
+        if self.leave_at is not None and self.leave_at < 0:
+            raise ValueError("leave_at must be >= 0")
+        if self.join_at is not None and self.join_at < 0:
+            raise ValueError("join_at must be >= 0")
+        if (
+            self.leave_at is not None
+            and self.join_at is not None
+            and self.join_at <= self.leave_at
+        ):
+            raise ValueError(
+                f"worker {self.worker}: join_at ({self.join_at}) must come "
+                f"after leave_at ({self.leave_at})"
+            )
+
+    @property
+    def permanent(self) -> bool:
+        """Departs and never returns."""
+        return self.leave_at is not None and self.join_at is None
+
+    @property
+    def late_join(self) -> bool:
+        """Starts outside the cluster and joins mid-run."""
+        return self.leave_at is None
+
+    def describe(self) -> str:
+        if self.late_join:
+            return f"join(w{self.worker}@{self.join_at})"
+        if self.permanent:
+            return f"leave(w{self.worker}@{self.leave_at})"
+        return f"cycle(w{self.worker}@{self.leave_at}->{self.join_at})"
+
+
+@dataclass(frozen=True)
+class ChurnPlan:
+    """Everything a scenario injects into the membership plane."""
+
+    events: Tuple[ChurnEvent, ...] = ()
+    policy: str = "uniform"
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for event in self.events:
+            if event.worker in seen:
+                raise ValueError(
+                    f"multiple churn events for worker {event.worker}"
+                )
+            seen.add(event.worker)
+
+    @property
+    def empty(self) -> bool:
+        return not self.events
+
+    def event_for(self, worker: int) -> Optional[ChurnEvent]:
+        for event in self.events:
+            if event.worker == worker:
+                return event
+        return None
+
+    def initially_absent(self) -> Tuple[int, ...]:
+        """Workers outside the founding cluster (late joiners)."""
+        return tuple(
+            sorted(event.worker for event in self.events if event.late_join)
+        )
+
+    def leave_map(self) -> Dict[int, ChurnEvent]:
+        return {
+            event.worker: event
+            for event in self.events
+            if event.leave_at is not None
+        }
+
+    def join_triggers(self) -> Tuple[Tuple[int, int], ...]:
+        """``(join_at, worker)`` pairs, trigger-sorted."""
+        return tuple(
+            sorted(
+                (event.join_at, event.worker)
+                for event in self.events
+                if event.join_at is not None
+            )
+        )
+
+    def active_at(self, worker: int, iteration: int) -> bool:
+        """Whether ``worker`` is a member during round ``iteration``.
+
+        The round-synchronous membership view used by lockstep elastic
+        protocols (partial all-reduce), where leave/join iterations are
+        global round numbers.
+        """
+        event = self.event_for(worker)
+        if event is None:
+            return True
+        if event.late_join:
+            return iteration >= event.join_at
+        if iteration < event.leave_at:
+            return True
+        return event.join_at is not None and iteration >= event.join_at
+
+    def clipped(self, max_iter: int) -> "ChurnPlan":
+        """The plan with events beyond the run horizon made enactable.
+
+        Leaves at or past ``max_iter`` never happen (the worker
+        finishes first) and are dropped; a rejoin at or past
+        ``max_iter`` would leave the worker dark forever, so the event
+        degrades to a permanent leave; a late join past the horizon
+        clamps to ``max_iter`` — the worker stays absent for the whole
+        run (the scripted semantics), and runtimes resolve its join
+        wait immediately instead of leaving it dark without a trigger.
+        """
+        kept = []
+        for event in self.events:
+            if event.late_join:
+                if event.join_at >= max_iter:
+                    event = ChurnEvent(
+                        worker=event.worker,
+                        join_at=max_iter,
+                        resync=event.resync,
+                    )
+                kept.append(event)
+                continue
+            if event.leave_at >= max_iter:
+                continue
+            if event.join_at is not None and event.join_at >= max_iter:
+                event = ChurnEvent(
+                    worker=event.worker,
+                    leave_at=event.leave_at,
+                    resync=event.resync,
+                )
+            kept.append(event)
+        return ChurnPlan(events=tuple(kept), policy=self.policy)
+
+    def validate_for(self, n_workers: int) -> None:
+        """Reject plans the cluster cannot possibly survive."""
+        for event in self.events:
+            if not 0 <= event.worker < n_workers:
+                raise ValueError(
+                    f"churn worker {event.worker} out of range for "
+                    f"{n_workers} workers"
+                )
+        permanently_gone = sum(1 for e in self.events if e.permanent)
+        absent_at_start = len(self.initially_absent())
+        if n_workers - permanently_gone < 2:
+            raise ValueError(
+                f"churn plan permanently removes {permanently_gone} of "
+                f"{n_workers} workers; at least 2 must remain"
+            )
+        if n_workers - absent_at_start < 2:
+            raise ValueError(
+                f"churn plan keeps only {n_workers - absent_at_start} "
+                "founding workers; at least 2 must start active"
+            )
+
+    def describe(self) -> str:
+        if self.empty:
+            return "no churn"
+        inner = ", ".join(event.describe() for event in self.events)
+        return f"churn[{inner}; policy={self.policy}]"
+
+    # ------------------------------------------------------------------
+    # Serialization (scenario specs round-trip through JSON)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "policy": self.policy,
+            "events": [
+                {
+                    "worker": event.worker,
+                    "leave_at": event.leave_at,
+                    "join_at": event.join_at,
+                    "resync": event.resync,
+                }
+                for event in self.events
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ChurnPlan":
+        return cls(
+            events=tuple(
+                ChurnEvent(
+                    worker=int(entry["worker"]),
+                    leave_at=entry.get("leave_at"),
+                    join_at=entry.get("join_at"),
+                    resync=bool(entry.get("resync", True)),
+                )
+                for entry in payload.get("events", ())
+            ),
+            policy=payload.get("policy", "uniform"),
+        )
+
+
+def poisson_plan(
+    n_workers: int,
+    rate: float,
+    horizon: int,
+    rng: np.random.Generator,
+    rejoin_after: Optional[int] = None,
+    min_active: Optional[int] = None,
+    policy: str = "uniform",
+) -> ChurnPlan:
+    """Draw a scripted churn plan from per-iteration leave hazards.
+
+    Each eligible worker leaves at the first iteration in ``[1,
+    horizon)`` where an independent Bernoulli(``rate``) draw fires
+    (i.e. a geometric leave time — the discrete Poisson-process view);
+    with ``rejoin_after`` set, it rejoins that many frontier iterations
+    later.  ``min_active`` workers (default ``max(2, n // 2)``) are
+    never scheduled to leave, so the cluster keeps quorum at any rate.
+
+    The draw happens here, at build time, from the scenario's seeded
+    stream: the simulation replays a fixed script, keeping churn runs
+    bit-deterministic.
+    """
+    if not 0.0 <= rate < 1.0:
+        raise ValueError(f"churn rate must be in [0, 1), got {rate}")
+    if horizon < 2:
+        raise ValueError("churn horizon must be >= 2")
+    if min_active is None:
+        min_active = max(2, n_workers // 2)
+    min_active = max(2, int(min_active))
+    events = []
+    eligible = list(range(min_active, n_workers))
+    for worker in eligible:
+        if rate <= 0.0:
+            break
+        draws = rng.random(horizon - 1)
+        fired = np.nonzero(draws < rate)[0]
+        if fired.size == 0:
+            continue
+        leave_at = int(fired[0]) + 1
+        join_at = None
+        if rejoin_after is not None:
+            join_at = leave_at + int(rejoin_after)
+            if join_at >= horizon:
+                join_at = None
+        events.append(
+            ChurnEvent(worker=worker, leave_at=leave_at, join_at=join_at)
+        )
+    return ChurnPlan(events=tuple(events), policy=policy)

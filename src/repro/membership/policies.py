@@ -1,0 +1,157 @@
+"""Rewire policies: how repaired topologies get their weights back.
+
+When the membership plane removes or re-adds a worker, the structural
+repair (:meth:`~repro.graphs.topology.Topology.without_node` /
+:meth:`~repro.graphs.topology.Topology.with_node`) preserves strong
+connectivity but leaves the weight question open: decentralized SGD
+needs a (preferably doubly) stochastic ``W`` on whatever graph the
+cluster currently is.  A :class:`RewirePolicy` answers it, and the
+registry here mirrors the protocol and scenario registries: policies
+register under stable names, the churn scenario family selects one by
+name (``--scenario-param policy=metropolis``), and downstream code can
+add its own — see ``docs/ARCHITECTURE.md`` for the worked example
+(mirrored by a test, like the other registries).
+
+Built-ins:
+
+* ``uniform`` — the paper's Eq. (1): every in-neighbor (self included)
+  weighs ``1/|Nin|``.  Column stochastic on any graph, doubly
+  stochastic only on regular ones.
+* ``metropolis`` — Metropolis-Hastings weights: symmetric and doubly
+  stochastic on irregular (symmetric-support) graphs, the right choice
+  when repairs unbalance degrees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List
+
+from repro.graphs.weights import metropolis_hastings_weights, uniform_weights
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.graphs.topology import Topology
+
+
+class RewirePolicy:
+    """Derives the weight matrix for a freshly repaired topology.
+
+    Subclasses implement :meth:`reweight`; the structural invariants
+    (strong connectivity among members, self-loops, inactive isolation)
+    are the derivation methods' job, the policy only owns ``W``.
+    """
+
+    name: str = "abstract"
+
+    def reweight(self, topology: "Topology") -> "Topology":
+        """Return ``topology`` with this policy's weights applied."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+
+class UniformRewire(RewirePolicy):
+    """Eq. (1) uniform in-degree weights (column stochastic)."""
+
+    name = "uniform"
+
+    def reweight(self, topology: "Topology") -> "Topology":
+        return topology.with_weights(uniform_weights(topology))
+
+
+class MetropolisRewire(RewirePolicy):
+    """Metropolis-Hastings weights (doubly stochastic, symmetric support)."""
+
+    name = "metropolis"
+
+    def reweight(self, topology: "Topology") -> "Topology":
+        return topology.with_weights(metropolis_hastings_weights(topology))
+
+
+@dataclass(frozen=True)
+class RewirePolicyInfo:
+    """One registered rewire policy.
+
+    Attributes:
+        name: Canonical registry name (the scenario-param spelling).
+        factory: ``f(params: dict) -> RewirePolicy``.
+        summary: One-line description for docs tables.
+        aliases: Alternative names resolving to the same factory.
+    """
+
+    name: str
+    factory: Callable[[dict], RewirePolicy]
+    summary: str = ""
+    aliases: tuple = ()
+
+
+_REGISTRY: Dict[str, RewirePolicyInfo] = {}
+_ALIASES: Dict[str, str] = {}
+
+
+def register_rewire_policy(
+    name: str,
+    factory: Callable[[dict], RewirePolicy],
+    summary: str = "",
+    aliases: tuple = (),
+) -> RewirePolicyInfo:
+    """Register (or re-register) a rewire policy factory under ``name``."""
+    info = RewirePolicyInfo(
+        name=name, factory=factory, summary=summary, aliases=tuple(aliases)
+    )
+    _REGISTRY[name] = info
+    for alias in info.aliases:
+        _ALIASES[alias] = name
+    return info
+
+
+def registered_rewire_policies(include_aliases: bool = False) -> List[str]:
+    """Sorted names of every registered rewire policy."""
+    names = set(_REGISTRY)
+    if include_aliases:
+        names.update(_ALIASES)
+    return sorted(names)
+
+
+def get_rewire_policy(name: str, params: dict = None) -> RewirePolicy:
+    """Build the policy registered under ``name`` (or an alias).
+
+    Raises:
+        ValueError: naming every registered policy, so callers (and CLI
+            users) see what *is* available.
+    """
+    canonical = _ALIASES.get(name, name)
+    if canonical not in _REGISTRY:
+        raise ValueError(
+            f"unknown rewire policy {name!r}; registered policies: "
+            f"{', '.join(registered_rewire_policies(include_aliases=True))}"
+        )
+    return _REGISTRY[canonical].factory(dict(params or {}))
+
+
+def rewire_policy_table() -> List[dict]:
+    """``[{name, aliases, summary}, ...]`` rows for docs."""
+    return [
+        {
+            "name": info.name,
+            "aliases": "/".join(info.aliases),
+            "summary": info.summary,
+        }
+        for _, info in sorted(_REGISTRY.items())
+    ]
+
+
+register_rewire_policy(
+    "uniform",
+    lambda params: UniformRewire(),
+    summary="Eq. (1) uniform in-degree weights (column stochastic)",
+    aliases=("eq1",),
+)
+register_rewire_policy(
+    "metropolis",
+    lambda params: MetropolisRewire(),
+    summary="Metropolis-Hastings weights (doubly stochastic on "
+    "irregular graphs)",
+    aliases=("metropolis-hastings", "mh"),
+)

@@ -101,6 +101,17 @@ class Network:
         self.egress_nics = egress_nics or {}
         self.machine_of = list(machine_of) if machine_of is not None else None
         self.message_loss = message_loss
+        #: Optional membership runtime (elastic clusters): deliveries
+        #: are routed by membership epoch — a message addressed to a
+        #: worker that departed while it was in flight is counted as
+        #: dropped instead of landing in a dead queue.  ``None`` (the
+        #: static case) keeps the zero-overhead fast path.
+        self.membership = None
+        #: Cache of membership-checked delivery callbacks, keyed by
+        #: ``(dst, deliver)`` — the pair is stable per edge (bound
+        #: queue enqueues), so elastic runs stay closure-free per
+        #: message like the static fast path.
+        self._membership_checked: Dict[tuple, Callable[[Any], None]] = {}
         self.bytes_sent = StatAccumulator()
         self.messages_sent = 0
         # Uniform-fabric fast path: a plain LinkModel with no per-edge
@@ -116,7 +127,33 @@ class Network:
 
     @property
     def messages_dropped(self) -> int:
-        return self.message_loss.messages_dropped if self.message_loss else 0
+        dropped = self.message_loss.messages_dropped if self.message_loss else 0
+        if self.membership is not None:
+            dropped += self.membership.messages_dropped
+        return dropped
+
+    def _membership_deliver(self, dst: int, deliver: Callable[[Any], None]):
+        """Delivery callback routed by membership epoch (elastic runs).
+
+        The active check happens at *delivery* time: a message launched
+        toward a live worker that departs mid-flight is dropped and
+        counted, never enqueued into a dead worker's queue.  Wrappers
+        are cached per ``(dst, deliver)`` so the hot path allocates no
+        closure per message.
+        """
+        key = (dst, deliver)
+        checked = self._membership_checked.get(key)
+        if checked is None:
+            membership = self.membership
+
+            def checked(payload: Any) -> None:
+                if membership.is_active(dst):
+                    deliver(payload)
+                else:
+                    membership.messages_dropped += 1
+
+            self._membership_checked[key] = checked
+        return checked
 
     def _loss_penalty(self, src: int, dst: int, transfer_time: float) -> float:
         """Extra delay for lost attempts of one (src != dst) message."""
@@ -217,6 +254,10 @@ class Network:
         path).  Transfers that must serialize through a shared egress
         NIC fall back to the full :meth:`send` machinery.
         """
+        if self.membership is not None:
+            # Wrapped before either branch so the egress-NIC fallback
+            # routes by membership epoch too.
+            deliver = self._membership_deliver(dst, deliver)
         if self.egress_nics and self._egress_nic(src, dst) is not None:
             message = Message(
                 src=src, dst=dst, kind="update", payload=payload, size=size

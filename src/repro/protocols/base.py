@@ -29,7 +29,7 @@ description hooks, and register a builder — see
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -92,8 +92,15 @@ class TrainingRun:
     #: ``{"kind": "crashed"|"restarted"|"resynced", "worker", "time",
     #: "iteration"}``, time-ordered.
     fault_events: List[dict] = field(default_factory=list)
-    #: Messages lost (and retransmitted) by the network fault layer.
+    #: Messages lost (and retransmitted) by the network fault layer,
+    #: plus in-flight messages dropped at departed membership members.
     messages_dropped: int = 0
+    #: Membership-plane lifecycle (elastic runs under churn scenarios):
+    #: ``{"kind": "join"|"leave"|"rewire", "worker", "time",
+    #: "iteration", "epoch", ...}``, enactment-ordered; rewire records
+    #: additionally carry ``edges_added`` / ``edges_removed`` /
+    #: ``rewire_cost`` / ``spectral_gap`` / ``n_active``.
+    membership_events: List[dict] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # Convergence analysis
@@ -165,6 +172,17 @@ class TrainingRun:
             lines.append(f"faults: {summarized}")
         if self.messages_dropped:
             lines.append(f"messages_dropped={self.messages_dropped}")
+        if self.membership_events:
+            transitions = [
+                f"{event['kind']} w{event['worker']}@{event['iteration']}"
+                for event in self.membership_events
+                if event["kind"] != "rewire"
+            ]
+            epochs = max(event["epoch"] for event in self.membership_events)
+            lines.append(
+                f"membership: {', '.join(transitions)} "
+                f"({epochs} rewire epoch(s))"
+            )
         return "\n".join(lines)
 
 
@@ -237,6 +255,20 @@ class ProtocolCluster:
     #: subclasses override (or set per-instance for multi-mode
     #: protocols like the parameter server).
     protocol: str = "abstract"
+
+    #: Whether this protocol survives membership churn (dynamic worker
+    #: join/leave through :mod:`repro.membership`).  Elastic protocols
+    #: accept a :class:`~repro.membership.ChurnPlan` and implement the
+    #: join/leave lifecycle — the default being "drain, rewire, re-sync
+    #: params from neighbors": the leaver stops participating and the
+    #: membership runtime repairs the graph and any pending waits; a
+    #: joiner copies parameters from a live member before its first
+    #: iteration (:meth:`_resync_joiner` is the shared default).
+    #: Non-elastic protocols (PS, global all-reduce: a barrier or a
+    #: central server has no meaningful partial membership) keep their
+    #: static behavior bit-identically and reject churn scenarios at
+    #: build time.
+    elastic: bool = False
 
     def __init__(
         self,
@@ -373,6 +405,43 @@ class ProtocolCluster:
         )
         return events
 
+    def _collect_membership_events(self, runtime: ProtocolRuntime) -> List[dict]:
+        """Join/leave/rewire records from the membership runtime."""
+        membership = getattr(self, "_membership", None)
+        return list(membership.events) if membership is not None else []
+
+    def _resync_joiner(
+        self, params: Dict[int, np.ndarray], wid: int, active
+    ) -> Optional[int]:
+        """Default join lifecycle: copy params from the lowest-id live
+        member (the sponsor).  Returns the sponsor, or ``None`` when no
+        other member exists (the joiner keeps its own state)."""
+        sponsors = [w for w in sorted(active) if w != wid]
+        if not sponsors:
+            return None
+        params[wid] = params[sponsors[0]].copy()
+        return sponsors[0]
+
+    def _resync_payload(self, update_size: float) -> float:
+        """Bytes a joiner's re-sync transfers (protocols may enlarge)."""
+        return update_size
+
+    def _join_resync(
+        self, runtime: ProtocolRuntime, wid: int, params: Dict[int, np.ndarray]
+    ):
+        """Generator: the default "re-sync params from neighbors" join
+        step for elastic protocols with a params dict and a link model —
+        copy the sponsor's parameters, paying one payload round trip."""
+        sponsor = self._resync_joiner(
+            params, wid, self._membership.view.active
+        )
+        if sponsor is not None:
+            payload = self._resync_payload(runtime.update_size)
+            yield runtime.env.timeout(
+                self.links.round_trip(sponsor, wid, payload)
+            )
+            runtime.count_traffic(2, payload)
+
     def _iterations_completed(self, runtime: ProtocolRuntime) -> List[int]:
         return [self.max_iter] * self.n_workers
 
@@ -463,4 +532,5 @@ class ProtocolCluster:
             worker_stats=self._collect_worker_stats(runtime),
             fault_events=self._collect_fault_events(runtime),
             messages_dropped=self._messages_dropped(runtime),
+            membership_events=self._collect_membership_events(runtime),
         )

@@ -53,6 +53,9 @@ class MomentumTrackingCluster(ADPSGDCluster):
     """
 
     protocol = "momentum-tracking"
+    #: The momentum gossip loop overrides ADPSGD's worker and is not
+    #: churn-aware; the registry gate rejects churn scenarios for it.
+    elastic = False
 
     def __init__(
         self,

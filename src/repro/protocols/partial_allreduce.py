@@ -52,6 +52,11 @@ class GroupSchedule:
         seed: Base seed for the per-round draws.
         static: Freeze the round-0 partition for every round (ablation:
             no randomized re-mixing across groups).
+        active_of_round: Optional ``k -> sorted member tuple`` derived
+            from a churn plan; each round partitions only that round's
+            members, so a departed worker can never strand a group
+            barrier.  ``None`` (the static case) partitions everyone,
+            bit-identically to the pre-membership behavior.
     """
 
     def __init__(
@@ -60,15 +65,22 @@ class GroupSchedule:
         group_size: int,
         seed: int = 0,
         static: bool = False,
+        active_of_round=None,
     ) -> None:
         if group_size < 2:
             raise ValueError(f"group_size must be >= 2, got {group_size}")
         if n_workers < 2:
             raise ValueError("partial all-reduce needs >= 2 workers")
+        if static and active_of_round is not None:
+            raise ValueError(
+                "static groups cannot track membership churn (a frozen "
+                "partition would strand barriers on departed workers)"
+            )
         self.n_workers = n_workers
         self.group_size = min(group_size, n_workers)
         self.seed = seed
         self.static = static
+        self.active_of_round = active_of_round
         self._rounds: Dict[int, Tuple[Tuple[int, ...], ...]] = {}
         self._member_index: Dict[int, Dict[int, Tuple[int, ...]]] = {}
 
@@ -77,12 +89,23 @@ class GroupSchedule:
         key = 0 if self.static else int(k)
         if key not in self._rounds:
             rng = np.random.default_rng([self.seed, 0x9E3779B9, key])
-            perm = rng.permutation(self.n_workers)
             size = self.group_size
-            groups = tuple(
-                tuple(int(w) for w in perm[i : i + size])
-                for i in range(0, self.n_workers, size)
-            )
+            if self.active_of_round is None:
+                perm = rng.permutation(self.n_workers)
+                groups = tuple(
+                    tuple(int(w) for w in perm[i : i + size])
+                    for i in range(0, self.n_workers, size)
+                )
+            else:
+                # Membership-aware rounds: partition the round's
+                # members only (the draw stays seeded by (seed, k), so
+                # churn runs are as deterministic as static ones).
+                pool = self.active_of_round(key)
+                perm = rng.permutation(len(pool))
+                groups = tuple(
+                    tuple(int(pool[p]) for p in perm[i : i + size])
+                    for i in range(0, len(pool), size)
+                )
             self._rounds[key] = groups
             self._member_index[key] = {
                 wid: group for group in groups for wid in group
@@ -97,15 +120,22 @@ class GroupSchedule:
 
     @staticmethod
     def validate_partition(
-        groups: Tuple[Tuple[int, ...], ...], n_workers: int
+        groups: Tuple[Tuple[int, ...], ...],
+        n_workers: int,
+        members=None,
     ) -> None:
-        """Raise if ``groups`` is not a conflict-free partition."""
+        """Raise if ``groups`` is not a conflict-free partition.
+
+        ``members`` defaults to every worker; membership-aware rounds
+        pass the round's member set instead.
+        """
+        expected = set(range(n_workers)) if members is None else set(members)
         seen: List[int] = [w for group in groups for w in group]
         if len(seen) != len(set(seen)):
             raise ValueError(f"worker scheduled into two groups: {groups}")
-        if set(seen) != set(range(n_workers)):
+        if set(seen) != expected:
             raise ValueError(
-                f"groups {groups} do not cover all {n_workers} workers"
+                f"groups {groups} do not cover the {len(expected)} members"
             )
 
 
@@ -132,6 +162,7 @@ class PartialAllReduceCluster(ProtocolCluster):
     """
 
     protocol = "partial-allreduce"
+    elastic = True
 
     def __init__(
         self,
@@ -149,6 +180,8 @@ class PartialAllReduceCluster(ProtocolCluster):
         update_size: Optional[float] = None,
         evaluate: bool = True,
         trace_channels=None,
+        churn=None,
+        topology=None,
     ) -> None:
         super().__init__(
             n_workers=n_workers,
@@ -164,8 +197,38 @@ class PartialAllReduceCluster(ProtocolCluster):
             trace_channels=trace_channels,
         )
         self.links = links or uniform_links()
+        if churn is not None and churn.empty:
+            churn = None
+        if churn is not None:
+            if static_groups:
+                raise ValueError(
+                    "membership churn needs randomized regrouping; drop "
+                    "static_groups"
+                )
+            churn = churn.clipped(max_iter)
+            churn.validate_for(n_workers)
+            if churn.empty:
+                churn = None
+        self.churn = churn
+        #: Nominal communication graph (membership-event reporting
+        #: only: partial all-reduce's real shape is its groups).
+        self.topology = topology
+        self._membership = None
+        active_of_round = None
+        if churn is not None:
+            plan = churn
+
+            def active_of_round(k: int) -> Tuple[int, ...]:
+                return tuple(
+                    w for w in range(n_workers) if plan.active_at(w, k)
+                )
+
         self.schedule = GroupSchedule(
-            n_workers, group_size, seed=seed, static=static_groups
+            n_workers,
+            group_size,
+            seed=seed,
+            static=static_groups,
+            active_of_round=active_of_round,
         )
 
     def group_comm_time(
@@ -185,6 +248,119 @@ class PartialAllReduceCluster(ProtocolCluster):
     # ------------------------------------------------------------------
     # Worker process
     # ------------------------------------------------------------------
+    def _round_started(self, env: Environment, k: int) -> Event:
+        """Event that fires when any member starts round ``k``."""
+        event = self._round_events.get(k)
+        if event is None:
+            event = self._round_events[k] = Event(env)
+        return event
+
+    def _mark_round_started(self, env: Environment, k: int) -> None:
+        event = self._round_events.get(k)
+        if event is None:
+            event = self._round_events[k] = Event(env)
+        if not event.triggered:
+            event.succeed()
+
+    def _round(
+        self,
+        wid: int,
+        k: int,
+        runtime: ProtocolRuntime,
+        params: Dict[int, np.ndarray],
+        barriers: Dict[Tuple[int, Tuple[int, ...]], _GroupBarrier],
+        model,
+        optimizer: SGD,
+        batcher,
+    ):
+        """Generator: one round — compute, local step, group barrier,
+        in-group all-reduce (shared by the static and elastic loops,
+        so the two can never drift apart)."""
+        env = runtime.env
+        start = env.now
+        runtime.gap.record(wid, k)
+        model.set_params(params[wid])
+        xb, yb = batcher.next_batch()
+        loss, grad = model.loss_and_grad(xb, yb)
+        yield env.timeout(self.compute_model.duration(wid, k))
+        params[wid] = params[wid] + optimizer.step(params[wid], grad, k)
+
+        group = self.schedule.group_of(k, wid)
+        if len(group) > 1:
+            barrier = barriers.setdefault((k, group), _GroupBarrier(env))
+            barrier.arrived += 1
+            if barrier.arrived == len(group):
+                # Last member in: perform the group's all-reduce.
+                mean = np.mean([params[m] for m in group], axis=0)
+                for member in group:
+                    params[member] = mean.copy()
+                g = len(group)
+                runtime.count_traffic(
+                    2 * (g - 1) * g, 2.0 * (g - 1) * runtime.update_size
+                )
+                barrier.event.succeed()
+            yield barrier.event
+            yield env.timeout(
+                self.group_comm_time(group, runtime.update_size)
+            )
+
+        runtime.tracer.log(f"loss/{wid}", env.now, loss)
+        runtime.tracer.log(f"duration/{wid}", env.now, env.now - start)
+
+    def _worker_elastic(
+        self,
+        wid: int,
+        runtime: ProtocolRuntime,
+        params: Dict[int, np.ndarray],
+        barriers: Dict[Tuple[int, Tuple[int, ...]], _GroupBarrier],
+        model,
+        optimizer: SGD,
+        batcher,
+    ):
+        """The partial all-reduce loop under membership churn.
+
+        Rounds are the membership clock here: each round partitions
+        only that round's members (see :class:`GroupSchedule`), so a
+        group barrier can never wait on a departed worker.  Departure
+        and (re)join follow the default lifecycle: drain, rewire
+        (recorded against the nominal topology), re-sync from the
+        sponsor.
+        """
+        env = runtime.env
+        plan = self.churn
+        membership = self._membership
+        event = plan.event_for(wid)
+        k = 0
+        if event is not None and event.late_join:
+            if event.join_at >= self.max_iter:
+                # Clamped past the horizon: absent for the whole run.
+                runtime.done[wid] = True
+                return
+            yield self._round_started(env, event.join_at)
+            membership.enact_join(wid, env.now, start=event.join_at)
+            yield from self._join_resync(runtime, wid, params)
+            k = event.join_at
+        while k < self.max_iter:
+            if not plan.active_at(wid, k):
+                if membership.is_active(wid):
+                    membership.enact_leave(wid, env.now, k)
+                if event.join_at is None:
+                    runtime.done[wid] = True
+                    return
+                yield self._round_started(env, event.join_at)
+                membership.enact_join(wid, env.now, start=event.join_at)
+                yield from self._join_resync(runtime, wid, params)
+                k = event.join_at
+                continue
+            self._mark_round_started(env, k)
+            membership.on_iteration(wid, k, env.now)
+            yield from self._round(
+                wid, k, runtime, params, barriers, model, optimizer, batcher
+            )
+            self._completed[wid] = k + 1
+            k += 1
+        runtime.done[wid] = True
+
     def _worker(
         self,
         wid: int,
@@ -195,39 +371,16 @@ class PartialAllReduceCluster(ProtocolCluster):
         optimizer: SGD,
         batcher,
     ):
-        env = runtime.env
+        if self._membership is not None:
+            return (
+                yield from self._worker_elastic(
+                    wid, runtime, params, barriers, model, optimizer, batcher
+                )
+            )
         for k in range(self.max_iter):
-            start = env.now
-            runtime.gap.record(wid, k)
-            model.set_params(params[wid])
-            xb, yb = batcher.next_batch()
-            loss, grad = model.loss_and_grad(xb, yb)
-            yield env.timeout(self.compute_model.duration(wid, k))
-            params[wid] = params[wid] + optimizer.step(params[wid], grad, k)
-
-            group = self.schedule.group_of(k, wid)
-            if len(group) > 1:
-                barrier = barriers.setdefault(
-                    (k, group), _GroupBarrier(env)
-                )
-                barrier.arrived += 1
-                if barrier.arrived == len(group):
-                    # Last member in: perform the group's all-reduce.
-                    mean = np.mean([params[m] for m in group], axis=0)
-                    for member in group:
-                        params[member] = mean.copy()
-                    g = len(group)
-                    runtime.count_traffic(
-                        2 * (g - 1) * g, 2.0 * (g - 1) * runtime.update_size
-                    )
-                    barrier.event.succeed()
-                yield barrier.event
-                yield env.timeout(
-                    self.group_comm_time(group, runtime.update_size)
-                )
-
-            runtime.tracer.log(f"loss/{wid}", env.now, loss)
-            runtime.tracer.log(f"duration/{wid}", env.now, env.now - start)
+            yield from self._round(
+                wid, k, runtime, params, barriers, model, optimizer, batcher
+            )
         runtime.done[wid] = True
 
     # ------------------------------------------------------------------
@@ -235,10 +388,32 @@ class PartialAllReduceCluster(ProtocolCluster):
     # ------------------------------------------------------------------
     def _start(self, runtime: ProtocolRuntime) -> None:
         env = runtime.env
+        self._round_events: Dict[int, Event] = {}
+        if self.churn is not None:
+            from repro.graphs.builders import ring
+            from repro.membership import MembershipRuntime, MembershipView
+
+            # Rounds are the membership clock: joins are enacted by the
+            # joiner at its round, not by frontier triggers.
+            nominal = self.topology or ring(self.n_workers)
+            view = MembershipView.founding(
+                nominal,
+                absent=self.churn.initially_absent(),
+                policy=self.churn.policy,
+            )
+            self._membership = MembershipRuntime(
+                env,
+                view,
+                self.churn,
+                self.max_iter,
+                gap=runtime.gap,
+                auto_join_triggers=False,
+            )
         self._params: Dict[int, np.ndarray] = {
             wid: runtime.models[wid].get_params()
             for wid in range(self.n_workers)
         }
+        self._completed = [0] * self.n_workers
         barriers: Dict[Tuple[int, Tuple[int, ...]], _GroupBarrier] = {}
         for wid in range(self.n_workers):
             env.process(
@@ -253,6 +428,11 @@ class PartialAllReduceCluster(ProtocolCluster):
                 ),
                 name=f"partial-allreduce-{wid}",
             )
+
+    def _iterations_completed(self, runtime: ProtocolRuntime) -> List[int]:
+        if self._membership is not None:
+            return list(self._completed)
+        return super()._iterations_completed(runtime)
 
     def _final_param_stack(self, runtime: ProtocolRuntime) -> np.ndarray:
         return np.stack(
@@ -279,6 +459,8 @@ def _build_partial_allreduce(spec) -> PartialAllReduceCluster:
         group_size=spec.group_size,
         static_groups=spec.static_groups,
         links=spec.scenario_links(),
+        churn=getattr(spec.built_scenario(), "churn", None),
+        topology=spec.topology,
         **spec_common_kwargs(spec),
     )
 
@@ -290,4 +472,5 @@ register_protocol(
     "groups, group-local barriers only",
     paper="Luo, He, Zhuo, Qian — arXiv:1909.08029",
     aliases=("prague",),
+    elastic=True,  # rounds partition the live member set only
 )

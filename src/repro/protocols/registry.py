@@ -59,6 +59,12 @@ class ProtocolInfo:
             into the compute model.  Set this on registration whenever
             the builder passes ``crash_events`` through — otherwise the
             outage is charged twice.
+        elastic: The builder wires membership churn plans
+            (:class:`~repro.membership.ChurnPlan`) into the cluster, so
+            the protocol survives dynamic worker join/leave.
+            Non-elastic protocols reject churn scenarios at build time
+            (:func:`build_cluster`) and keep static behavior
+            bit-identically.
     """
 
     name: str
@@ -67,6 +73,7 @@ class ProtocolInfo:
     paper: str = ""
     aliases: tuple = ()
     native_faults: bool = False
+    elastic: bool = False
 
 
 _REGISTRY: Dict[str, ProtocolInfo] = {}
@@ -81,6 +88,7 @@ def register_protocol(
     paper: str = "",
     aliases: tuple = (),
     native_faults: bool = False,
+    elastic: bool = False,
 ) -> ProtocolInfo:
     """Register (or re-register) a protocol builder under ``name``."""
     info = ProtocolInfo(
@@ -90,6 +98,7 @@ def register_protocol(
         paper=paper,
         aliases=tuple(aliases),
         native_faults=native_faults,
+        elastic=elastic,
     )
     _REGISTRY[name] = info
     for alias in info.aliases:
@@ -136,7 +145,7 @@ def get_protocol(name: str) -> ProtocolInfo:
 
 
 def protocol_table() -> List[dict]:
-    """``[{name, summary, paper}, ...]`` rows for docs and ``--help``."""
+    """``[{name, summary, paper, elastic}, ...]`` rows for docs/CLI."""
     _ensure_builtin_protocols()
     return [
         {
@@ -144,6 +153,7 @@ def protocol_table() -> List[dict]:
             "aliases": "/".join(info.aliases),
             "summary": info.summary,
             "paper": info.paper,
+            "elastic": info.elastic,
         }
         for _, info in sorted(_REGISTRY.items())
     ]
@@ -185,5 +195,20 @@ def spec_common_kwargs(spec: "ExperimentSpec") -> dict:
 
 
 def build_cluster(spec: "ExperimentSpec") -> "ProtocolCluster":
-    """Build the (un-run) cluster described by ``spec.protocol``."""
-    return get_protocol(spec.protocol).builder(spec)
+    """Build the (un-run) cluster described by ``spec.protocol``.
+
+    Raises:
+        ValueError: When the scenario carries a membership churn plan
+            and the protocol is not elastic — a barrier or a central
+            server has no meaningful partial membership, so the gate
+            fails loudly instead of silently running a static cluster.
+    """
+    info = get_protocol(spec.protocol)
+    churn = getattr(spec.built_scenario(), "churn", None)
+    if churn is not None and not churn.empty and not info.elastic:
+        raise ValueError(
+            f"protocol {spec.protocol!r} is not elastic and cannot run "
+            "membership churn scenarios; elastic protocols: "
+            f"{', '.join(n for n in registered_protocols() if _REGISTRY[n].elastic)}"
+        )
+    return info.builder(spec)

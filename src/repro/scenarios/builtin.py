@@ -216,6 +216,94 @@ def _build_lossy_net(params, n_workers, streams) -> Scenario:
 
 
 # ----------------------------------------------------------------------
+# Churn families (membership plane; elastic protocols only)
+# ----------------------------------------------------------------------
+def _iter_map(value) -> Dict[int, int]:
+    return {int(w): int(k) for w, k in (value or {}).items()}
+
+
+def _build_churn(params, n_workers, streams) -> Scenario:
+    """Scripted membership churn: explicit leave/join/cycle timelines.
+
+    Params: ``leaves`` (``{worker: iteration}`` permanent departures),
+    ``joins`` (``{worker: iteration}`` late joiners, dark until the
+    cluster frontier reaches the trigger), ``cycles`` (``{worker:
+    [leave_at, join_at]}`` leave-then-rejoin), ``policy`` (rewire
+    policy name), ``resync`` (joiners copy params from a live
+    neighbor, default true), plus the usual nested ``slowdown``.  With
+    no knobs, one default permanent leave (the highest-id worker at
+    iteration 2) keeps the bare family name instantiable for registry
+    sweeps and the conformance matrix.
+    """
+    from repro.membership import ChurnEvent, ChurnPlan
+
+    leaves = _iter_map(params.get("leaves"))
+    joins = _iter_map(params.get("joins"))
+    cycles = {
+        int(w): (int(pair[0]), int(pair[1]))
+        for w, pair in (params.get("cycles") or {}).items()
+    }
+    if not (leaves or joins or cycles):
+        leaves = {n_workers - 1: int(params.get("at", 2))}
+    resync = bool(params.get("resync", True))
+    events = []
+    for worker, at in sorted(leaves.items()):
+        events.append(ChurnEvent(worker=worker, leave_at=at, resync=resync))
+    for worker, at in sorted(joins.items()):
+        events.append(ChurnEvent(worker=worker, join_at=at, resync=resync))
+    for worker, (leave_at, join_at) in sorted(cycles.items()):
+        events.append(
+            ChurnEvent(
+                worker=worker,
+                leave_at=leave_at,
+                join_at=join_at,
+                resync=resync,
+            )
+        )
+    plan = ChurnPlan(
+        events=tuple(events), policy=params.get("policy", "uniform")
+    )
+    plan.validate_for(n_workers)
+    return Scenario(
+        "churn",
+        _nested_slowdown(params, n_workers, streams),
+        FaultPlan(),
+        churn=plan,
+    )
+
+
+def _build_churn_poisson(params, n_workers, streams) -> Scenario:
+    """Poisson membership churn: per-iteration leave hazards, drawn at
+    build time from the scenario's seeded stream (bit-deterministic).
+
+    Params: ``rate`` (per-iteration leave probability, default 0.08),
+    ``horizon`` (draw window in iterations, default 16),
+    ``rejoin_after`` (frontier iterations until rejoin; omit for
+    permanent leaves), ``min_active`` (never-leaving quorum, default
+    ``max(2, n // 2)``), ``policy``, nested ``slowdown``.
+    """
+    from repro.membership import poisson_plan
+
+    rejoin_after = params.get("rejoin_after")
+    plan = poisson_plan(
+        n_workers,
+        rate=float(params.get("rate", 0.08)),
+        horizon=int(params.get("horizon", 16)),
+        rng=streams.fresh("churn"),
+        rejoin_after=int(rejoin_after) if rejoin_after is not None else None,
+        min_active=params.get("min_active"),
+        policy=params.get("policy", "uniform"),
+    )
+    plan.validate_for(n_workers)
+    return Scenario(
+        "churn-poisson",
+        _nested_slowdown(params, n_workers, streams),
+        FaultPlan(),
+        churn=plan if not plan.empty else None,
+    )
+
+
+# ----------------------------------------------------------------------
 # Registration
 # ----------------------------------------------------------------------
 register_scenario(
@@ -293,6 +381,25 @@ register_scenario(
     "momentum-tracking) — allreduce/ps model their own fabric",
     paper="n/a (link-level heterogeneity, cf. paper Section 7.3.6)",
     aliases=("link-flap",),
+)
+register_scenario(
+    "churn",
+    _build_churn,
+    summary="Scripted membership churn: worker leave/join with "
+    "topology rewiring through the membership plane; elastic "
+    "protocols only (hop, adpsgd, partial-allreduce)",
+    paper="Moshpit SGD — Ryabinin et al. (arXiv:2103.03239); "
+    "Prague regrouping — Luo et al. (arXiv:1909.08029)",
+    universal=False,
+)
+register_scenario(
+    "churn-poisson",
+    _build_churn_poisson,
+    summary="Poisson membership churn: build-time-drawn leave "
+    "(and optional rejoin) hazards per worker; elastic protocols only",
+    paper="Moshpit SGD — Ryabinin et al. (arXiv:2103.03239)",
+    aliases=("poisson-churn",),
+    universal=False,
 )
 register_scenario(
     "lossy-net",

@@ -35,11 +35,15 @@ class Scenario:
         name: The family it was built from (label in reports).
         slowdown: Pure heterogeneity model (no fault stalls).
         faults: Crash / link / loss plan composing with the slowdown.
+        churn: Optional membership churn plan
+            (:class:`~repro.membership.ChurnPlan`); only elastic
+            protocols accept it (the registry gates at build time).
     """
 
     name: str
     slowdown: SlowdownModel
     faults: FaultPlan = field(default_factory=FaultPlan)
+    churn: Optional[object] = None
 
     def compute_slowdown(self, native_faults: bool = False) -> SlowdownModel:
         """The slowdown a :class:`~repro.hetero.compute.ComputeModel` gets.
@@ -63,9 +67,12 @@ class Scenario:
         return self.faults.message_loss(streams)
 
     def describe(self) -> str:
-        if self.faults.empty:
-            return self.slowdown.describe()
-        return f"{self.slowdown.describe()} + {self.faults.describe()}"
+        parts = [self.slowdown.describe()]
+        if not self.faults.empty:
+            parts.append(self.faults.describe())
+        if self.churn is not None and not self.churn.empty:
+            parts.append(self.churn.describe())
+        return " + ".join(parts)
 
 
 @dataclass(frozen=True)

@@ -30,6 +30,12 @@ class FakeWorker:
         self.n_staleness_blocks = 0
         self.n_cache_hits = 0
         self.reduce_scratch = None
+        # Membership-plane slice of the contract (static double).
+        self.membership = None
+        self._in_activation = {}
+
+    def expected_in(self, iteration):
+        return self.in_degree
 
 
 def upd(iteration, sender, value):

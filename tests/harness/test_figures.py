@@ -54,5 +54,6 @@ def test_registry_covers_the_evaluation_section():
         "fig22",  # extension: registry-wide protocol comparison
         "fig23",  # extension: protocol x scenario-family grid
         "fig24",  # extension: simulator scaling study
+        "fig25",  # extension: membership churn study
     }
     assert set(ALL_FIGURES) == expected

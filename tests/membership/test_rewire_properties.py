@@ -1,0 +1,123 @@
+"""Property-based tests for the rewiring invariants (hypothesis).
+
+The membership plane's structural contract, checked over random graph
+families and removal orders:
+
+* repaired topologies stay strongly connected among the members,
+* every node keeps its self-loop; departed nodes keep *only* it,
+* weights are column stochastic (uniform policy) / doubly stochastic
+  (Metropolis-Hastings) after every repair,
+* ``without_node(i).with_node(i)`` round-trips the edge support, and
+* epochs increment monotonically along any derivation chain.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import chain, circulant, hypercube, ring, ring_based, torus
+from repro.graphs.weights import is_column_stochastic, is_doubly_stochastic
+from repro.membership import get_rewire_policy
+
+#: (builder, valid sizes) — symmetric-support families so both rewire
+#: policies apply.
+FAMILIES = (
+    ("ring", lambda n: ring(n), st.integers(4, 16)),
+    ("ring_based", lambda n: ring_based(2 * n), st.integers(2, 8)),
+    ("chain", lambda n: chain(n), st.integers(4, 12)),
+    ("circulant", lambda n: circulant(n, [1, 2]), st.integers(5, 14)),
+    ("torus", lambda n: torus(n, 3), st.integers(2, 4)),
+    ("hypercube", lambda n: hypercube(n), st.integers(2, 4)),
+)
+
+
+@st.composite
+def topology_and_removals(draw, max_removals=3):
+    _, builder, sizes = draw(st.sampled_from(FAMILIES))
+    topo = builder(draw(sizes))
+    n_removals = draw(
+        st.integers(1, min(max_removals, len(topo.active) - 2))
+    )
+    nodes = draw(
+        st.lists(
+            st.integers(0, topo.n - 1),
+            min_size=n_removals,
+            max_size=n_removals,
+            unique=True,
+        )
+    )
+    return topo, nodes
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=topology_and_removals())
+def test_removals_preserve_strong_connectivity_and_self_loops(data):
+    topo, nodes = data
+    for node in nodes:
+        topo = topo.without_node(node)
+        assert topo.is_strongly_connected()
+        for i in range(topo.n):
+            assert (i, i) in topo.edges
+        # Departed nodes keep only their self-loop.
+        for gone in set(range(topo.n)) - topo.active:
+            incident = [
+                e for e in topo.edges if gone in e and e != (gone, gone)
+            ]
+            assert not incident
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=topology_and_removals())
+def test_uniform_policy_column_stochastic_after_repair(data):
+    topo, nodes = data
+    policy = get_rewire_policy("uniform")
+    for node in nodes:
+        topo = policy.reweight(topo.without_node(node))
+        topo.validate()
+        assert is_column_stochastic(topo.W)
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=topology_and_removals())
+def test_metropolis_policy_doubly_stochastic_after_repair(data):
+    topo, nodes = data
+    policy = get_rewire_policy("metropolis")
+    for node in nodes:
+        topo = policy.reweight(topo.without_node(node))
+        topo.validate(require_doubly_stochastic=True)
+        assert is_doubly_stochastic(topo.W)
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=topology_and_removals(max_removals=1))
+def test_remove_then_readd_round_trips_edge_support(data):
+    topo, nodes = data
+    node = nodes[0]
+    ins = topo.in_neighbors(node, include_self=False)
+    outs = topo.out_neighbors(node, include_self=False)
+    restored = topo.without_node(node).with_node(
+        node, in_neighbors=ins, out_neighbors=outs
+    )
+    assert restored.edges == topo.edges
+    assert restored.active == topo.active
+    # Uniform weights re-derive identically on the identical support.
+    assert np.allclose(restored.W, topo.W)
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=topology_and_removals())
+def test_epochs_increment_along_derivations(data):
+    topo, nodes = data
+    epoch = topo.epoch
+    for node in nodes:
+        topo = topo.without_node(node)
+        assert topo.epoch == epoch + 1
+        epoch = topo.epoch
+    node = nodes[-1]
+    rejoined = topo.with_node(
+        node,
+        in_neighbors=[min(topo.active)],
+        out_neighbors=[min(topo.active)],
+    )
+    assert rejoined.epoch == epoch + 1
+    assert node in rejoined.active

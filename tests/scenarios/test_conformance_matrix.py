@@ -24,6 +24,7 @@ the diff) with ``scripts/record_golden_stats.py`` only for intentional
 semantic changes.
 """
 
+import hashlib
 import json
 import math
 from pathlib import Path
@@ -35,12 +36,16 @@ from repro.core.gap import gap_bound_matrix
 from repro.graphs import ring_based
 from repro.harness import ExperimentSpec, run_spec, svm_workload
 from repro.harness.golden import (
+    CHURN_CELLS,
+    ELASTIC_PROTOCOLS,
     MAX_ITER,
     N_WORKERS,
+    churn_conformance_spec,
     conformance_spec,
     golden_fingerprint,
 )
 from repro.protocols import registered_protocols
+from repro.protocols.registry import get_protocol
 from repro.scenarios import ScenarioSpec, registered_scenarios
 
 assert N_WORKERS == 4 and MAX_ITER == 5, "golden pin moved; re-record"
@@ -49,6 +54,13 @@ WORKLOAD = svm_workload("smoke")
 
 GOLDEN_PATH = Path(__file__).parent / "golden_stats.json"
 GOLDEN_CELLS = json.loads(GOLDEN_PATH.read_text())["cells"]
+
+#: SHA-256 over the 90 pre-membership-plane cells (protocol x universal
+#: family), pinned at the PR 4 recording.  The membership-plane PR adds
+#: churn cells to the file but must never touch these.
+PRE_MEMBERSHIP_CELLS_SHA256 = (
+    "c05d6a52eb19c56270724f53d4f0f00c9ddc5a338b50b067d87d85ae4291658f"
+)
 
 
 def run_fingerprint(run) -> dict:
@@ -66,6 +78,7 @@ def run_fingerprint(run) -> dict:
         "consensus": run.consensus,
         "max_gap": run.gap.max_observed(),
         "fault_events": run.fault_events,
+        "membership_events": run.membership_events,
     }
 
 
@@ -105,6 +118,97 @@ def test_protocol_scenario_cell(protocol, family):
         "golden stats: the simulator's numerical or event-ordering "
         "behavior changed"
     )
+
+
+@pytest.mark.parametrize("family", sorted(CHURN_CELLS))
+@pytest.mark.parametrize("protocol", ELASTIC_PROTOCOLS)
+def test_elastic_protocol_churn_cell(protocol, family):
+    """One churn cell: elastic protocols survive membership churn.
+
+    Same contract as the universal cells, adapted to elasticity:
+    every *never-leaving* worker completes all iterations, the
+    membership lifecycle is recorded, and the whole run (membership
+    events included) is bitwise deterministic and golden-pinned.
+    """
+    first = run_spec(churn_conformance_spec(protocol, family))
+
+    leavers = {
+        event["worker"]
+        for event in first.membership_events
+        if event["kind"] == "leave"
+    }
+    assert leavers, f"{protocol}/{family}: the pinned plan must churn"
+    stalled = [
+        wid
+        for wid, completed in enumerate(first.iterations_completed)
+        if completed != MAX_ITER and wid not in leavers
+    ]
+    assert not stalled, (
+        f"{protocol} under {family}: non-leaving workers stalled "
+        f"{stalled} (iterations {first.iterations_completed})"
+    )
+    assert first.final_loss is not None and math.isfinite(first.final_loss)
+    assert np.isfinite(first.final_params).all()
+    kinds = {event["kind"] for event in first.membership_events}
+    assert "rewire" in kinds, "every transition must report its rewire"
+
+    second = run_spec(churn_conformance_spec(protocol, family))
+    assert run_fingerprint(first) == run_fingerprint(second), (
+        f"{protocol} under {family} churn is not deterministic"
+    )
+
+    key = f"{protocol}/{family}"
+    assert key in GOLDEN_CELLS, (
+        f"no golden recorded for {key}; run "
+        "scripts/record_golden_stats.py and review the diff"
+    )
+    assert golden_fingerprint(first) == GOLDEN_CELLS[key], (
+        f"{protocol} under {family} no longer matches the recorded "
+        "golden stats: the membership plane's numerical or "
+        "event-ordering behavior changed"
+    )
+
+
+def test_pre_membership_golden_cells_untouched():
+    """The 90 pre-refactor cells are immutable: static-membership runs
+    must be unaffected by the membership plane, byte for byte."""
+    original = {
+        key: value
+        for key, value in GOLDEN_CELLS.items()
+        if key.split("/", 1)[1] not in CHURN_CELLS
+    }
+    assert len(original) == 90
+    blob = json.dumps(
+        {key: original[key] for key in sorted(original)}, sort_keys=True
+    ).encode()
+    assert (
+        hashlib.sha256(blob).hexdigest() == PRE_MEMBERSHIP_CELLS_SHA256
+    ), (
+        "a pre-membership golden cell changed; static runs must stay "
+        "bitwise identical (re-recording these 90 cells is never part "
+        "of an elasticity change)"
+    )
+
+
+def test_churn_families_rejected_for_non_elastic_protocols():
+    """The registry gate: churn on a barrier protocol fails loudly."""
+    for protocol in registered_protocols():
+        if get_protocol(protocol).elastic:
+            continue
+        with pytest.raises(ValueError, match="not elastic"):
+            run_spec(conformance_spec(protocol, "churn"))
+
+
+def test_elastic_registry_flags_match_cells():
+    """ELASTIC_PROTOCOLS mirrors the registry's elastic flags."""
+    flagged = tuple(
+        sorted(
+            name
+            for name in registered_protocols()
+            if get_protocol(name).elastic
+        )
+    )
+    assert flagged == tuple(sorted(ELASTIC_PROTOCOLS))
 
 
 def test_matrix_covers_at_least_six_families():
