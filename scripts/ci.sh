@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# CI gate: tier-1 tests (with coverage when available), a benchmark
-# smoke figure, and the docs check.
+# CI gate: the invariant lint, tier-1 tests (with coverage when
+# available), benchmark smoke figures, the REPRO_SANITIZE smoke, and
+# the docs check.
 # `ci.sh --protocols` additionally smoke-runs the protocol-comparison
 # figure (Hop vs partial-allreduce vs momentum-tracking vs baselines).
 set -euo pipefail
@@ -13,6 +14,12 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 # vs coverage.py).  Raise it as subsystems gain tests; never lower it
 # to paper over debt.  CI=fast skips the coverage run (plain pytest).
 COVERAGE_FLOOR=90
+
+echo "== lint: simulator-invariant static analysis =="
+# Determinism, zero-copy aliasing, DES perf and registry contracts
+# (repro.analysis).  The checked-in baseline is empty, so any finding
+# fails the gate outright.
+python -m repro lint
 
 echo "== tier-1: unit/property tests =="
 if [[ "${CI:-}" == "fast" ]]; then
@@ -60,6 +67,12 @@ assert rate > floor, (
 )
 print(f"sim-core OK: {rate:,.0f} events/sec (floor {floor:,})")
 PY
+
+echo "== sanitizer smoke: REPRO_SANITIZE=1 conformance cell =="
+# The runtime half of the aliasing rules: parameter buffers are
+# read-only outside set_params' sanctioned window, and one conformance
+# cell must still match its golden fingerprint bit-for-bit.
+REPRO_SANITIZE=1 python -m pytest -x -q tests/analysis/test_sanitizer.py
 
 echo "== docs: README / ARCHITECTURE code blocks =="
 python scripts/check_docs.py

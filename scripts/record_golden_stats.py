@@ -40,6 +40,28 @@ from repro.protocols import registered_protocols  # noqa: E402
 from repro.scenarios import registered_scenarios  # noqa: E402
 
 
+def _replayed_keys() -> set:
+    keys = {
+        f"{protocol}/{family}"
+        for protocol in registered_protocols()
+        for family in registered_scenarios(universal_only=True)
+    }
+    keys.update(
+        f"{protocol}/{family}"
+        for protocol in ELASTIC_PROTOCOLS
+        for family in CHURN_CELLS
+    )
+    return keys
+
+
+def _check_cell(key, fingerprint, recorded, drifted) -> None:
+    if recorded.get(key) != fingerprint:
+        drifted.append(key)
+        print(f"replayed {key}: MISMATCH")
+    else:
+        print(f"replayed {key}: ok")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -53,11 +75,49 @@ def main(argv=None) -> int:
         "only cells it lacks (the additive mode for new protocols or "
         "families: existing recordings stay byte-identical)",
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="write nothing: replay every cell and fail (exit 1) unless "
+        "each fingerprint is bitwise identical to the recorded file "
+        "(the post-refactor drift check)",
+    )
     args = parser.parse_args(argv)
+    if args.check and args.only_missing:
+        parser.error("--check and --only-missing are mutually exclusive")
 
     existing = {}
     if args.only_missing:
         existing = json.loads(Path(args.output).read_text())["cells"]
+
+    if args.check:
+        recorded = json.loads(Path(args.output).read_text())["cells"]
+        drifted = []
+        for protocol in registered_protocols():
+            for family in registered_scenarios(universal_only=True):
+                key = f"{protocol}/{family}"
+                run = run_spec(conformance_spec(protocol, family))
+                _check_cell(key, golden_fingerprint(run), recorded, drifted)
+        for protocol in ELASTIC_PROTOCOLS:
+            for family in sorted(CHURN_CELLS):
+                key = f"{protocol}/{family}"
+                run = run_spec(churn_conformance_spec(protocol, family))
+                _check_cell(key, golden_fingerprint(run), recorded, drifted)
+        replayed = len(registered_protocols()) * len(
+            registered_scenarios(universal_only=True)
+        ) + len(ELASTIC_PROTOCOLS) * len(CHURN_CELLS)
+        missing = sorted(set(recorded) - _replayed_keys())
+        if drifted or missing:
+            for key in drifted:
+                print(f"DRIFT: {key}")
+            for key in missing:
+                print(f"STALE RECORDING (no longer replayed): {key}")
+            return 1
+        print(
+            f"{replayed} cells replayed, all bitwise identical to "
+            f"{args.output}"
+        )
+        return 0
 
     cells = {}
     for protocol in registered_protocols():

@@ -1,0 +1,79 @@
+"""Checked-in lint baseline: grandfathered findings.
+
+A baseline entry is ``(rule, path, fingerprint)`` — fingerprints are
+content-addressed (rule + file + stripped source line + occurrence
+index, see :func:`repro.analysis.engine.fingerprint_findings`), so
+entries survive line renumbering but die with the offending code.
+
+The project ships an **empty** baseline (``lint_baseline.json``): every
+rule violation in ``src/`` was fixed (or explicitly suppressed with a
+reviewed ``# repro: ignore[...]``) when the engine landed.  The file
+exists so a future emergency has an escape hatch that is visible in
+review, not so debt can accumulate silently — stale entries are
+reported on every run.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Sequence, Set, Tuple
+
+from repro.analysis.engine import Finding
+
+
+@dataclass
+class Baseline:
+    """A set of grandfathered finding fingerprints."""
+
+    entries: List[dict] = field(default_factory=list)
+
+    def fingerprints(self) -> Set[str]:
+        return {entry["fingerprint"] for entry in self.entries}
+
+    def apply(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], int, List[str]]:
+        """Split findings into (kept, n_baselined, stale_fingerprints)."""
+        known = self.fingerprints()
+        kept = [f for f in findings if f.fingerprint not in known]
+        matched = {f.fingerprint for f in findings} & known
+        stale = sorted(known - matched)
+        return kept, len(findings) - len(kept), stale
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(Path(path).read_text())
+        if data.get("version") != 1:
+            raise ValueError(
+                f"unsupported baseline version in {path}: "
+                f"{data.get('version')!r}"
+            )
+        return cls(entries=list(data.get("findings", [])))
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        return cls(
+            entries=[
+                {
+                    "rule": f.rule,
+                    "path": f.path,
+                    "fingerprint": f.fingerprint,
+                    "line": f.line,
+                }
+                for f in findings
+            ]
+        )
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "comment": (
+                "Grandfathered lint findings (content-addressed). "
+                "Target state: empty — fix or `# repro: ignore[...]` "
+                "instead of adding entries."
+            ),
+            "version": 1,
+            "findings": self.entries,
+        }
+        Path(path).write_text(json.dumps(payload, indent=1) + "\n")

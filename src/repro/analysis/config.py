@@ -1,0 +1,125 @@
+"""Lint configuration: the ``[tool.repro.lint]`` pyproject block.
+
+The checked-in configuration is the single source of truth for what
+``repro lint`` (and the ``scripts/ci.sh`` gate) enforces::
+
+    [tool.repro.lint]
+    paths = ["src/repro"]
+    baseline = "lint_baseline.json"
+    disable = []
+    scratch_fields = ["reduce_scratch", "_scratch"]
+    hot_functions = ["send", "push"]
+
+Every knob has a sensible default, so an empty (or missing) block means
+"every rule, over ``src/repro``, empty baseline".
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+
+#: ``self``-attribute names sanctioned to hold reusable scratch buffers
+#: or long-lived parameter views (the zero-copy plane's ownership
+#: contract, docs/ARCHITECTURE.md "performance architecture").
+DEFAULT_SCRATCH_FIELDS: Tuple[str, ...] = (
+    "reduce_scratch",
+    "_scratch",
+    "_velocity",
+    "_params",
+    "_flat",
+    "_flat_grad",
+    "_flat_view",
+    "_grad_view",
+)
+
+#: Function names treated as per-message send/hot paths by the DES perf
+#: rules (``perf-send-closure``, ``perf-fstring-name``).
+DEFAULT_HOT_FUNCTIONS: Tuple[str, ...] = (
+    "send",
+    "push",
+    "transfer",
+    "rpc",
+    "step",
+    "deliver",
+    "_deliver",
+)
+
+
+@dataclass
+class LintConfig:
+    """Resolved lint configuration.
+
+    Attributes:
+        paths: Lint roots, relative to :attr:`root`.
+        baseline: Baseline file path (relative to :attr:`root`), or
+            ``None`` for no baseline.
+        disable: Rule ids (or group names) excluded from the run.
+        scratch_fields: Sanctioned scratch attributes for
+            ``alias-scratch-self``.
+        hot_functions: Send-path function names for the perf rules.
+        root: Directory paths/baseline are resolved against (the
+            pyproject's directory when loaded from one).
+    """
+
+    paths: List[str] = field(default_factory=lambda: ["src/repro"])
+    baseline: Optional[str] = "lint_baseline.json"
+    disable: List[str] = field(default_factory=list)
+    scratch_fields: Tuple[str, ...] = DEFAULT_SCRATCH_FIELDS
+    hot_functions: Tuple[str, ...] = DEFAULT_HOT_FUNCTIONS
+    root: Path = field(default_factory=Path.cwd)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    def resolved_paths(self) -> List[Path]:
+        return [self.root / p for p in self.paths]
+
+    def resolved_baseline(self) -> Optional[Path]:
+        if not self.baseline:
+            return None
+        return self.root / self.baseline
+
+    @classmethod
+    def from_pyproject(cls, pyproject: Path) -> "LintConfig":
+        """Load the ``[tool.repro.lint]`` block (missing block = defaults)."""
+        data = tomllib.loads(pyproject.read_text())
+        block = data.get("tool", {}).get("repro", {}).get("lint", {})
+        known = {
+            "paths",
+            "baseline",
+            "disable",
+            "scratch_fields",
+            "hot_functions",
+        }
+        unknown = sorted(set(block) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown [tool.repro.lint] keys {unknown}; "
+                f"known keys: {sorted(known)}"
+            )
+        config = cls(root=pyproject.resolve().parent)
+        if "paths" in block:
+            config.paths = list(block["paths"])
+        if "baseline" in block:
+            config.baseline = block["baseline"] or None
+        if "disable" in block:
+            config.disable = list(block["disable"])
+        if "scratch_fields" in block:
+            config.scratch_fields = tuple(block["scratch_fields"])
+        if "hot_functions" in block:
+            config.hot_functions = tuple(block["hot_functions"])
+        return config
+
+    @classmethod
+    def discover(cls, start: Optional[Path] = None) -> "LintConfig":
+        """Walk up from ``start`` (default: cwd) to the nearest pyproject."""
+        here = (start or Path.cwd()).resolve()
+        for candidate in [here, *here.parents]:
+            pyproject = candidate / "pyproject.toml"
+            if pyproject.is_file():
+                return cls.from_pyproject(pyproject)
+        return cls(root=here)

@@ -1,0 +1,553 @@
+"""The single-pass AST lint engine.
+
+One parse and one tree walk per file: the walker maintains the shared
+context every rule needs (enclosing class/function stack, loop depth,
+module docstring) and dispatches each node to the rules that subscribed
+to its type via ``visit_<NodeType>`` methods.  Rules are instantiated
+fresh per module, so per-module state (e.g. which local names alias a
+``get_params()`` view) needs no reset protocol.
+
+Suppressions: ``# repro: ignore[rule-id]`` (comma-separated ids) on the
+offending line — or on a comment-only line directly above it —
+suppresses matching findings.  Suppressions that suppress nothing are
+themselves findings (``lint-unused-suppression``), so stale ignores
+cannot accumulate.
+
+Findings are fingerprinted by *content* (rule, file, source-line text,
+occurrence index), not line numbers, so a checked-in baseline survives
+unrelated edits; see :mod:`repro.analysis.baseline`.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.config import LintConfig
+from repro.analysis.registry import RuleInfo, resolve_rules
+
+#: Matches suppression comments: a hash, then ``repro: ignore[a, b]``.
+_SUPPRESSION = re.compile(r"#\s*repro:\s*ignore\[([^\]]+)\]")
+
+#: The engine-level rule id for suppressions that suppressed nothing.
+UNUSED_SUPPRESSION = "lint-unused-suppression"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding.
+
+    Attributes:
+        rule: Rule id that produced the finding.
+        path: Module path, relative to the package root (posix).
+        line: 1-based source line.
+        col: 0-based column.
+        message: Human-readable explanation.
+        snippet: The stripped source line (fingerprint input).
+        fingerprint: Content-addressed id used by the baseline.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+    fingerprint: str = ""
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+        }
+
+
+class ModuleContext:
+    """Shared per-module state handed to every rule callback."""
+
+    def __init__(
+        self,
+        relpath: str,
+        source_lines: Sequence[str],
+        tree: ast.Module,
+        config: LintConfig,
+    ) -> None:
+        self.relpath = relpath
+        self.source_lines = source_lines
+        self.module_docstring = ast.get_docstring(tree) or ""
+        self.config = config
+        #: Enclosing function-name stack (innermost last).
+        self.function_stack: List[str] = []
+        #: Enclosing class-name stack (innermost last).
+        self.class_stack: List[str] = []
+        #: How many for/while loops enclose the current node.
+        self.loop_depth = 0
+        #: Whether the current node sits inside a raise/assert (error
+        #: paths run zero times per message, so perf rules skip them).
+        self.error_path_depth = 0
+        self.findings: List[Finding] = []
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.source_lines):
+            return self.source_lines[line - 1].strip()
+        return ""
+
+    def report(self, rule: "Rule", node: ast.AST, message: str) -> None:
+        """Record a finding anchored at ``node``."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        self.findings.append(
+            Finding(
+                rule=rule.name,
+                path=self.relpath,
+                line=line,
+                col=col,
+                message=message,
+                snippet=self.line_text(line),
+            )
+        )
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set the class attributes and implement
+    ``visit_<NodeType>(self, node, ctx)`` for each AST node type they
+    care about; the engine discovers the methods by name and dispatches
+    them during its single tree walk.  Optional hooks:
+
+    * ``enter_function(node, ctx)`` / ``exit_function(node, ctx)`` —
+      called around function bodies (for scope-local state),
+    * ``finish(ctx)`` — called once after the walk (module-level
+      checks, e.g. against the module docstring).
+    """
+
+    #: Stable rule id (suppression / CLI / baseline spelling).
+    name = ""
+    #: Rule family: determinism / aliasing / perf / contracts / engine.
+    group = "custom"
+    #: One-line description for ``--list-rules`` and the docs table.
+    summary = ""
+    #: Which simulator guarantee the rule protects.
+    rationale = ""
+    #: Path prefixes the rule applies to (``None`` = every file).
+    scope: Optional[Tuple[str, ...]] = None
+
+    def enter_function(self, node: ast.AST, ctx: ModuleContext) -> None:
+        pass
+
+    def exit_function(self, node: ast.AST, ctx: ModuleContext) -> None:
+        pass
+
+    def finish(self, ctx: ModuleContext) -> None:
+        pass
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """The called function's trailing name (``np.stack`` -> ``stack``)."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+_FUNCTION_TYPES = (ast.FunctionDef, ast.AsyncFunctionDef)
+_LOOP_TYPES = (ast.For, ast.AsyncFor, ast.While)
+
+
+class _Walker:
+    """One in-order tree walk dispatching to all subscribed rules."""
+
+    def __init__(self, rules: Sequence[Rule], ctx: ModuleContext) -> None:
+        self._ctx = ctx
+        self._dispatch: Dict[str, List] = {}
+        self._scoped = [
+            r
+            for r in rules
+            if type(r).enter_function is not Rule.enter_function
+            or type(r).exit_function is not Rule.exit_function
+        ]
+        for rule in rules:
+            for attr in dir(rule):
+                if attr.startswith("visit_"):
+                    node_type = attr[len("visit_") :]
+                    self._dispatch.setdefault(node_type, []).append(
+                        getattr(rule, attr)
+                    )
+
+    def walk(self, tree: ast.Module) -> None:
+        for child in ast.iter_child_nodes(tree):
+            self._visit(child)
+
+    def _visit(self, node: ast.AST) -> None:
+        ctx = self._ctx
+        for method in self._dispatch.get(type(node).__name__, ()):
+            method(node, ctx)
+        if isinstance(node, _FUNCTION_TYPES):
+            ctx.function_stack.append(node.name)
+            for rule in self._scoped:
+                rule.enter_function(node, ctx)
+            for child in ast.iter_child_nodes(node):
+                self._visit(child)
+            for rule in self._scoped:
+                rule.exit_function(node, ctx)
+            ctx.function_stack.pop()
+            return
+        if isinstance(node, ast.ClassDef):
+            ctx.class_stack.append(node.name)
+            for child in ast.iter_child_nodes(node):
+                self._visit(child)
+            ctx.class_stack.pop()
+            return
+        if isinstance(node, _LOOP_TYPES):
+            ctx.loop_depth += 1
+            for child in ast.iter_child_nodes(node):
+                self._visit(child)
+            ctx.loop_depth -= 1
+            return
+        if isinstance(node, (ast.Raise, ast.Assert)):
+            ctx.error_path_depth += 1
+            for child in ast.iter_child_nodes(node):
+                self._visit(child)
+            ctx.error_path_depth -= 1
+            return
+        for child in ast.iter_child_nodes(node):
+            self._visit(child)
+
+
+def package_relpath(path: Path) -> str:
+    """Path relative to the last ``repro`` package root, as posix.
+
+    ``src/repro/core/worker.py`` and a fixture tree's
+    ``fixtures/repro/core/worker.py`` both resolve to
+    ``repro/core/worker.py``, so scoped rules treat fixtures exactly
+    like the real package.  Files outside any ``repro`` directory lint
+    under their bare filename (only unscoped rules apply).
+    """
+    parts = path.parts
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index:])
+    return path.name
+
+
+def _in_scope(relpath: str, scope: Optional[Tuple[str, ...]]) -> bool:
+    if scope is None:
+        return True
+    return any(
+        relpath == prefix or relpath.startswith(prefix.rstrip("/") + "/")
+        for prefix in scope
+    )
+
+
+def _comment_lines(source: str) -> Dict[int, str]:
+    """``{line: comment text}`` for *real* comments only.
+
+    Tokenizing (instead of regex over raw lines) keeps
+    ``# repro: ignore[...]`` examples inside docstrings from being
+    treated as live suppressions.  Files with tokenize-level errors
+    fall back to no comments — the AST parse will have raised first
+    anyway.
+    """
+    import io
+    import tokenize
+
+    comments: Dict[int, str] = {}
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                comments[token.start[0]] = token.string
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        pass
+    return comments
+
+
+def collect_suppressions(source: str) -> Dict[int, Set[str]]:
+    """``{effective_line: {rule ids}}`` from ``# repro: ignore[...]``.
+
+    A suppression on a comment-only line applies to the next line
+    (stacked comment-only suppressions chain down to the first code
+    line); a trailing comment applies to its own line.
+    """
+    source_lines = source.splitlines()
+    comments = _comment_lines(source)
+    by_line: Dict[int, Set[str]] = {}
+    pending: Set[str] = set()
+    pending_start: Optional[int] = None
+    for lineno, line in enumerate(source_lines, 1):
+        match = _SUPPRESSION.search(comments.get(lineno, ""))
+        rules = (
+            {part.strip() for part in match.group(1).split(",") if part.strip()}
+            if match
+            else set()
+        )
+        if line.strip().startswith("#"):
+            if rules:
+                pending |= rules
+                if pending_start is None:
+                    pending_start = lineno
+            continue
+        effective = rules | pending
+        if effective:
+            # Chained comment-only suppressions anchor at their first
+            # comment line for unused-reporting, but guard this line.
+            by_line.setdefault(lineno, set()).update(effective)
+        pending = set()
+        pending_start = None
+    if pending and pending_start is not None:
+        # Trailing comment-only suppression with no code after it.
+        by_line.setdefault(pending_start, set()).update(pending)
+    return by_line
+
+
+def fingerprint_findings(findings: Sequence[Finding]) -> List[Finding]:
+    """Attach content-addressed fingerprints (stable across line drift).
+
+    The fingerprint hashes ``rule | path | stripped source line`` plus
+    an occurrence index, so two identical violations in one file get
+    distinct baseline entries while pure line renumbering changes
+    nothing.
+    """
+    seen: Dict[Tuple[str, str, str], int] = {}
+    out: List[Finding] = []
+    for finding in findings:
+        key = (finding.rule, finding.path, finding.snippet)
+        index = seen.get(key, 0)
+        seen[key] = index + 1
+        digest = hashlib.sha256(
+            f"{finding.rule}|{finding.path}|{finding.snippet}|{index}".encode()
+        ).hexdigest()[:16]
+        out.append(
+            Finding(
+                rule=finding.rule,
+                path=finding.path,
+                line=finding.line,
+                col=finding.col,
+                message=finding.message,
+                snippet=finding.snippet,
+                fingerprint=digest,
+            )
+        )
+    return out
+
+
+def lint_source(
+    source: str,
+    relpath: str = "module.py",
+    rules: Optional[Iterable[str]] = None,
+    config: Optional[LintConfig] = None,
+) -> List[Finding]:
+    """Lint one module's source text (the test / docs entry point).
+
+    ``relpath`` decides which scoped rules apply — pass e.g.
+    ``"repro/core/worker.py"`` to lint as if the text lived there.
+    Returns fingerprinted findings sorted by position, suppressions
+    already applied.
+    """
+    config = config or LintConfig()
+    infos = [
+        info
+        for info in resolve_rules(rules)
+        if not _is_disabled(info, config, rules)
+    ]
+    tree = ast.parse(source, filename=relpath)
+    source_lines = source.splitlines()
+    ctx = ModuleContext(relpath, source_lines, tree, config)
+    active = [
+        info.rule()
+        for info in infos
+        if _in_scope(relpath, info.scope) and info.name != UNUSED_SUPPRESSION
+    ]
+    _Walker(active, ctx).walk(tree)
+    for rule in active:
+        rule.finish(ctx)
+
+    suppressions = collect_suppressions(source)
+    kept: List[Finding] = []
+    used: Set[Tuple[int, str]] = set()
+    for finding in ctx.findings:
+        guard = suppressions.get(finding.line, set())
+        if finding.rule in guard:
+            used.add((finding.line, finding.rule))
+        else:
+            kept.append(finding)
+
+    checked_names = {type(rule).name for rule in active}
+    if any(info.name == UNUSED_SUPPRESSION for info in infos):
+        for line in sorted(suppressions):
+            for rule_id in sorted(suppressions[line]):
+                if (line, rule_id) in used:
+                    continue
+                if rule_id not in checked_names and rule_id in _known():
+                    # The suppressed rule exists but was excluded from
+                    # this run (scope or --rules): not evidence of
+                    # staleness, so stay quiet.
+                    continue
+                kept.append(
+                    Finding(
+                        rule=UNUSED_SUPPRESSION,
+                        path=relpath,
+                        line=line,
+                        col=0,
+                        message=(
+                            f"suppression for {rule_id!r} matched no "
+                            "finding; remove the stale ignore"
+                        ),
+                        snippet=ctx.line_text(line),
+                    )
+                )
+
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return fingerprint_findings(kept)
+
+
+def _known() -> Set[str]:
+    from repro.analysis.registry import registered_rules
+
+    return set(registered_rules())
+
+
+def _is_disabled(
+    info: RuleInfo, config: LintConfig, explicit: Optional[Iterable[str]]
+) -> bool:
+    """Config `disable` applies only when no explicit rule set is given."""
+    if explicit is not None:
+        return False
+    return info.name in config.disable or info.group in config.disable
+
+
+def iter_python_files(paths: Iterable[Path]) -> List[Path]:
+    """Every ``.py`` file under ``paths``, sorted for determinism."""
+    files: Set[Path] = set()
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            files.update(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            files.add(path)
+    return sorted(files)
+
+
+@dataclass
+class LintReport:
+    """Aggregate result of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    baselined: int = 0
+    stale_baseline: List[str] = field(default_factory=list)
+    files_checked: int = 0
+    rules_run: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def render(self) -> str:
+        lines = [finding.render() for finding in self.findings]
+        if self.stale_baseline:
+            lines.append(
+                f"note: {len(self.stale_baseline)} stale baseline "
+                "entr(y/ies) no longer match any finding; re-run with "
+                "--write-baseline to prune"
+            )
+        noun = "finding" if len(self.findings) == 1 else "findings"
+        lines.append(
+            f"{len(self.findings)} {noun} "
+            f"({self.baselined} baselined) in {self.files_checked} files, "
+            f"{len(self.rules_run)} rules"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "findings": [finding.to_dict() for finding in self.findings],
+            "baselined": self.baselined,
+            "stale_baseline": list(self.stale_baseline),
+            "files_checked": self.files_checked,
+            "rules_run": list(self.rules_run),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+
+def run_lint(
+    paths: Optional[Iterable[Path]] = None,
+    rules: Optional[Iterable[str]] = None,
+    config: Optional[LintConfig] = None,
+    baseline: Optional[object] = None,
+) -> LintReport:
+    """Lint ``paths`` (default: the config's) and apply the baseline.
+
+    Output is deterministic and independent of the order ``paths`` are
+    given in: files are discovered, deduplicated and sorted before any
+    rule runs, and findings sort by (path, line, col, rule).
+    """
+    from repro.analysis.baseline import Baseline
+
+    config = config or LintConfig.discover()
+    resolved = (
+        [Path(p) for p in paths] if paths is not None else config.resolved_paths()
+    )
+    files = iter_python_files(resolved)
+
+    all_findings: List[Finding] = []
+    for path in files:
+        findings = lint_source(
+            path.read_text(encoding="utf-8"),
+            relpath=package_relpath(path),
+            rules=rules,
+            config=config,
+        )
+        all_findings.extend(findings)
+    all_findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+
+    if baseline is None:
+        baseline_path = config.resolved_baseline()
+        baseline = (
+            Baseline.load(baseline_path)
+            if baseline_path is not None and baseline_path.is_file()
+            else Baseline()
+        )
+
+    kept, baselined, stale = baseline.apply(all_findings)
+    infos = [
+        info
+        for info in resolve_rules(rules)
+        if not _is_disabled(info, config, rules)
+    ]
+    return LintReport(
+        findings=kept,
+        baselined=baselined,
+        stale_baseline=stale,
+        files_checked=len(files),
+        rules_run=[info.name for info in infos],
+    )

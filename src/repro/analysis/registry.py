@@ -1,0 +1,160 @@
+"""The lint-rule registry: name -> rule class.
+
+Mirrors :mod:`repro.protocols.registry` and
+:mod:`repro.scenarios.registry`: every simulator-invariant lint rule
+registers itself under a stable id (``"det-wall-clock"``,
+``"alias-reduce-out"``, ...), and the engine
+(:func:`repro.analysis.engine.run_lint`), the CLI (``repro lint
+--rules``, ``--list-rules``) and the docs table resolve rules through
+this one mapping.  Adding a rule is: subclass
+:class:`~repro.analysis.engine.Rule`, implement ``visit_<NodeType>``
+methods, call :func:`register_rule` — see ``docs/ARCHITECTURE.md`` for
+the worked example (mirrored by a test, like the protocol registry's).
+
+Rules are grouped (``determinism`` / ``aliasing`` / ``perf`` /
+``contracts`` / ``engine``) so ``repro lint --rules`` accepts either
+individual ids or whole group names.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple, Type
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.analysis.engine import Rule
+
+
+#: Module that registers the built-in rules as an import side effect.
+_BUILTIN_MODULE = "repro.analysis.rules"
+
+
+@dataclass(frozen=True)
+class RuleInfo:
+    """One registered lint rule.
+
+    Attributes:
+        name: Stable rule id (the suppression / CLI spelling).
+        rule: The :class:`~repro.analysis.engine.Rule` subclass; the
+            engine instantiates a fresh checker per linted module, so
+            rules may keep per-module state freely.
+        group: Rule family (``determinism``, ``aliasing``, ``perf``,
+            ``contracts``, ``engine``).
+        summary: One-line description for ``--list-rules`` and docs.
+        rationale: Which simulator guarantee the rule protects.
+        scope: Path prefixes (relative to the package root, e.g.
+            ``"repro/core"``) the rule applies to; ``None`` means every
+            linted file.
+    """
+
+    name: str
+    rule: Type["Rule"]
+    group: str
+    summary: str = ""
+    rationale: str = ""
+    scope: Optional[Tuple[str, ...]] = None
+
+
+_REGISTRY: Dict[str, RuleInfo] = {}
+_builtins_loaded = False
+
+
+def register_rule(rule: Type["Rule"]) -> RuleInfo:
+    """Register (or re-register) a rule class under its ``rule.name``.
+
+    The class itself carries its metadata (``name``, ``group``,
+    ``summary``, ``rationale``, ``scope``), so registration is just
+    ``register_rule(MyRule)``.
+    """
+    if not getattr(rule, "name", ""):
+        raise ValueError(f"{rule!r} must define a non-empty `name`")
+    info = RuleInfo(
+        name=rule.name,
+        rule=rule,
+        group=getattr(rule, "group", "custom"),
+        summary=getattr(rule, "summary", ""),
+        rationale=getattr(rule, "rationale", ""),
+        scope=getattr(rule, "scope", None),
+    )
+    _REGISTRY[info.name] = info
+    return info
+
+
+def unregister_rule(name: str) -> None:
+    """Remove a rule from the registry (extension-point cleanup)."""
+    _REGISTRY.pop(name, None)
+
+
+def _ensure_builtin_rules() -> None:
+    global _builtins_loaded
+    if _builtins_loaded:
+        return
+    importlib.import_module(_BUILTIN_MODULE)
+    _builtins_loaded = True
+
+
+def registered_rules() -> List[str]:
+    """Sorted ids of every registered rule."""
+    _ensure_builtin_rules()
+    return sorted(_REGISTRY)
+
+
+def rule_groups() -> List[str]:
+    """Sorted names of every rule group."""
+    _ensure_builtin_rules()
+    return sorted({info.group for info in _REGISTRY.values()})
+
+
+def get_rule(name: str) -> RuleInfo:
+    """Resolve a rule id to its :class:`RuleInfo`.
+
+    Raises:
+        ValueError: naming every registered rule, so callers (and CLI
+            users) see what *is* available.
+    """
+    _ensure_builtin_rules()
+    if name not in _REGISTRY:
+        raise ValueError(
+            f"unknown lint rule {name!r}; registered rules: "
+            f"{', '.join(registered_rules())}"
+        )
+    return _REGISTRY[name]
+
+
+def resolve_rules(names: Optional[Iterable[str]] = None) -> List[RuleInfo]:
+    """Resolve rule ids *or group names* to :class:`RuleInfo` rows.
+
+    ``None`` selects every registered rule.  Group names expand to all
+    rules in the group, so ``--rules determinism`` runs the whole
+    family.
+    """
+    _ensure_builtin_rules()
+    if names is None:
+        return [_REGISTRY[name] for name in registered_rules()]
+    groups = {info.group for info in _REGISTRY.values()}
+    selected: Dict[str, RuleInfo] = {}
+    for name in names:
+        if name in groups:
+            for info in _REGISTRY.values():
+                if info.group == name:
+                    selected[info.name] = info
+        else:
+            info = get_rule(name)
+            selected[info.name] = info
+    return [selected[name] for name in sorted(selected)]
+
+
+def rule_table() -> List[dict]:
+    """``[{name, group, summary, rationale, scope}, ...]`` rows."""
+    _ensure_builtin_rules()
+    return [
+        {
+            "name": info.name,
+            "group": info.group,
+            "summary": info.summary,
+            "rationale": info.rationale,
+            "scope": list(info.scope) if info.scope else [],
+        }
+        for _, info in sorted(_REGISTRY.items())
+    ]

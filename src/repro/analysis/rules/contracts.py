@@ -1,0 +1,121 @@
+"""Registry-contract rules: registrations declare what they promise.
+
+The protocol and scenario registries gate real behavior — non-elastic
+protocols reject churn at build time, non-universal families are
+excluded from the conformance matrix — so every registration must state
+its contract *explicitly* instead of inheriting a default a reviewer
+never saw.  The CLI's ``--json`` tables emit exactly these fields, so
+the rule, the registry and the CLI share one source of truth.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.analysis.engine import ModuleContext, Rule, call_name
+from repro.analysis.registry import register_rule
+
+
+def _registered_name(node: ast.Call) -> Optional[str]:
+    """The literal name a register_* call registers, if it is literal."""
+    if node.args and isinstance(node.args[0], ast.Constant):
+        value = node.args[0].value
+        if isinstance(value, str):
+            return value
+    for keyword in node.keywords:
+        if keyword.arg == "name" and isinstance(keyword.value, ast.Constant):
+            value = keyword.value.value
+            if isinstance(value, str):
+                return value
+    return None
+
+
+def _has_keyword(node: ast.Call, name: str) -> bool:
+    return any(keyword.arg == name for keyword in node.keywords)
+
+
+class ProtocolElasticRule(Rule):
+    name = "contract-elastic"
+    group = "contracts"
+    summary = "register_protocol must declare elastic= explicitly"
+    rationale = (
+        "elastic gates whether churn scenarios run or are rejected at "
+        "build time; an inherited default means nobody audited whether "
+        "the protocol survives membership change"
+    )
+    scope = None
+
+    def visit_Call(self, node: ast.Call, ctx: ModuleContext) -> None:
+        if call_name(node) != "register_protocol":
+            return
+        if not node.args and not _has_keyword(node, "name"):
+            return  # the registry's own `def register_protocol` helpers
+        if not _has_keyword(node, "elastic"):
+            registered = _registered_name(node) or "<dynamic>"
+            ctx.report(
+                self,
+                node,
+                f"register_protocol({registered!r}, ...) does not "
+                "declare `elastic=`; state explicitly whether the "
+                "protocol survives membership churn",
+            )
+
+
+class ScenarioUniversalRule(Rule):
+    name = "contract-universal"
+    group = "contracts"
+    summary = "register_scenario must declare universal= explicitly"
+    rationale = (
+        "universal decides conformance-matrix membership (and golden "
+        "coverage); an inherited default silently widens or narrows "
+        "the bit-exactness contract"
+    )
+    scope = None
+
+    def visit_Call(self, node: ast.Call, ctx: ModuleContext) -> None:
+        if call_name(node) != "register_scenario":
+            return
+        if not node.args and not _has_keyword(node, "name"):
+            return
+        if not _has_keyword(node, "universal"):
+            registered = _registered_name(node) or "<dynamic>"
+            ctx.report(
+                self,
+                node,
+                f"register_scenario({registered!r}, ...) does not "
+                "declare `universal=`; state explicitly whether every "
+                "protocol completes under this family",
+            )
+
+
+class RegistryDocstringRule(Rule):
+    name = "contract-docstring"
+    group = "contracts"
+    summary = "registered names must appear in the module docstring"
+    rationale = (
+        "the registering module's docstring is its human-facing table "
+        "of contents; a name missing there is invisible to readers "
+        "who never grep for register_* calls"
+    )
+    scope = None
+
+    def visit_Call(self, node: ast.Call, ctx: ModuleContext) -> None:
+        if call_name(node) not in ("register_protocol", "register_scenario"):
+            return
+        registered = _registered_name(node)
+        if registered is None:
+            return
+        if registered not in ctx.module_docstring:
+            ctx.report(
+                self,
+                node,
+                f"registered name {registered!r} is missing from the "
+                "module docstring; add it to the module's table so "
+                "docs and registry stay in sync",
+            )
+
+
+register_rule(ProtocolElasticRule)
+register_rule(ScenarioUniversalRule)
+register_rule(RegistryDocstringRule)

@@ -1,0 +1,49 @@
+"""Runtime companion to the static aliasing rules: ``REPRO_SANITIZE``.
+
+The static rules (``alias-params-write``, ``alias-scratch-self``) catch
+writes into zero-copy parameter views *syntactically*; this module is
+the dynamic cross-check.  With ``REPRO_SANITIZE=1`` in the environment,
+:class:`repro.ml.models.Model` locks its flat parameter buffer — and
+every per-layer tensor view aliasing it — with ``writeable=False``, and
+only unlocks the flat buffer inside the sanctioned in-place windows
+(``set_params``, the repack during ``astype``).  Any unsanctioned write
+into the parameter plane then raises ``ValueError: assignment
+destination is read-only`` at the offending line instead of silently
+corrupting golden stats.
+
+The sanitizer changes no values: one conformance-matrix smoke cell runs
+under ``REPRO_SANITIZE=1`` in CI and must reproduce its golden
+fingerprint bit-for-bit (``tests/analysis/test_sanitizer.py``).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+import numpy as np
+
+#: Environment flag enabling the write sanitizer ("" and "0" mean off).
+ENV_FLAG = "REPRO_SANITIZE"
+
+
+def sanitize_enabled() -> bool:
+    """Whether the parameter-plane write sanitizer is on."""
+    return os.environ.get(ENV_FLAG, "") not in ("", "0")
+
+
+@contextmanager
+def writable_window(array: np.ndarray):
+    """Temporarily re-enable writes on a sanitizer-locked buffer.
+
+    The sanctioned in-place windows (``Model.set_params`` and friends)
+    wrap their writes in this context manager; everything outside it
+    sees a read-only buffer.  Restores the previous flag even if the
+    write raises.
+    """
+    previous = array.flags.writeable
+    array.flags.writeable = True
+    try:
+        yield array
+    finally:
+        array.flags.writeable = previous

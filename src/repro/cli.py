@@ -12,6 +12,9 @@ Commands:
   (``--json`` for machine-readable rows incl. the ``universal`` flag).
 * ``profile``  — cProfile one training run (plus a bare-engine
   events/sec microbenchmark) to find simulator hot spots.
+* ``lint``     — static analysis for simulator invariants
+  (determinism, zero-copy aliasing, DES perf, registry contracts);
+  see :mod:`repro.analysis`.  Exit 1 on findings.
 
 ``train --protocol`` accepts any name from the protocol registry
 (:mod:`repro.protocols.registry`): ``hop``, ``notify_ack``, ``ps``
@@ -279,6 +282,54 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Imported lazily: `repro lint` is a dev/CI tool; `repro train`
+    # shouldn't pay for the analysis package.
+    from repro.analysis import rule_table, run_lint
+    from repro.analysis.baseline import Baseline
+    from repro.analysis.config import LintConfig
+
+    if args.list_rules:
+        rows = rule_table()
+        if args.json:
+            print(json.dumps(rows, indent=2))
+            return 0
+        print("registered lint rules:")
+        for row in rows:
+            scope = ", ".join(row["scope"]) if row["scope"] else "everywhere"
+            print(f"* {row['name']}  [{row['group']}]  ({scope})")
+            print(f"    {row['summary']}")
+        return 0
+
+    config = LintConfig.discover()
+    if args.baseline is not None:
+        config.baseline = args.baseline or None
+    rules = (
+        [name.strip() for name in args.rules.split(",") if name.strip()]
+        if args.rules
+        else None
+    )
+    paths = args.paths or None
+
+    if args.write_baseline:
+        baseline_path = config.resolved_baseline()
+        if baseline_path is None:
+            raise SystemExit("--write-baseline needs a baseline path")
+        report = run_lint(paths, rules=rules, config=config, baseline=Baseline())
+        Baseline.from_findings(report.findings).save(baseline_path)
+        print(
+            f"{len(report.findings)} finding(s) baselined to {baseline_path}"
+        )
+        return 0
+
+    report = run_lint(paths, rules=rules, config=config)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.harness.profiling import profile_spec, sim_core_events_per_sec
     from repro.protocols.base import LIGHT_TRACE
@@ -482,6 +533,39 @@ def build_parser() -> argparse.ArgumentParser:
              "universal flag)",
     )
     scenarios.set_defaults(func=_cmd_scenarios)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the simulator-invariant static analysis "
+             "(repro.analysis)",
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files/directories to lint (default: [tool.repro.lint] "
+             "paths, i.e. src/repro)",
+    )
+    lint.add_argument(
+        "--rules", default=None,
+        help="comma-separated rule ids or group names (e.g. "
+             "'determinism,perf-slots'); default: every registered rule",
+    )
+    lint.add_argument(
+        "--json", action="store_true",
+        help="machine-readable report (findings, baseline stats)",
+    )
+    lint.add_argument(
+        "--baseline", default=None,
+        help="baseline file overriding the configured one ('' disables)",
+    )
+    lint.add_argument(
+        "--write-baseline", action="store_true",
+        help="accept current findings: rewrite the baseline file",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules (with --json: full rationale rows)",
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     return parser
 

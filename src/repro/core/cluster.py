@@ -497,4 +497,5 @@ register_protocol(
     summary="NOTIFY-ACK gating: serial computation graph baseline "
     "(Hop Section 3.3)",
     paper="Luo, Lin, Zhuo, Qian — ASPLOS 2019 (arXiv:1902.01064)",
+    elastic=False,  # serial gating graph has no repair path for churn
 )

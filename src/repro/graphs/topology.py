@@ -380,7 +380,7 @@ class Topology:
             stack = [start]
             while stack:
                 u = stack.pop()
-                for v in set(self._out[u]) | set(self._in[u]):
+                for v in sorted(set(self._out[u]) | set(self._in[u])):
                     if v == u:
                         continue
                     if v not in color:
@@ -402,7 +402,7 @@ class Topology:
             stack = [start]
             while stack:
                 u = stack.pop()
-                for v in set(self._out[u]) | set(self._in[u]):
+                for v in sorted(set(self._out[u]) | set(self._in[u])):
                     if v == u or v in color:
                         continue
                     color[v] = 1 - color[u]

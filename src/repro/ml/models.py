@@ -20,6 +20,7 @@ from repro.ml.layers import (
     MaxPool2D,
     ReLU,
 )
+from repro.analysis.runtime import sanitize_enabled, writable_window
 from repro.ml.losses import Loss, LogisticLoss, SoftmaxCrossEntropy
 from repro.ml.params import Parameter, pack_parameters, readonly_view
 
@@ -99,6 +100,7 @@ class Model:
         self._params = network.parameters()
         if not self._params:
             raise ValueError("model has no trainable parameters")
+        self._sanitize = sanitize_enabled()
         self._repack()
 
     def _repack(self) -> None:
@@ -106,6 +108,15 @@ class Model:
         self._flat, self._flat_grad = pack_parameters(self._params)
         self._flat_view = readonly_view(self._flat)
         self._grad_view = readonly_view(self._flat_grad)
+        if self._sanitize:
+            # REPRO_SANITIZE: lock the flat buffer and every per-tensor
+            # alias so any write outside the sanctioned `set_params`
+            # window raises immediately.  Views capture writeability at
+            # creation, so each alias must be locked individually; grad
+            # buffers stay writable (backward fills them every step).
+            self._flat.flags.writeable = False
+            for p in self._params:
+                p.data.flags.writeable = False
 
     @property
     def dim(self) -> int:
@@ -124,7 +135,19 @@ class Model:
         return self._flat.copy()
 
     def set_params(self, flat: np.ndarray) -> None:
-        """Copy ``flat`` into the parameter buffer (one memcpy)."""
+        """Copy ``flat`` into the parameter buffer (one memcpy).
+
+        Under ``REPRO_SANITIZE=1`` this is the single sanctioned
+        in-place window: the flat buffer is unlocked for the copy and
+        re-locked before returning.
+        """
+        if self._sanitize:
+            with writable_window(self._flat):
+                self._copy_into_flat(flat)
+        else:
+            self._copy_into_flat(flat)
+
+    def _copy_into_flat(self, flat: np.ndarray) -> None:
         if (
             type(flat) is np.ndarray
             and flat.ndim == 1

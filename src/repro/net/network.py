@@ -228,7 +228,10 @@ class Network:
                 message.src, message.dst, attempt_cost
             )
 
-            def delivery(env: Environment):
+            # Shared-NIC slow path: runs only for egress-serialized
+            # transfers, so the per-message generator closure is an
+            # accepted cost here.
+            def delivery(env: Environment):  # repro: ignore[perf-send-closure]
                 yield from nic.transfer(message.size)
                 yield env.timeout(latency + penalty)
                 deliver(message)
@@ -262,8 +265,12 @@ class Network:
             message = Message(
                 src=src, dst=dst, kind="update", payload=payload, size=size
             )
+            # Egress-NIC fallback already pays for a Message object and
+            # the full send() machinery; one unwrapping lambda per
+            # serialized transfer is noise by comparison.
             return self.send(
-                message, deliver=lambda m: deliver(m.payload)
+                message,
+                deliver=lambda m: deliver(m.payload),  # repro: ignore[perf-send-closure]
             )
         self.messages_sent += 1
         self.bytes_sent.add(size)

@@ -213,4 +213,5 @@ register_protocol(
     "(momentum tracking or quasi-global)",
     paper="Takezawa et al. — arXiv:2209.15505; Lin et al. — "
     "arXiv:2102.04761",
+    elastic=False,  # momentum buffers are not re-synced on join/leave
 )

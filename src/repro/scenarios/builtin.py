@@ -1,10 +1,30 @@
 """Built-in scenario families.
 
 Registered on import (the registry imports this module lazily, exactly
-like the protocol registry imports the protocol modules).  Slowdown
-families map straight to a model; fault families additionally accept a
-nested ``"slowdown"`` param — itself a ``{"family", "params"}`` dict —
-so faults compose with any heterogeneity recipe::
+like the protocol registry imports the protocol modules).  The full
+family table (the ``contract-docstring`` lint rule keeps it in sync
+with the ``register_scenario`` calls below):
+
+========================  =============================================
+``none`` (``clean``)      homogeneous cluster, every iteration at base
+                          speed
+``random``                per-iteration random slowdown (paper §7.3.1)
+``straggler``             persistent per-worker stragglers (§7.3.5)
+``bursty`` (``markov``)   Markov-modulated bursty stragglers
+``tiered`` (``whimpy``)   persistently tiered whimpy/brawny hardware
+``diurnal``               periodic phase-shifted interference
+``trace``                 bit-exact replay of recorded factors (JSON)
+``crash``                 permanent fail-stop crash (hop-native only)
+``crash-restart``         crash + downtime + neighbor re-sync
+``flaky-net``             temporary link degradation windows
+``lossy-net``             random message loss with retransmit
+``churn``                 scripted membership leave/join + rewiring
+``churn-poisson``         Poisson-hazard membership churn
+========================  =============================================
+
+Slowdown families map straight to a model; fault families additionally
+accept a nested ``"slowdown"`` param — itself a ``{"family", "params"}``
+dict — so faults compose with any heterogeneity recipe::
 
     ScenarioSpec("crash-restart", {
         "worker": 2, "at": 5, "downtime_iters": 6,
@@ -312,6 +332,7 @@ register_scenario(
     summary="Homogeneous cluster: every iteration at base speed",
     paper=HOP_PAPER,
     aliases=("clean",),
+    universal=True,  # every protocol completes: conformance-matrix member
 )
 register_scenario(
     "random",
@@ -319,6 +340,7 @@ register_scenario(
     summary="Per-iteration random slowdown (paper Section 7.3.1: "
     "6x at p=1/n)",
     paper=HOP_PAPER,
+    universal=True,  # every protocol completes: conformance-matrix member
 )
 register_scenario(
     "straggler",
@@ -327,6 +349,7 @@ register_scenario(
     "one worker 4x)",
     paper=HOP_PAPER,
     aliases=("deterministic",),
+    universal=True,  # every protocol completes: conformance-matrix member
 )
 register_scenario(
     "bursty",
@@ -335,6 +358,7 @@ register_scenario(
     "over time",
     paper="Prague / partial all-reduce — Luo et al. (arXiv:1909.08029)",
     aliases=("markov",),
+    universal=True,  # every protocol completes: conformance-matrix member
 )
 register_scenario(
     "tiered",
@@ -342,6 +366,7 @@ register_scenario(
     summary="Persistently tiered (whimpy/brawny) hardware",
     paper="HetPipe — Park et al. (arXiv:2005.14038)",
     aliases=("whimpy",),
+    universal=True,  # every protocol completes: conformance-matrix member
 )
 register_scenario(
     "diurnal",
@@ -349,6 +374,7 @@ register_scenario(
     summary="Periodic shared-cluster interference, phase-shifted per "
     "worker",
     paper="n/a (shared-cluster load curves)",
+    universal=True,  # every protocol completes: conformance-matrix member
 )
 register_scenario(
     "trace",
@@ -356,6 +382,7 @@ register_scenario(
     summary="Bit-exact replay of recorded per-(worker, iteration) "
     "factors (JSON)",
     paper="n/a (trace-driven simulation)",
+    universal=True,  # every protocol completes: conformance-matrix member
 )
 register_scenario(
     "crash",
@@ -371,6 +398,7 @@ register_scenario(
     summary="Worker crash with downtime, then restart + parameter "
     "re-sync from a live neighbor",
     paper=HOP_PAPER + " (Section 3.4)",
+    universal=True,  # every protocol completes: conformance-matrix member
 )
 register_scenario(
     "flaky-net",
@@ -381,6 +409,7 @@ register_scenario(
     "momentum-tracking) — allreduce/ps model their own fabric",
     paper="n/a (link-level heterogeneity, cf. paper Section 7.3.6)",
     aliases=("link-flap",),
+    universal=True,  # every protocol completes: conformance-matrix member
 )
 register_scenario(
     "churn",
@@ -409,4 +438,5 @@ register_scenario(
     "message-fabric protocols (hop, notify_ack) — others have no "
     "discrete messages to drop",
     paper="n/a (lossy transport)",
+    universal=True,  # every protocol completes: conformance-matrix member
 )

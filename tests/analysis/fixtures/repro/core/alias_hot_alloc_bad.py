@@ -1,0 +1,10 @@
+"""Fixture: alias-hot-alloc must flag np.stack inside a loop."""
+
+import numpy as np
+
+
+def gather(rounds, views):
+    out = []
+    for _ in range(rounds):
+        out.append(np.stack(views))
+    return out

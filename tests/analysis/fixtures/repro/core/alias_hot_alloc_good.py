@@ -1,0 +1,7 @@
+"""Fixture: the stacked buffer is built once, outside the loop."""
+
+import numpy as np
+
+
+def gather(views):
+    return np.stack(views)

@@ -1,0 +1,7 @@
+"""Fixture: alias-params-write must flag writes into the live view."""
+
+
+def clobber(model):
+    params = model.get_params()
+    params += 1.0
+    return params

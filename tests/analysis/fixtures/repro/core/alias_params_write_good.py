@@ -1,0 +1,7 @@
+"""Fixture: mutate an owned copy, publish via set_params."""
+
+
+def update(model, delta):
+    params = model.get_params_copy()
+    params += delta
+    model.set_params(params)

@@ -1,0 +1,7 @@
+"""Fixture: alias-reduce-out must flag a reducer with no scratch."""
+
+from repro.core.reducers import mean_reduce
+
+
+def combine(buffers):
+    return mean_reduce(buffers)

@@ -1,0 +1,7 @@
+"""Fixture: reducers accumulate into caller-owned scratch."""
+
+from repro.core.reducers import mean_reduce
+
+
+def combine(buffers, scratch):
+    return mean_reduce(buffers, out=scratch)

@@ -1,0 +1,6 @@
+"""Fixture: alias-scratch-self must flag a view stored on self."""
+
+
+class Worker:
+    def __init__(self, model):
+        self.window = model.get_params()[:4]

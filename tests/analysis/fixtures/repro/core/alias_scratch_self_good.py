@@ -1,0 +1,9 @@
+"""Fixture: self holds copies, or views in sanctioned fields."""
+
+import numpy as np
+
+
+class Worker:
+    def __init__(self, model, dim):
+        self._scratch = np.empty(dim)
+        self.snapshot = model.get_params_copy()

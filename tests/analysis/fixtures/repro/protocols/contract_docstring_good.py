@@ -1,0 +1,9 @@
+"""Fixture: the docstring names ``ghost-family``."""
+
+from repro.scenarios.registry import register_scenario
+
+register_scenario(
+    "ghost-family",
+    lambda params, n_workers, streams: None,
+    universal=False,
+)

@@ -1,0 +1,9 @@
+"""Fixture: ``demo-proto`` registration omitting elastic=."""
+
+from repro.protocols.registry import register_protocol
+
+register_protocol(
+    "demo-proto",
+    lambda spec: None,
+    summary="fixture protocol",
+)

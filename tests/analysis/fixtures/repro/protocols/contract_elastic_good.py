@@ -1,0 +1,10 @@
+"""Fixture: ``demo-proto`` registration declaring elastic=."""
+
+from repro.protocols.registry import register_protocol
+
+register_protocol(
+    "demo-proto",
+    lambda spec: None,
+    summary="fixture protocol",
+    elastic=False,
+)

@@ -1,0 +1,8 @@
+"""Fixture: ``demo-family`` registration omitting universal=."""
+
+from repro.scenarios.registry import register_scenario
+
+register_scenario(
+    "demo-family",
+    lambda params, n_workers, streams: None,
+)

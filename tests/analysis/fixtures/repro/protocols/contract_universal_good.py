@@ -1,0 +1,9 @@
+"""Fixture: ``demo-family`` registration declaring universal=."""
+
+from repro.scenarios.registry import register_scenario
+
+register_scenario(
+    "demo-family",
+    lambda params, n_workers, streams: None,
+    universal=True,
+)

@@ -1,0 +1,7 @@
+"""Fixture: det-env-read must flag os.getenv in simulation code."""
+
+import os
+
+
+def knob():
+    return os.getenv("REPRO_KNOB", "0")

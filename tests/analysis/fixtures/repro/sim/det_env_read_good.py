@@ -1,0 +1,5 @@
+"""Fixture: configuration travels on the spec, not the environment."""
+
+
+def knob(spec):
+    return spec.knob

@@ -1,0 +1,7 @@
+"""Fixture: det-global-rng must flag a stdlib global draw."""
+
+import random
+
+
+def draw():
+    return random.random()

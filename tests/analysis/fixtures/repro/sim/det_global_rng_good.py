@@ -1,0 +1,5 @@
+"""Fixture: draws come from a named seeded stream."""
+
+
+def draw(streams):
+    return streams.stream("draw").random()

@@ -1,0 +1,5 @@
+"""Fixture: det-id-key must flag sorting by memory address."""
+
+
+def order(events):
+    return sorted(events, key=id)

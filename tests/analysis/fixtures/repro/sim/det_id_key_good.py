@@ -1,0 +1,5 @@
+"""Fixture: ordering uses a stable attribute."""
+
+
+def order(events):
+    return sorted(events, key=lambda event: event.seq)

@@ -1,0 +1,6 @@
+"""Fixture: det-set-iter must flag iteration over a bare set."""
+
+
+def fan_out(neighbors, extra):
+    for peer in set(neighbors) | set(extra):
+        yield peer

@@ -1,0 +1,6 @@
+"""Fixture: set members are sorted before iteration."""
+
+
+def fan_out(neighbors, extra):
+    for peer in sorted(set(neighbors) | set(extra)):
+        yield peer

@@ -1,0 +1,7 @@
+"""Fixture: det-unseeded-rng must flag default_rng()."""
+
+import numpy as np
+
+
+def make_rng():
+    return np.random.default_rng()

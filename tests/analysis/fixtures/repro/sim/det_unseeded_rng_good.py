@@ -1,0 +1,7 @@
+"""Fixture: generators take an explicit derived seed."""
+
+import numpy as np
+
+
+def make_rng(seed):
+    return np.random.default_rng(seed)

@@ -1,0 +1,7 @@
+"""Fixture: det-wall-clock must flag a host-clock read."""
+
+import time
+
+
+def stamp():
+    return time.time()

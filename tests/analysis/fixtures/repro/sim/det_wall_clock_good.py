@@ -1,0 +1,5 @@
+"""Fixture: simulated time comes from the environment."""
+
+
+def stamp(env):
+    return env.now

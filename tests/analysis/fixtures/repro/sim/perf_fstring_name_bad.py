@@ -1,0 +1,6 @@
+"""Fixture: perf-fstring-name must flag per-message formatting."""
+
+
+class Tracer:
+    def deliver(self, message):
+        return f"deliver-{message}"

@@ -1,0 +1,11 @@
+"""Fixture: names format once at setup; raises are exempt."""
+
+
+class Tracer:
+    def __init__(self, name):
+        self._name = f"deliver-{name}"
+
+    def deliver(self, message):
+        if message is None:
+            raise ValueError(f"no message for {self._name}")
+        return self._name

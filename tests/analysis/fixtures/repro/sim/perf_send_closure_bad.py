@@ -1,0 +1,7 @@
+"""Fixture: perf-send-closure must flag a per-send lambda."""
+
+
+class Nic:
+    def send(self, message, deliver):
+        callback = lambda: deliver(message)  # noqa: E731
+        return callback

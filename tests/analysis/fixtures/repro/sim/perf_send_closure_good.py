@@ -1,0 +1,9 @@
+"""Fixture: delivery callbacks are prebuilt, not per-send."""
+
+
+class Nic:
+    def __init__(self, deliver):
+        self._deliver_cb = deliver
+
+    def send(self, message):
+        return self._deliver_cb

@@ -1,0 +1,10 @@
+"""Fixture: perf-slots must flag a dict-ful hot event subclass."""
+
+
+class Event:
+    pass
+
+
+class Ping(Event):
+    def __init__(self, env):
+        self.env = env

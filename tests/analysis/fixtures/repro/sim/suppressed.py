@@ -1,0 +1,7 @@
+"""Fixture: a real finding silenced by an inline suppression."""
+
+import time
+
+
+def stamp():
+    return time.time()  # repro: ignore[det-wall-clock]

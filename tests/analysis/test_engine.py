@@ -1,0 +1,216 @@
+"""Engine mechanics: suppressions, baseline, config, output, CLI."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    UNUSED_SUPPRESSION,
+    Baseline,
+    LintConfig,
+    lint_source,
+    resolve_rules,
+    rule_groups,
+    rule_table,
+    run_lint,
+)
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+BAD_SOURCE = "import time\n\n\ndef stamp():\n    return time.time()\n"
+
+
+def fixture_config():
+    return LintConfig(root=FIXTURES, baseline=None)
+
+
+class TestSuppressions:
+    def test_inline_suppression_silences_the_finding(self):
+        report = run_lint(
+            [FIXTURES / "repro/sim/suppressed.py"], config=fixture_config()
+        )
+        assert report.findings == []
+
+    def test_unused_suppression_is_itself_a_finding(self):
+        report = run_lint(
+            [FIXTURES / "repro/sim/unused_suppression.py"],
+            config=fixture_config(),
+        )
+        assert [f.rule for f in report.findings] == [UNUSED_SUPPRESSION]
+
+    def test_comment_line_suppresses_next_code_line(self):
+        source = (
+            "import time\n\n\ndef stamp():\n"
+            "    # repro: ignore[det-wall-clock]\n"
+            "    return time.time()\n"
+        )
+        findings = lint_source(source, relpath="repro/sim/mod.py")
+        assert findings == []
+
+    def test_suppression_in_docstring_text_is_inert(self):
+        # Only real comment tokens suppress; prose about the syntax
+        # must neither silence findings nor count as unused.
+        source = (
+            '"""Docs: write # repro: ignore[det-wall-clock] inline."""\n'
+            "import time\n\n\ndef stamp():\n    return time.time()\n"
+        )
+        rules = [f.rule for f in lint_source(source, relpath="repro/sim/m.py")]
+        assert rules == ["det-wall-clock"]
+
+    def test_suppressing_an_unknown_rule_id_is_flagged(self):
+        source = "X = 1  # repro: ignore[no-such-rule]\n"
+        findings = lint_source(source, relpath="repro/sim/mod.py")
+        assert [f.rule for f in findings] == [UNUSED_SUPPRESSION]
+        assert "no-such-rule" in findings[0].message
+
+
+class TestBaseline:
+    def test_round_trip_silences_known_findings(self, tmp_path):
+        findings = lint_source(BAD_SOURCE, relpath="repro/sim/mod.py")
+        assert findings
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(findings).save(path)
+        loaded = Baseline.load(path)
+        kept, baselined, stale = loaded.apply(findings)
+        assert kept == []
+        assert baselined == len(findings)
+        assert stale == []
+
+    def test_fingerprints_survive_line_renumbering(self):
+        before = lint_source(BAD_SOURCE, relpath="repro/sim/mod.py")
+        shifted = lint_source(
+            "\n\n" + BAD_SOURCE, relpath="repro/sim/mod.py"
+        )
+        assert [f.fingerprint for f in before] == [
+            f.fingerprint for f in shifted
+        ]
+        assert before[0].line != shifted[0].line
+
+    def test_stale_entries_are_reported(self, tmp_path):
+        findings = lint_source(BAD_SOURCE, relpath="repro/sim/mod.py")
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(findings).save(path)
+        report = run_lint(
+            [FIXTURES / "repro/sim/det_wall_clock_good.py"],
+            config=LintConfig(root=FIXTURES, baseline=None),
+            baseline=Baseline.load(path),
+        )
+        assert report.ok
+        assert len(report.stale_baseline) == len(findings)
+        assert "stale" in report.render()
+
+    def test_load_rejects_unknown_version(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ValueError):
+            Baseline.load(path)
+
+    def test_checked_in_baseline_is_empty(self):
+        repo_baseline = Path(__file__).parents[2] / "lint_baseline.json"
+        payload = json.loads(repo_baseline.read_text())
+        assert payload["version"] == 1
+        assert payload["findings"] == []
+
+
+class TestRegistry:
+    def test_groups_resolve_to_member_rules(self):
+        names = [info.name for info in resolve_rules(["determinism"])]
+        assert "det-wall-clock" in names
+        assert all(name.startswith("det-") for name in names)
+
+    def test_unknown_rule_is_a_clear_error(self):
+        with pytest.raises(ValueError, match="no-such-rule"):
+            resolve_rules(["no-such-rule"])
+
+    def test_rule_table_rows_are_complete(self):
+        rows = rule_table()
+        assert {row["group"] for row in rows} >= set(rule_groups())
+        for row in rows:
+            assert row["name"] and row["summary"] and row["rationale"]
+
+    def test_config_disable_skips_rule_unless_explicit(self):
+        config = LintConfig(
+            root=FIXTURES, baseline=None, disable=["det-wall-clock"]
+        )
+        path = FIXTURES / "repro/sim/det_wall_clock_bad.py"
+        assert run_lint([path], config=config).findings == []
+        explicit = run_lint(
+            [path], rules=["det-wall-clock"], config=config
+        )
+        assert [f.rule for f in explicit.findings] == ["det-wall-clock"]
+
+
+class TestConfig:
+    def test_pyproject_block_round_trip(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.repro.lint]\n"
+            'paths = ["pkg"]\n'
+            'baseline = ""\n'
+            'disable = ["perf"]\n'
+            'scratch_fields = ["_scratch"]\n'
+            'hot_functions = ["send"]\n'
+        )
+        config = LintConfig.discover(tmp_path)
+        assert config.root == tmp_path
+        assert config.resolved_paths() == [tmp_path / "pkg"]
+        assert config.resolved_baseline() is None
+        assert config.disable == ["perf"]
+        assert config.scratch_fields == ("_scratch",)
+        assert config.hot_functions == ("send",)
+
+    def test_unknown_config_key_is_rejected(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.repro.lint]\nrule_paths = []\n"
+        )
+        with pytest.raises(ValueError, match="rule_paths"):
+            LintConfig.discover(tmp_path)
+
+    def test_repo_pyproject_parses_with_empty_baseline_target(self):
+        config = LintConfig.discover(Path(__file__).parent)
+        assert config.paths == ["src/repro"]
+        assert config.baseline == "lint_baseline.json"
+
+
+class TestCLI:
+    def test_lint_src_is_clean(self, capsys):
+        assert main(["lint"]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_lint_finding_exits_nonzero(self, capsys):
+        bad = str(FIXTURES / "repro/sim/det_wall_clock_bad.py")
+        assert main(["lint", bad, "--baseline", ""]) == 1
+        out = capsys.readouterr().out
+        assert "det-wall-clock" in out
+
+    def test_lint_json_report(self, capsys):
+        bad = str(FIXTURES / "repro/sim/det_wall_clock_bad.py")
+        main(["lint", bad, "--baseline", "", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["findings"][0]["rule"] == "det-wall-clock"
+        assert set(payload["findings"][0]) >= {
+            "rule", "path", "line", "col", "message", "fingerprint",
+        }
+
+    def test_lint_rules_filter(self, capsys):
+        bad = str(FIXTURES / "repro/sim/det_wall_clock_bad.py")
+        assert main(["lint", bad, "--baseline", "", "--rules", "perf"]) == 0
+        capsys.readouterr()
+
+    def test_lint_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "det-wall-clock" in out
+        assert "contract-elastic" in out
+
+    def test_lint_write_baseline(self, tmp_path, capsys):
+        bad = str(FIXTURES / "repro/sim/det_wall_clock_bad.py")
+        baseline = tmp_path / "baseline.json"
+        assert main(
+            ["lint", bad, "--baseline", str(baseline), "--write-baseline"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["lint", bad, "--baseline", str(baseline)]) == 0
+        assert "(1 baselined)" in capsys.readouterr().out

@@ -1,0 +1,88 @@
+"""The add-your-own-rule walkthrough, as a test.
+
+Mirrors the docs/ARCHITECTURE.md "adding a rule" section: subclass
+:class:`repro.analysis.Rule`, declare the id/group/summary/rationale
+attributes, implement ``visit_<NodeType>`` hooks, and
+``register_rule`` it — exactly how protocols and scenario families
+join their registries.
+"""
+
+import ast
+
+import pytest
+
+from repro.analysis import (
+    Rule,
+    get_rule,
+    lint_source,
+    register_rule,
+    registered_rules,
+    resolve_rules,
+    unregister_rule,
+)
+
+
+class NoPrintRule(Rule):
+    name = "demo-no-print"
+    group = "demo"
+    summary = "no print() in simulation code"
+    rationale = "demo rule for the extension-point walkthrough"
+    scope = ("repro/sim",)
+
+    def visit_Call(self, node: ast.Call, ctx) -> None:
+        if isinstance(node.func, ast.Name) and node.func.id == "print":
+            ctx.report(self, node, "print() call in simulation code")
+
+
+@pytest.fixture
+def demo_rule():
+    register_rule(NoPrintRule)
+    yield
+    unregister_rule("demo-no-print")
+
+
+class TestExtensionPoint:
+    def test_registered_rule_reports_findings(self, demo_rule):
+        findings = lint_source(
+            "print('hi')\n", relpath="repro/sim/mod.py"
+        )
+        assert [f.rule for f in findings] == ["demo-no-print"]
+
+    def test_scope_applies_to_custom_rules(self, demo_rule):
+        findings = lint_source(
+            "print('hi')\n", relpath="repro/harness/mod.py"
+        )
+        assert findings == []
+
+    def test_rule_joins_registry_groups_and_lookup(self, demo_rule):
+        assert "demo-no-print" in registered_rules()
+        info = get_rule("demo-no-print")
+        assert info.group == "demo"
+        assert [i.name for i in resolve_rules(["demo"])] == ["demo-no-print"]
+
+    def test_suppression_works_for_custom_rules(self, demo_rule):
+        findings = lint_source(
+            "print('hi')  # repro: ignore[demo-no-print]\n",
+            relpath="repro/sim/mod.py",
+        )
+        assert findings == []
+
+    def test_unregister_restores_the_registry(self):
+        register_rule(NoPrintRule)
+        unregister_rule("demo-no-print")
+        assert "demo-no-print" not in registered_rules()
+        with pytest.raises(ValueError, match="demo-no-print"):
+            get_rule("demo-no-print")
+
+    def test_reregistration_replaces_in_place(self, demo_rule):
+        # Same idiom as the protocol/scenario registries: registering
+        # under an existing id replaces it (iteration-friendly).
+        class Widened(NoPrintRule):
+            scope = None
+
+        register_rule(Widened)
+        assert get_rule("demo-no-print").rule is Widened
+        findings = lint_source(
+            "print('hi')\n", relpath="repro/harness/mod.py"
+        )
+        assert [f.rule for f in findings] == ["demo-no-print"]

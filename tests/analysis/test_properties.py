@@ -1,0 +1,53 @@
+"""Property tests: lint output is deterministic and order-independent."""
+
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import run_lint
+from repro.analysis.config import LintConfig
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: A mixed bag: triggering, clean and suppression fixtures.
+CORPUS = [
+    FIXTURES / "repro/sim/det_wall_clock_bad.py",
+    FIXTURES / "repro/sim/det_wall_clock_good.py",
+    FIXTURES / "repro/sim/perf_slots_bad.py",
+    FIXTURES / "repro/core/alias_params_write_bad.py",
+    FIXTURES / "repro/protocols/contract_elastic_bad.py",
+    FIXTURES / "repro/sim/suppressed.py",
+    FIXTURES / "repro/sim/unused_suppression.py",
+]
+
+
+def report_key(report):
+    return [
+        (f.path, f.line, f.col, f.rule, f.fingerprint)
+        for f in report.findings
+    ]
+
+
+@settings(max_examples=25, deadline=None)
+@given(paths=st.permutations(CORPUS))
+def test_findings_invariant_under_path_reordering(paths):
+    config = LintConfig(root=FIXTURES, baseline=None)
+    baseline_order = run_lint(CORPUS, config=config)
+    permuted = run_lint(paths, config=config)
+    assert report_key(permuted) == report_key(baseline_order)
+    assert permuted.files_checked == baseline_order.files_checked
+
+
+@settings(max_examples=10, deadline=None)
+@given(paths=st.lists(st.sampled_from(CORPUS), min_size=1, max_size=7))
+def test_lint_is_idempotent_and_dedupes_paths(paths):
+    # Duplicate path arguments must not duplicate findings, and two
+    # runs over the same inputs are byte-for-byte identical.
+    config = LintConfig(root=FIXTURES, baseline=None)
+    first = run_lint(paths, config=config)
+    second = run_lint(paths, config=config)
+    assert first.to_json() == second.to_json()
+    assert first.files_checked == len(set(paths))
+    seen = report_key(first)
+    assert len(seen) == len(set(seen))

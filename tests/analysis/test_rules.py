@@ -1,0 +1,81 @@
+"""Per-rule fixture corpus: every rule has a trigger and a clean twin.
+
+The fixtures live under ``fixtures/repro/<package>/`` so that
+scope-filtered rules see them at their real package-relative paths
+(``package_relpath`` keys on the last ``repro`` path component).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import run_lint
+from repro.analysis.config import LintConfig
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: rule id -> fixture stem (``<stem>_bad.py`` / ``<stem>_good.py``).
+CASES = [
+    ("det-wall-clock", "repro/sim/det_wall_clock"),
+    ("det-global-rng", "repro/sim/det_global_rng"),
+    ("det-unseeded-rng", "repro/sim/det_unseeded_rng"),
+    ("det-set-iter", "repro/sim/det_set_iter"),
+    ("det-id-key", "repro/sim/det_id_key"),
+    ("det-env-read", "repro/sim/det_env_read"),
+    ("alias-params-write", "repro/core/alias_params_write"),
+    ("alias-reduce-out", "repro/core/alias_reduce_out"),
+    ("alias-hot-alloc", "repro/core/alias_hot_alloc"),
+    ("alias-scratch-self", "repro/core/alias_scratch_self"),
+    ("perf-slots", "repro/sim/perf_slots"),
+    ("perf-send-closure", "repro/sim/perf_send_closure"),
+    ("perf-fstring-name", "repro/sim/perf_fstring_name"),
+    ("contract-elastic", "repro/protocols/contract_elastic"),
+    ("contract-universal", "repro/protocols/contract_universal"),
+    ("contract-docstring", "repro/protocols/contract_docstring"),
+]
+
+
+def lint_fixture(name: str):
+    config = LintConfig(root=FIXTURES, baseline=None)
+    return run_lint([FIXTURES / name], config=config)
+
+
+def test_every_registered_project_rule_has_a_fixture_pair():
+    from repro.analysis import UNUSED_SUPPRESSION, registered_rules
+
+    covered = {rule for rule, _ in CASES}
+    # The engine-level unused-suppression check is exercised by
+    # test_engine.py's dedicated fixtures instead.
+    expected = set(registered_rules()) - {UNUSED_SUPPRESSION}
+    assert covered == expected
+
+
+@pytest.mark.parametrize("rule,stem", CASES, ids=[c[0] for c in CASES])
+def test_bad_fixture_triggers_exactly_its_rule(rule, stem):
+    report = lint_fixture(f"{stem}_bad.py")
+    assert [finding.rule for finding in report.findings] == [rule]
+    finding = report.findings[0]
+    assert finding.path.startswith("repro/")
+    assert finding.message
+    assert finding.snippet
+    assert finding.fingerprint and len(finding.fingerprint) == 16
+    assert rule in finding.render()
+
+
+@pytest.mark.parametrize("rule,stem", CASES, ids=[c[0] for c in CASES])
+def test_good_fixture_is_clean(rule, stem):
+    report = lint_fixture(f"{stem}_good.py")
+    assert report.findings == []
+    assert report.ok
+
+
+def test_scoped_rule_ignores_out_of_scope_package(tmp_path):
+    # det-env-read scopes out repro/ml (dataset paths legitimately come
+    # from the environment there); the same source in-scope triggers.
+    source = 'import os\n\n\ndef knob():\n    return os.getenv("K")\n'
+    ml = tmp_path / "repro" / "ml"
+    ml.mkdir(parents=True)
+    (ml / "mod.py").write_text(source)
+    config = LintConfig(root=tmp_path, baseline=None)
+    report = run_lint([ml / "mod.py"], rules=["det-env-read"], config=config)
+    assert report.findings == []

@@ -273,3 +273,34 @@ class TestCLISlowdownKnobs:
         loaded = json.loads((tmp_path / "lossy.json").read_text())
         assert loaded["messages_dropped"] > 0
         assert loaded["fault_events"] == []
+
+
+class TestRegistryJsonContract:
+    """The --json tables are machine consumed (CI, the lint rules'
+    shared source of truth): every row must carry the contract flags
+    explicitly, never as an implied default."""
+
+    PROTOCOL_FIELDS = {"name", "aliases", "summary", "paper", "elastic"}
+    SCENARIO_FIELDS = {"name", "aliases", "summary", "paper", "universal"}
+
+    def test_protocols_json_rows_declare_elastic(self, capsys):
+        assert main(["protocols", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows
+        for row in rows:
+            assert self.PROTOCOL_FIELDS <= set(row), row["name"]
+            assert isinstance(row["elastic"], bool)
+        by_name = {row["name"]: row for row in rows}
+        assert by_name["hop"]["elastic"] is True
+        assert by_name["notify_ack"]["elastic"] is False
+
+    def test_scenarios_json_rows_declare_universal(self, capsys):
+        assert main(["scenarios", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows
+        for row in rows:
+            assert self.SCENARIO_FIELDS <= set(row), row["name"]
+            assert isinstance(row["universal"], bool)
+        by_name = {row["name"]: row for row in rows}
+        assert by_name["none"]["universal"] is True
+        assert by_name["churn"]["universal"] is False
