@@ -52,6 +52,46 @@ echo "== membership smoke: fig25 churn study + golden-stats drift check =="
 python -m repro figures --preset smoke --only fig25
 python -m pytest -x -q tests/scenarios/test_conformance_matrix.py
 
+echo "== full-grid churn smoke: every protocol survives churn =="
+# One pinned churn cell per protocol (families rotate so all three —
+# scripted, Poisson, trace-replay — stay exercised): no deadlock, no
+# stalled survivor.  The registry's elastic flags are the loop bound,
+# so a protocol silently dropping its elastic=True breaks this gate.
+python - <<'PY'
+from repro.harness.golden import (
+    ELASTIC_PROTOCOLS,
+    MAX_ITER,
+    churn_conformance_spec,
+)
+from repro.harness.spec import run_spec
+from repro.protocols import registered_protocols
+
+assert tuple(registered_protocols()) == tuple(sorted(ELASTIC_PROTOCOLS)), (
+    "the full grid must stay elastic"
+)
+families = ("churn", "churn-poisson", "churn-trace")
+for index, protocol in enumerate(ELASTIC_PROTOCOLS):
+    family = families[index % len(families)]
+    run = run_spec(churn_conformance_spec(protocol, family))
+    leavers = {
+        event["worker"]
+        for event in run.membership_events
+        if event["kind"] == "leave"
+    }
+    stalled = [
+        worker
+        for worker, completed in enumerate(run.iterations_completed)
+        if completed != MAX_ITER and worker not in leavers
+    ]
+    assert not stalled, f"{protocol}/{family}: stalled {stalled}"
+    print(
+        f"{protocol:18s} x {family:13s} OK "
+        f"(membership_events={len(run.membership_events)}, "
+        f"dropped={run.messages_dropped})"
+    )
+print(f"full grid elastic: all {len(ELASTIC_PROTOCOLS)} protocols")
+PY
+
 echo "== sim-core microbenchmark: generous events/sec floor =="
 # ~1.0M events/sec on the reference container after the PR 4 engine
 # fast path (625k before it).  The 200k floor is ~5x headroom: it only

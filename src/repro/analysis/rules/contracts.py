@@ -38,11 +38,14 @@ def _has_keyword(node: ast.Call, name: str) -> bool:
 class ProtocolElasticRule(Rule):
     name = "contract-elastic"
     group = "contracts"
-    summary = "register_protocol must declare elastic= explicitly"
+    summary = "register_protocol must declare (and normally be) elastic"
     rationale = (
         "elastic gates whether churn scenarios run or are rejected at "
         "build time; an inherited default means nobody audited whether "
-        "the protocol survives membership change"
+        "the protocol survives membership change.  Since the full-grid "
+        "elasticity pass every built-in is elastic, so an explicit "
+        "elastic=False is a conscious regression of the conformance "
+        "grid and needs a reviewed `# repro: ignore[contract-elastic]`"
     )
     scope = None
 
@@ -51,8 +54,8 @@ class ProtocolElasticRule(Rule):
             return
         if not node.args and not _has_keyword(node, "name"):
             return  # the registry's own `def register_protocol` helpers
+        registered = _registered_name(node) or "<dynamic>"
         if not _has_keyword(node, "elastic"):
-            registered = _registered_name(node) or "<dynamic>"
             ctx.report(
                 self,
                 node,
@@ -60,6 +63,22 @@ class ProtocolElasticRule(Rule):
                 "declare `elastic=`; state explicitly whether the "
                 "protocol survives membership churn",
             )
+            return
+        for keyword in node.keywords:
+            if (
+                keyword.arg == "elastic"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is False
+            ):
+                ctx.report(
+                    self,
+                    node,
+                    f"register_protocol({registered!r}, ...) opts out "
+                    "of elasticity (`elastic=False`): every built-in "
+                    "protocol survives membership churn, so justify "
+                    "the exception with "
+                    "`# repro: ignore[contract-elastic]`",
+                )
 
 
 class ScenarioUniversalRule(Rule):

@@ -79,13 +79,16 @@ class HopCluster(ProtocolCluster):
             neighbor re-sync.
         message_loss: Optional loss-with-retransmit network fault model
             (:class:`repro.scenarios.faults.MessageLoss`).
-        churn: Optional :class:`~repro.membership.ChurnPlan` (hop
-            only): scripted worker leave/join with topology rewiring
-            through the membership plane; ``TrainingRun.membership_events``
-            records every enacted transition.
+        churn: Optional :class:`~repro.membership.ChurnPlan`: scripted
+            worker leave/join with topology rewiring through the
+            membership plane; ``TrainingRun.membership_events`` records
+            every enacted transition.  Hop repairs its token-queue
+            fabric (:class:`~repro.membership.HopMembership`);
+            NOTIFY-ACK repairs its per-edge ACK channels
+            (:class:`~repro.membership.NotifyAckMembership`).
     """
 
-    elastic = True  # hop only; notify_ack rejects churn in __init__
+    elastic = True
 
     def __init__(
         self,
@@ -165,11 +168,6 @@ class HopCluster(ProtocolCluster):
         if churn is not None and churn.empty:
             churn = None
         if churn is not None:
-            if protocol != "hop":
-                raise ValueError(
-                    "membership churn requires the hop protocol "
-                    "(notify_ack is not elastic)"
-                )
             churn = churn.clipped(max_iter)
             churn.validate_for(topology.n)
             if churn.empty:
@@ -326,12 +324,26 @@ class HopCluster(ProtocolCluster):
                 )
                 workers.append(worker)
         else:
-            ack_queues = build_ack_queues(env, self.topology)
+            ack_queues = build_ack_queues(env, live_topology)
+            if self.churn is not None:
+                from repro.membership import NotifyAckMembership
+
+                membership = NotifyAckMembership(
+                    env,
+                    view,
+                    self.churn,
+                    self.max_iter,
+                    update_queues=update_queues,
+                    ack_queues=ack_queues,
+                    gap=runtime.gap,
+                )
+                self._membership = membership
+                self._network.membership = membership
             for wid in range(n):
                 worker = NotifyAckWorker(
                     wid=wid,
                     env=env,
-                    topology=self.topology,
+                    topology=live_topology,
                     model=runtime.models[wid],
                     optimizer=self.optimizer_proto.clone(),
                     batcher=self._make_batcher(wid),
@@ -478,6 +490,7 @@ def _build_notify_ack(spec) -> HopCluster:
         links=spec.scenario_links(),
         machines=spec.machines,
         message_loss=spec.scenario_message_loss(),
+        churn=getattr(spec.built_scenario(), "churn", None),
         **spec_common_kwargs(spec),
     )
 
@@ -497,5 +510,7 @@ register_protocol(
     summary="NOTIFY-ACK gating: serial computation graph baseline "
     "(Hop Section 3.3)",
     paper="Luo, Lin, Zhuo, Qian — ASPLOS 2019 (arXiv:1902.01064)",
-    elastic=False,  # serial gating graph has no repair path for churn
+    # Inherits hop's leave/join machinery; the serial gating graph is
+    # repaired per edge through NotifyAckMembership's ACK channels.
+    elastic=True,
 )

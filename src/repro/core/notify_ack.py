@@ -9,11 +9,19 @@ the mixed-version problem but over-restricts the iteration gap to
 
 (Section 3.3), which is what prevents backup workers and bounded
 staleness from helping — the motivation for Hop's queue-based design.
+
+Elasticity: NOTIFY-ACK inherits hop's membership lifecycle (drain /
+rewire / re-sync, :class:`~repro.membership.NotifyAckMembership`).
+The serial gating graph is repaired per directed edge: ACK channels
+owned by departed workers are closed, added edges get their channel
+re-primed with the implicit ACK(-1), and sends, receives and ACKs are
+all gated by the edge's activation iteration so no worker ever blocks
+on a message that predates an edge or postdates a departure.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -70,6 +78,27 @@ class NotifyAckWorker:
         self.in_degree = len(self.in_neighbors)
         self._ack_sources = topology.out_neighbors(wid, include_self=False)
         self._ack_targets = topology.in_neighbors(wid, include_self=False)
+        self._remote_in = tuple(j for j in self.in_neighbors if j != wid)
+
+        #: Membership plane (elastic runs only; set by the cluster).
+        #: ``None`` keeps every static path untouched.
+        self.membership = None
+        #: This worker's scripted churn event, if any (set by cluster).
+        self.churn_event = None
+        #: True while dark (membership departure or not-yet-joined late
+        #: worker); peers must not re-sync from a dark worker.
+        self.down = False
+        #: True once this worker has left the membership (until rejoin).
+        self.departed = False
+        self.crashed = False  # notify_ack has no crash path; resync compat
+        #: Other workers by wid; set by the cluster so a joiner can
+        #: re-sync parameters from a live in-neighbor.
+        self.peers: Dict[int, "NotifyAckWorker"] = {}
+        #: Per-edge activation iterations (membership plane; empty and
+        #: unread in static runs).
+        self._in_activation: Dict[int, int] = {}
+        self._out_activation: Dict[int, int] = {}
+        self.iterations_skipped = 0
 
         self.iterations_completed = 0
         self.iteration_durations = StatAccumulator()
@@ -77,6 +106,9 @@ class NotifyAckWorker:
         self.recv_wait = StatAccumulator()
         self.losses = StatAccumulator()
         self.final_params: np.ndarray = model.get_params_copy()
+        #: Latest parameter vector (snapshot joiners re-sync from).
+        self.current_params: np.ndarray = model.get_params_copy()
+        self.snapshot_params = False
         #: Reusable reduce accumulator (see HopWorker.reduce_scratch).
         self.reduce_scratch = None
 
@@ -84,13 +116,145 @@ class NotifyAckWorker:
     def update_queue(self) -> UpdateQueue:
         return self.update_queues[self.wid]
 
+    # ------------------------------------------------------------------
+    # Membership plane (elastic runs; all no-ops when membership is None)
+    # ------------------------------------------------------------------
+    def expected_in(self, iteration: int) -> int:
+        """In-updates expected at ``iteration`` (the serial Recv count).
+
+        Statically ``|Nin|`` (self included); under the membership
+        plane it counts live in-neighbors whose edge is activated for
+        ``iteration``, so the receiver never blocks on updates that
+        predate an edge (or postdate a departure).
+        """
+        if self.membership is None:
+            return self.in_degree
+        activation = self._in_activation
+        expected = 1  # the self-loop update always arrives
+        for j in self._remote_in:
+            if activation.get(j, 0) <= iteration:
+                expected += 1
+        return expected
+
+    def apply_membership(self, membership) -> None:
+        """Re-resolve neighbor bindings from the live membership view."""
+        topology = membership.view.topology
+        wid = self.wid
+        self.topology = topology
+        self.in_neighbors = topology.in_neighbors(wid, include_self=True)
+        self.out_neighbors = topology.out_neighbors(wid, include_self=True)
+        self.in_degree = len(self.in_neighbors)
+        self._remote_in = tuple(j for j in self.in_neighbors if j != wid)
+        self._ack_sources = topology.out_neighbors(wid, include_self=False)
+        self._ack_targets = topology.in_neighbors(wid, include_self=False)
+        self._in_activation = {
+            j: membership.edge_activation(j, wid) for j in self._remote_in
+        }
+        self._out_activation = {
+            j: membership.edge_activation(wid, j) for j in self._ack_sources
+        }
+
+    def repair_pending_recv(self, departed) -> None:
+        """Re-count a pending blocking receive after a membership rewire.
+
+        A request created before the rewire may wait for a departed
+        in-neighbor's update that will never arrive; its count is
+        lowered to the repaired neighborhood's expectation (never
+        raised — edges added by a rewire only activate at future
+        iterations).
+        """
+        queue = self.update_queue
+        waiters = getattr(queue, "_waiters", None)
+        if not waiters:
+            return
+        for request in list(waiters):
+            if request.sender is not None:
+                if request.sender in departed:
+                    waiters.remove(request)
+                    request.succeed([])
+                continue
+            need = self.expected_in(request.iteration)
+            if need < request.count:
+                request.count = need
+        queue._dispatch()
+
+    def _live_resync_source(self) -> Optional["NotifyAckWorker"]:
+        """A live in-neighbor to copy parameters from after a (re)join."""
+        for j in self.in_neighbors:
+            peer = self.peers.get(j)
+            if (
+                peer is not None
+                and peer.wid != self.wid
+                and not peer.crashed
+                and not peer.down
+                and not peer.departed
+            ):
+                return peer
+        return None
+
+    def _sync_from_neighbor(self, x: np.ndarray, k: int, resync: bool = True):
+        """Generator: pull a live in-neighbor's parameters on (re)join.
+
+        One blocking parameter-sized transfer; with no live source (or
+        ``resync=False``) the worker resumes from its own state.
+        """
+        if resync:
+            source = self._live_resync_source()
+            if source is not None:
+                yield self.network.transfer(
+                    source.wid, self.wid, self.update_size
+                )
+                x = source.current_params.copy()
+                self.tracer.log(f"resynced/{self.wid}", self.env.now, k)
+        return x
+
+    def _churn_leave(self, x: np.ndarray, k: int, event):
+        """Generator: enact this worker's scripted departure at ``k``.
+
+        Same drain / rewire / re-sync lifecycle as hop's: the
+        membership runtime closes our ACK channels and repairs peers'
+        pending waits; on rejoin we re-sync parameters from a live
+        in-neighbor.  Permanent leaves return ``None``; a rejoin
+        returns ``(params, start_iteration)``.
+        """
+        membership = self.membership
+        self.down = True
+        self.departed = True
+        self.final_params = x
+        membership.enact_leave(self.wid, self.env.now, k)
+        if event.join_at is None:
+            self.state.done[self.wid] = True
+            return None
+        started = yield membership.rejoin_event(self.wid)
+        if started is None:
+            self.state.done[self.wid] = True
+            return None
+        self.departed = False
+        self.down = False
+        x = yield from self._sync_from_neighbor(
+            x, started, resync=event.resync
+        )
+        self.iterations_skipped += max(0, started - k)
+        return x, started
+
+    # ------------------------------------------------------------------
+    # Protocol steps
+    # ------------------------------------------------------------------
     def _send_update(self, params: np.ndarray, iteration: int) -> None:
         # One shared Update for the whole fan-out (receivers only read
         # it; queues track entries by identity).
         update = Update(params.copy(), iteration, self.wid)
+        activation = (
+            self._out_activation if self.membership is not None else None
+        )
         for j in self.out_neighbors:
             if j == self.wid:
                 self.update_queue.enqueue(update)
+                continue
+            if activation is not None and activation.get(j, 0) > iteration:
+                # The edge starts carrying updates at a later iteration
+                # (created by a rewire after the receiver's expectation
+                # for this one was fixed).
                 continue
             self.network.push(
                 self.wid,
@@ -102,15 +266,69 @@ class NotifyAckWorker:
 
     def _send_acks(self, iteration: int) -> None:
         """NOTIFY consumed -> ACK to every in-coming neighbor."""
+        activation = (
+            self._in_activation if self.membership is not None else None
+        )
         for j in self._ack_targets:
+            if activation is not None and activation.get(j, 0) > iteration:
+                continue
             self.network.push(
                 self.wid, j, CONTROL_SIZE, 1, self.ack_queues[(self.wid, j)].put
             )
 
+    def _ack_acquires(self, iteration: int):
+        """The ACK(k-1) acquisitions gating Send(k), activation-gated."""
+        if self.membership is None:
+            return [
+                self.ack_queues[(j, self.wid)].acquire(1)
+                for j in self._ack_sources
+            ]
+        activation = self._out_activation
+        return [
+            self.ack_queues[(j, self.wid)].acquire(1)
+            for j in self._ack_sources
+            if activation.get(j, 0) <= iteration
+        ]
+
     def run(self):
+        env = self.env
+        membership = self.membership
+        elastic = membership is not None
+        churn_event = self.churn_event if elastic else None
         x = self.model.get_params()
-        for k in range(self.max_iter):
-            start = self.env.now
+        k = 0
+        if elastic and not membership.is_active(self.wid):
+            # Late joiner: dark outside the cluster until the plan's
+            # join trigger fires and the membership plane wires us in.
+            started = yield membership.rejoin_event(self.wid)
+            if started is None:
+                self.final_params = x
+                self.state.done[self.wid] = True
+                return 0
+            self.down = False
+            x = yield from self._sync_from_neighbor(
+                x,
+                started,
+                resync=churn_event.resync if churn_event is not None else True,
+            )
+            churn_event = None  # a late joiner has no leave scripted
+            self.iterations_skipped += started
+            k = started
+        while k < self.max_iter:
+            if elastic:
+                if (
+                    churn_event is not None
+                    and churn_event.leave_at is not None
+                    and k >= churn_event.leave_at
+                ):
+                    resumed = yield from self._churn_leave(x, k, churn_event)
+                    churn_event = None
+                    if resumed is None:
+                        return self.iterations_completed
+                    x, k = resumed
+                    continue  # re-enter against the rejoin epoch
+                membership.on_iteration(self.wid, k, env.now)
+            start = env.now
             self.state.iterations[self.wid] = k
             self.gap_tracker.record(self.wid, k)
             self.tracer.log(f"iter/{self.wid}", start, k)
@@ -119,27 +337,24 @@ class NotifyAckWorker:
             self.model.set_params(x)
             xb, yb = self.batcher.next_batch()
             loss, grad = self.model.loss_and_grad(xb, yb)
-            yield self.env.timeout(self.compute_model.duration(self.wid, k))
+            yield env.timeout(self.compute_model.duration(self.wid, k))
             applied = x + self.optimizer.step(x, grad, k)
 
             # Wait for ACK(k-1) from all out-going neighbors before Send(k).
-            ack_start = self.env.now
-            acquires = [
-                self.ack_queues[(j, self.wid)].acquire(1)
-                for j in self._ack_sources
-            ]
+            ack_start = env.now
+            acquires = self._ack_acquires(k)
             if acquires:
-                yield self.env.all_of(acquires)
-            self.ack_wait.add(self.env.now - ack_start)
+                yield env.all_of(acquires)
+            self.ack_wait.add(env.now - ack_start)
 
             self._send_update(applied, k)
 
             # Recv + Reduce, then notify consumption with ACK(k).
-            recv_start = self.env.now
+            recv_start = env.now
             updates = yield self.update_queue.dequeue(
-                self.in_degree, iteration=k
+                self.expected_in(k), iteration=k
             )
-            self.recv_wait.add(self.env.now - recv_start)
+            self.recv_wait.add(env.now - recv_start)
             # In-place accumulate into the reusable scratch; every read
             # of the previous ``x`` (model write, optimizer step, send
             # payload) happened before this point.
@@ -148,12 +363,15 @@ class NotifyAckWorker:
             )
             self._send_acks(k)
 
-            self.tracer.log(f"loss/{self.wid}", self.env.now, loss)
+            self.tracer.log(f"loss/{self.wid}", env.now, loss)
             self.losses.add(loss)
             self.iterations_completed = k + 1
-            duration = self.env.now - start
+            # Joiners re-sync from a peer's end-of-iteration snapshot.
+            self.current_params = x.copy() if self.snapshot_params else x
+            duration = env.now - start
             self.iteration_durations.add(duration)
-            self.tracer.log(f"duration/{self.wid}", self.env.now, duration)
+            self.tracer.log(f"duration/{self.wid}", env.now, duration)
+            k += 1
 
         self.final_params = x
         self.state.done[self.wid] = True

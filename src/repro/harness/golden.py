@@ -34,15 +34,35 @@ N_WORKERS = 4
 MAX_ITER = 5
 
 #: Protocols registered elastic: they additionally run the churn cells.
-ELASTIC_PROTOCOLS = ("adpsgd", "hop", "partial-allreduce")
+#: Since the full-grid elasticity pass this is every built-in protocol;
+#: the conformance matrix asserts the registry flags stay in lockstep.
+ELASTIC_PROTOCOLS = (
+    "adpsgd",
+    "allreduce",
+    "hop",
+    "momentum-tracking",
+    "notify_ack",
+    "partial-allreduce",
+    "ps-async",
+    "ps-bsp",
+    "ps-ssp",
+)
 
 #: Pinned params for the churn conformance cells: one permanent leave,
-#: one leave/rejoin cycle (scripted), and a seeded Poisson draw — small
-#: enough for the 4-worker pin, rich enough to cross every lifecycle
-#: path (leave, rewire, rejoin, re-sync).
+#: one leave/rejoin cycle (scripted), a seeded Poisson draw, and a
+#: correlated spot-preemption wave (trace family) — small enough for
+#: the 4-worker pin, rich enough to cross every lifecycle path (leave,
+#: rewire, rejoin, re-sync, and for the parameter servers re-shard).
 CHURN_CELLS = {
     "churn": {"leaves": {3: 2}, "cycles": {2: [1, 2]}},
     "churn-poisson": {"rate": 0.5, "horizon": 5, "rejoin_after": 1},
+    "churn-trace": {
+        "preset": "spot",
+        "waves": [1],
+        "fraction": 1.0,
+        "restart_after": 1,
+        "min_active": 2,
+    },
 }
 
 

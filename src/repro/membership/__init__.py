@@ -16,10 +16,12 @@ This package makes membership a first-class, epoch-numbered object:
   timeline built by the ``churn`` scenario families (scripted or
   Poisson-drawn at build time, always bit-deterministic).
 * :class:`~repro.membership.runtime.MembershipRuntime` /
-  :class:`~repro.membership.runtime.HopMembership` — the in-run
+  :class:`~repro.membership.runtime.HopMembership` /
+  :class:`~repro.membership.runtime.NotifyAckMembership` — the in-run
   managers that enact transitions: rewire the graph, repair queue
-  fabric and pending waits, and record every join/leave/rewire as a
-  membership event surfaced on
+  fabric (token queues for hop, ACK channels for NOTIFY-ACK) and
+  pending waits, and record every join/leave/rewire as a membership
+  event surfaced on
   :attr:`~repro.protocols.base.TrainingRun.membership_events`.
 """
 
@@ -38,6 +40,7 @@ from repro.membership.runtime import (
     HopMembership,
     MembershipError,
     MembershipRuntime,
+    NotifyAckMembership,
 )
 from repro.membership.view import MembershipView, RewireReport, active_spectral_gap
 
@@ -49,6 +52,7 @@ __all__ = [
     "MembershipRuntime",
     "MembershipView",
     "MetropolisRewire",
+    "NotifyAckMembership",
     "RewirePolicy",
     "RewirePolicyInfo",
     "RewireReport",

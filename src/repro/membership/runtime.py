@@ -248,6 +248,100 @@ class MembershipRuntime:
         )
 
 
+class NotifyAckMembership(MembershipRuntime):
+    """Membership runtime that also repairs the NOTIFY-ACK fabric.
+
+    NOTIFY-ACK inherits hop's leave/join machinery, but its gating
+    state is the per-directed-edge ACK channel rather than token
+    queues:
+
+    * ACK channels *owned* by a departed worker are closed — senders
+      blocked on ACKs a gone worker will never produce are released,
+    * channels for edges retired between two live workers are closed
+      too (the gate is vacuous once the edge is gone),
+    * every added edge gets its ACK channel created or re-primed with
+      exactly one token — the implicit ACK(-1) that lets the first
+      gated Send through at the edge's activation iteration,
+    * repair/join edges are stamped with activation iterations exactly
+      like hop's, so sender, receiver and the ACK gate agree per edge
+      on the first iteration whose updates (and ACKs) flow across it.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        view: MembershipView,
+        plan: ChurnPlan,
+        max_iter: int,
+        *,
+        update_queues,
+        ack_queues,
+        gap: Optional["GapTracker"] = None,
+    ) -> None:
+        super().__init__(env, view, plan, max_iter, gap=gap)
+        self.update_queues = update_queues
+        self.ack_queues = ack_queues
+        #: ``wid -> NotifyAckWorker``; wired by the cluster.
+        self.workers: Dict[int, object] = {}
+        #: First iteration whose updates flow across a repair/join edge.
+        self.activation: Dict[Tuple[int, int], int] = {}
+
+    def edge_activation(self, src: int, dst: int) -> int:
+        return self.activation.get((src, dst), 0)
+
+    def _apply(
+        self,
+        report: RewireReport,
+        departed: frozenset = frozenset(),
+        start_iteration: Optional[int] = None,
+    ) -> None:
+        from repro.core.queues import TokenQueue
+
+        topology = self.view.topology
+        activation = (
+            start_iteration
+            if start_iteration is not None
+            else self.frontier() + 2
+        )
+        for edge in report.edges_added:
+            if edge[0] != edge[1]:
+                self.activation[edge] = activation
+        for edge in report.edges_removed:
+            self.activation.pop(edge, None)
+
+        for worker in departed:
+            for (owner, _consumer), queue in self.ack_queues.items():
+                if owner == worker:
+                    queue.close()
+        for src, dst in report.edges_removed:
+            if src == dst:
+                continue
+            retired = self.ack_queues.get((dst, src))
+            if retired is not None:
+                retired.close()
+        for src, dst in report.edges_added:
+            if src == dst:
+                continue
+            # Update flow src -> dst means ACKQ(dst -> src) gates
+            # src's Send; one token stands for the implicit ACK(-1)
+            # over the new edge.
+            key = (dst, src)
+            existing = self.ack_queues.get(key)
+            if existing is None:
+                self.ack_queues[key] = TokenQueue(
+                    self.env, owner=dst, consumer=src, initial=1
+                )
+            else:
+                existing.reopen(1)
+
+        for worker in self.workers.values():
+            worker.apply_membership(self)
+        for wid in topology.active:
+            worker = self.workers.get(wid)
+            if worker is not None:
+                worker.repair_pending_recv(departed)
+
+
 class HopMembership(MembershipRuntime):
     """Membership runtime that also repairs Hop's queue fabric.
 

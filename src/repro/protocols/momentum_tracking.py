@@ -53,9 +53,10 @@ class MomentumTrackingCluster(ADPSGDCluster):
     """
 
     protocol = "momentum-tracking"
-    #: The momentum gossip loop overrides ADPSGD's worker and is not
-    #: churn-aware; the registry gate rejects churn scenarios for it.
-    elastic = False
+    #: The momentum math plugs into ADPSGD's shared ``_round`` hook, so
+    #: both its static and elastic (leave/join/rewire) loops drive it;
+    #: momentum buffers are re-synced from the sponsor on join.
+    elastic = True
 
     def __init__(
         self,
@@ -73,6 +74,7 @@ class MomentumTrackingCluster(ADPSGDCluster):
         update_size: Optional[float] = None,
         evaluate: bool = True,
         trace_channels=None,
+        churn=None,
     ) -> None:
         if momentum_mode not in MOMENTUM_MODES:
             raise ValueError(
@@ -92,6 +94,7 @@ class MomentumTrackingCluster(ADPSGDCluster):
             update_size=update_size,
             evaluate=evaluate,
             trace_channels=trace_channels,
+            churn=churn,
         )
         self.momentum_mode = momentum_mode
         self.beta = (
@@ -117,12 +120,26 @@ class MomentumTrackingCluster(ADPSGDCluster):
             momentum[wid] = mean_u.copy()
             momentum[partner] = mean_u.copy()
 
+    def _resync_joiner(
+        self, params: Dict[int, np.ndarray], wid: int, active
+    ) -> Optional[int]:
+        """A joiner copies the sponsor's momentum buffer alongside its
+        parameters: a stale (or zeroed) buffer would inject the joiner's
+        dark-period direction estimate into the tracked global one.  In
+        tracking mode the payload already doubles via
+        :meth:`gossip_payload`, which prices the extra buffer."""
+        sponsor = super()._resync_joiner(params, wid, active)
+        if sponsor is not None:
+            self._momentum[wid] = self._momentum[sponsor].copy()
+        return sponsor
+
     # ------------------------------------------------------------------
-    # Gossip worker process (overrides ADPSGD's plain-momentum loop)
+    # The momentum round (plugs into ADPSGD's static + elastic loops)
     # ------------------------------------------------------------------
-    def _worker(
+    def _round(
         self,
         wid: int,
+        k: int,
         runtime: ProtocolRuntime,
         params: Dict[int, np.ndarray],
         locks: Dict[int, Resource],
@@ -130,55 +147,61 @@ class MomentumTrackingCluster(ADPSGDCluster):
         optimizer: SGD,
         batcher: Batcher,
         gossip_count: List[int],
+        rng,
+        is_active: bool,
+        partners: List[int],
     ):
+        """Generator: one momentum-gossip iteration.
+
+        Overrides ADPSGD's plain-momentum round; because this is the
+        shared per-iteration hook, the inherited static and elastic
+        worker loops both drive it and cannot drift apart."""
         env = runtime.env
         beta = self.beta
         momentum = self._momentum
         tracking = self.momentum_mode == "tracking"
-        rng = self.streams.stream("gossip", wid)
-        is_active, passive_neighbors = self._passive_partners(wid)
 
-        for k in range(self.max_iter):
-            start = env.now
-            x_round_start = params[wid].copy()
-            runtime.gap.record(wid, k)
-            model.set_params(params[wid])
-            xb, yb = batcher.next_batch()
-            loss, grad = model.loss_and_grad(xb, yb)
-            yield env.timeout(self.compute_model.duration(wid, k))
-            grad = np.asarray(grad, dtype=np.float64)
-            if self.weight_decay > 0.0:
-                grad = grad + self.weight_decay * params[wid]
+        start = env.now
+        x_round_start = params[wid].copy()
+        runtime.gap.record(wid, k)
+        model.set_params(params[wid])
+        xb, yb = batcher.next_batch()
+        loss, grad = model.loss_and_grad(xb, yb)
+        yield env.timeout(self.compute_model.duration(wid, k))
+        grad = np.asarray(grad, dtype=np.float64)
+        if self.weight_decay > 0.0:
+            grad = grad + self.weight_decay * params[wid]
 
-            if is_active and passive_neighbors:
-                # Atomic averaging with a random passive neighbor; in
-                # tracking mode the momentum buffers ride along (see
-                # _average_state), at double payload.
-                partner = int(
-                    passive_neighbors[rng.integers(0, len(passive_neighbors))]
-                )
+        if is_active and partners:
+            # Atomic averaging with a random passive neighbor; in
+            # tracking mode the momentum buffers ride along (see
+            # _average_state), at double payload.  Under churn, a
+            # partner that departed mid-compute is skipped.
+            partner = int(partners[rng.integers(0, len(partners))])
+            if self._membership is None or self._membership.is_active(
+                partner
+            ):
                 yield from self._gossip(
                     runtime, wid, partner, params, locks, gossip_count
                 )
 
-            lr = self._lr(k)
-            if tracking:
-                # Momentum Tracking: buffers approximate the *global*
-                # gradient direction because gossip keeps mixing them.
-                momentum[wid] = beta * momentum[wid] + grad
-                params[wid] = params[wid] - lr * momentum[wid]
-            else:
-                # Quasi-global: apply momentum from the previous global
-                # direction estimate, then refresh the estimate from the
-                # realized displacement (gossip + local step).
-                params[wid] = params[wid] - lr * (grad + beta * momentum[wid])
-                momentum[wid] = beta * momentum[wid] + (1.0 - beta) * (
-                    (x_round_start - params[wid]) / lr
-                )
+        lr = self._lr(k)
+        if tracking:
+            # Momentum Tracking: buffers approximate the *global*
+            # gradient direction because gossip keeps mixing them.
+            momentum[wid] = beta * momentum[wid] + grad
+            params[wid] = params[wid] - lr * momentum[wid]
+        else:
+            # Quasi-global: apply momentum from the previous global
+            # direction estimate, then refresh the estimate from the
+            # realized displacement (gossip + local step).
+            params[wid] = params[wid] - lr * (grad + beta * momentum[wid])
+            momentum[wid] = beta * momentum[wid] + (1.0 - beta) * (
+                (x_round_start - params[wid]) / lr
+            )
 
-            runtime.tracer.log(f"loss/{wid}", env.now, loss)
-            runtime.tracer.log(f"duration/{wid}", env.now, env.now - start)
-        runtime.done[wid] = True
+        runtime.tracer.log(f"loss/{wid}", env.now, loss)
+        runtime.tracer.log(f"duration/{wid}", env.now, env.now - start)
 
     # ------------------------------------------------------------------
     # ProtocolCluster hooks
@@ -202,6 +225,7 @@ def _build_momentum_tracking(spec) -> MomentumTrackingCluster:
         topology=spec.topology,
         links=spec.scenario_links(),
         momentum_mode=spec.momentum_mode,
+        churn=getattr(spec.built_scenario(), "churn", None),
         **spec_common_kwargs(spec),
     )
 
@@ -213,5 +237,5 @@ register_protocol(
     "(momentum tracking or quasi-global)",
     paper="Takezawa et al. — arXiv:2209.15505; Lin et al. — "
     "arXiv:2102.04761",
-    elastic=False,  # momentum buffers are not re-synced on join/leave
+    elastic=True,  # inherits ADPSGD's lifecycle; momentum re-synced on join
 )

@@ -48,6 +48,12 @@ from repro.scenarios.registry import (
     registered_scenarios,
     scenario_table,
 )
+from repro.scenarios.churn_trace import (
+    diurnal_availability_plan,
+    load_churn_trace,
+    record_churn_trace,
+    spot_preemption_plan,
+)
 from repro.scenarios.spec import Scenario, ScenarioSpec
 from repro.scenarios.trace import (
     RecordingSlowdown,
@@ -71,9 +77,13 @@ __all__ = [
     "StallOverlaySlowdown",
     "TieredSlowdown",
     "TraceSlowdown",
+    "diurnal_availability_plan",
     "get_scenario",
+    "load_churn_trace",
+    "record_churn_trace",
     "record_run_factors",
     "register_scenario",
     "registered_scenarios",
     "scenario_table",
+    "spot_preemption_plan",
 ]

@@ -20,6 +20,8 @@ with the ``register_scenario`` calls below):
 ``lossy-net``             random message loss with retransmit
 ``churn``                 scripted membership leave/join + rewiring
 ``churn-poisson``         Poisson-hazard membership churn
+``churn-trace``           trace-driven churn (spot waves / diurnal
+                          windows, JSON record/replay)
 ========================  =============================================
 
 Slowdown families map straight to a model; fault families additionally
@@ -323,6 +325,84 @@ def _build_churn_poisson(params, n_workers, streams) -> Scenario:
     )
 
 
+def _build_churn_trace(params, n_workers, streams) -> Scenario:
+    """Trace-driven membership churn: record/replay JSON schedules.
+
+    Exactly one source selects the plan: ``path`` (replay a recorded
+    ``repro.churn-trace/v1`` file), ``events`` (inline event dicts, the
+    trace payload embedded in the spec), or ``preset`` (``"spot"``
+    correlated preemption waves / ``"diurnal"`` staggered off-windows,
+    generated at build time).  Spot params: ``waves`` (iteration list,
+    default ``[2]``), ``fraction``, ``restart_after``, ``min_active``,
+    ``sample`` (draw victims from the seeded stream instead of
+    highest-id-first).  Diurnal params: ``phase``, ``night``,
+    ``stagger``, ``min_active``.  Common: ``policy``, nested
+    ``slowdown``.
+    """
+    from repro.membership import ChurnPlan
+    from repro.scenarios.churn_trace import (
+        diurnal_availability_plan,
+        load_churn_trace,
+        spot_preemption_plan,
+    )
+
+    sources = [k for k in ("path", "events") if params.get(k) is not None]
+    if len(sources) > 1:
+        raise ValueError(
+            "churn-trace takes at most one of 'path' / 'events', "
+            f"got {sources}"
+        )
+    if params.get("path") is not None:
+        plan = load_churn_trace(params["path"])
+    elif params.get("events") is not None:
+        plan = ChurnPlan.from_dict(
+            {
+                "events": list(params["events"]),
+                "policy": params.get("policy", "uniform"),
+            }
+        )
+    else:
+        preset = params.get("preset", "spot")
+        if preset == "spot":
+            restart_after = params.get("restart_after")
+            plan = spot_preemption_plan(
+                n_workers,
+                waves=params.get("waves", [2]),
+                fraction=float(params.get("fraction", 0.5)),
+                restart_after=(
+                    int(restart_after) if restart_after is not None else None
+                ),
+                min_active=int(params.get("min_active", 2)),
+                rng=(
+                    streams.fresh("churn-trace")
+                    if params.get("sample")
+                    else None
+                ),
+                policy=params.get("policy", "uniform"),
+            )
+        elif preset == "diurnal":
+            plan = diurnal_availability_plan(
+                n_workers,
+                phase=int(params.get("phase", 2)),
+                night=int(params.get("night", 2)),
+                stagger=int(params.get("stagger", 0)),
+                min_active=int(params.get("min_active", 2)),
+                policy=params.get("policy", "uniform"),
+            )
+        else:
+            raise ValueError(
+                f"unknown churn-trace preset {preset!r} "
+                "(expected 'spot' or 'diurnal')"
+            )
+    plan.validate_for(n_workers)
+    return Scenario(
+        "churn-trace",
+        _nested_slowdown(params, n_workers, streams),
+        FaultPlan(),
+        churn=plan if not plan.empty else None,
+    )
+
+
 # ----------------------------------------------------------------------
 # Registration
 # ----------------------------------------------------------------------
@@ -416,7 +496,7 @@ register_scenario(
     _build_churn,
     summary="Scripted membership churn: worker leave/join with "
     "topology rewiring through the membership plane; elastic "
-    "protocols only (hop, adpsgd, partial-allreduce)",
+    "protocols only (all nine built-ins qualify)",
     paper="Moshpit SGD — Ryabinin et al. (arXiv:2103.03239); "
     "Prague regrouping — Luo et al. (arXiv:1909.08029)",
     universal=False,
@@ -428,6 +508,16 @@ register_scenario(
     "(and optional rejoin) hazards per worker; elastic protocols only",
     paper="Moshpit SGD — Ryabinin et al. (arXiv:2103.03239)",
     aliases=("poisson-churn",),
+    universal=False,
+)
+register_scenario(
+    "churn-trace",
+    _build_churn_trace,
+    summary="Trace-driven membership churn: spot-preemption waves or "
+    "diurnal off-windows, recorded to / replayed from JSON "
+    "(repro.churn-trace/v1); elastic protocols only",
+    paper="n/a (provider preemption traces; cf. Moshpit SGD — "
+    "Ryabinin et al. (arXiv:2103.03239))",
     universal=False,
 )
 register_scenario(

@@ -1,0 +1,161 @@
+"""Trace record / replay for membership churn (the churn-trace family).
+
+Real-world preemption is not a Poisson hazard: spot instances are
+reclaimed in correlated *waves* when the market moves, and volunteer /
+off-peak capacity follows the clock.  This module provides
+
+* :func:`spot_preemption_plan` — correlated preemption waves over the
+  eligible capacity, with optional scripted restarts (the AWS/GCE spot
+  reclaim-and-relaunch shape),
+* :func:`diurnal_availability_plan` — per-worker off-windows staggered
+  across the cluster (night hours, office-hours interference),
+* a JSON trace layer (:func:`record_churn_trace` /
+  :func:`load_churn_trace`) mirroring the slowdown trace format of
+  :mod:`repro.scenarios.trace`, so a preemption schedule observed once
+  — drawn from a preset or lifted from a provider log — replays
+  bit-exactly as a scripted :class:`~repro.membership.ChurnPlan`.
+
+Format (version 1)::
+
+    {"format": "repro.churn-trace/v1",
+     "policy": "uniform",
+     "source": "spot(waves=[2], fraction=1.0, restart_after=2)",
+     "events": [{"worker": 3, "leave_at": 2, "join_at": 4,
+                 "resync": true}]}
+
+Like every churn plan, the draw (if any) happens at build time from a
+seeded stream; the simulation replays a fixed script.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+from repro.membership import ChurnEvent, ChurnPlan
+
+CHURN_TRACE_FORMAT = "repro.churn-trace/v1"
+
+
+def spot_preemption_plan(
+    n_workers: int,
+    waves: Iterable[int],
+    fraction: float = 0.5,
+    restart_after: Optional[int] = None,
+    min_active: int = 2,
+    rng=None,
+    policy: str = "uniform",
+) -> ChurnPlan:
+    """Correlated spot-instance preemption waves.
+
+    At each wave iteration, ``ceil(fraction * remaining_eligible)``
+    workers are reclaimed together (correlated, unlike the independent
+    hazards of ``churn-poisson``); with ``restart_after`` set, each
+    reclaimed instance relaunches that many frontier iterations later.
+    The ``min_active`` lowest-id workers model reserved (on-demand)
+    capacity and never leave.  Victims are drawn from ``rng`` when
+    given (highest-id first otherwise), so preset draws stay
+    bit-deterministic through the scenario's seeded stream.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"preemption fraction must be in (0, 1], got {fraction}")
+    min_active = max(2, int(min_active))
+    eligible = list(range(min_active, n_workers))
+    events = []
+    for wave in sorted(int(w) for w in waves):
+        if wave < 0:
+            raise ValueError("wave iterations must be >= 0")
+        if not eligible:
+            break
+        count = max(1, math.ceil(fraction * len(eligible)))
+        if rng is not None:
+            order = [
+                eligible[i]
+                for i in rng.permutation(len(eligible))[:count]
+            ]
+        else:
+            order = sorted(eligible, reverse=True)[:count]
+        for worker in sorted(order):
+            join_at = (
+                wave + int(restart_after)
+                if restart_after is not None
+                else None
+            )
+            events.append(
+                ChurnEvent(worker=worker, leave_at=wave, join_at=join_at)
+            )
+            eligible.remove(worker)
+    return ChurnPlan(events=tuple(events), policy=policy)
+
+
+def diurnal_availability_plan(
+    n_workers: int,
+    phase: int = 2,
+    night: int = 2,
+    stagger: int = 0,
+    min_active: int = 2,
+    policy: str = "uniform",
+) -> ChurnPlan:
+    """Scheduled off-windows: each eligible worker goes dark for
+    ``night`` iterations starting at ``phase`` (shifted by ``stagger``
+    per worker — time zones), then rejoins.
+
+    One off-window per worker (churn plans script at most one event
+    per worker); the window models a volunteer machine's owner coming
+    back for the day.
+    """
+    if night < 1:
+        raise ValueError("night (off-window length) must be >= 1")
+    min_active = max(2, int(min_active))
+    events = []
+    for index, worker in enumerate(range(min_active, n_workers)):
+        leave_at = int(phase) + int(stagger) * index
+        events.append(
+            ChurnEvent(
+                worker=worker,
+                leave_at=leave_at,
+                join_at=leave_at + int(night),
+            )
+        )
+    return ChurnPlan(events=tuple(events), policy=policy)
+
+
+# ----------------------------------------------------------------------
+# Serialization (mirrors repro.scenarios.trace's JSON layer)
+# ----------------------------------------------------------------------
+def churn_trace_to_dict(plan: ChurnPlan, source: str = "") -> dict:
+    payload = plan.to_dict()
+    return {
+        "format": CHURN_TRACE_FORMAT,
+        "policy": payload["policy"],
+        "source": source,
+        "events": payload["events"],
+    }
+
+
+def churn_trace_from_dict(payload: dict) -> ChurnPlan:
+    if payload.get("format") != CHURN_TRACE_FORMAT:
+        raise ValueError(
+            f"not a churn trace (format={payload.get('format')!r}, "
+            f"expected {CHURN_TRACE_FORMAT!r})"
+        )
+    return ChurnPlan.from_dict(payload)
+
+
+def record_churn_trace(
+    plan: ChurnPlan, path: Union[str, Path], source: str = ""
+) -> Path:
+    """Write ``plan`` as a replayable JSON churn trace."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(churn_trace_to_dict(plan, source), indent=2) + "\n"
+    )
+    return path
+
+
+def load_churn_trace(path: Union[str, Path]) -> ChurnPlan:
+    """Load a recorded churn trace back into a scripted plan."""
+    return churn_trace_from_dict(json.loads(Path(path).read_text()))

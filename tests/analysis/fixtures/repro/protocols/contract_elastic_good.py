@@ -1,4 +1,5 @@
-"""Fixture: ``demo-proto`` registration declaring elastic=."""
+"""Fixture: ``demo-proto`` / ``demo-static-proto`` registrations
+satisfying contract-elastic."""
 
 from repro.protocols.registry import register_protocol
 
@@ -6,5 +7,12 @@ register_protocol(
     "demo-proto",
     lambda spec: None,
     summary="fixture protocol",
+    elastic=True,
+)
+
+register_protocol(  # repro: ignore[contract-elastic]
+    "demo-static-proto",
+    lambda spec: None,
+    summary="fixture protocol with a reviewed elasticity opt-out",
     elastic=False,
 )

@@ -79,3 +79,30 @@ def test_scoped_rule_ignores_out_of_scope_package(tmp_path):
     config = LintConfig(root=tmp_path, baseline=None)
     report = run_lint([ml / "mod.py"], rules=["det-env-read"], config=config)
     assert report.findings == []
+
+
+def test_contract_elastic_flags_unjustified_opt_out(tmp_path):
+    # elastic=False without a reviewed ignore is a conformance-grid
+    # regression; with the suppression comment it is sanctioned (the
+    # clean twin fixture covers that side).
+    source = (
+        '"""Module registering ``static-proto``."""\n\n'
+        "from repro.protocols.registry import register_protocol\n\n"
+        "register_protocol(\n"
+        '    "static-proto",\n'
+        "    lambda spec: None,\n"
+        '    summary="opted out without review",\n'
+        "    elastic=False,\n"
+        ")\n"
+    )
+    pkg = tmp_path / "repro" / "protocols"
+    pkg.mkdir(parents=True)
+    (pkg / "mod.py").write_text(source)
+    config = LintConfig(root=tmp_path, baseline=None)
+    report = run_lint(
+        [pkg / "mod.py"], rules=["contract-elastic"], config=config
+    )
+    assert [finding.rule for finding in report.findings] == [
+        "contract-elastic"
+    ]
+    assert "elastic=False" in report.findings[0].message

@@ -1,0 +1,141 @@
+"""Property-based tests for the full-grid elasticity invariants.
+
+The structural contracts behind the newly-elastic protocols, checked
+over random membership histories (hypothesis, mirroring
+``test_rewire_properties.py``):
+
+* :func:`~repro.baselines.allreduce.rebuild_ring` yields a single
+  directed cycle over *exactly* the live set after any leave/join
+  sequence, identically for every member (order-independent),
+* :class:`~repro.baselines.ps.ParamShards` failover moves ownership
+  only — shard boundaries never move, every shard stays owned by a
+  live worker, and reassembling the slices reproduces the flat
+  parameter vector bit-for-bit after arbitrarily many re-shardings,
+* a :class:`~repro.membership.MembershipView` leave-then-rejoin
+  round-trips the edge support (the repairs a departure causes are
+  retired when the worker returns).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.allreduce import chunk_schedule, rebuild_ring
+from repro.baselines.ps import ParamShards
+from repro.graphs import ring_based
+from repro.membership import MembershipView, get_rewire_policy
+
+
+@st.composite
+def membership_histories(draw, min_workers=4, max_workers=12, max_ops=8):
+    """``(n, ops)``: a worker count and a valid leave/join sequence
+    (never dropping below the 2-worker quorum, never double-joining)."""
+    n = draw(st.integers(min_workers, max_workers))
+    live = set(range(n))
+    ops = []
+    for _ in range(draw(st.integers(1, max_ops))):
+        choices = []
+        if len(live) > 2:
+            choices.append("leave")
+        if len(live) < n:
+            choices.append("join")
+        op = draw(st.sampled_from(choices))
+        pool = sorted(live if op == "leave" else set(range(n)) - live)
+        worker = draw(st.sampled_from(pool))
+        (live.discard if op == "leave" else live.add)(worker)
+        ops.append((op, worker))
+    return n, ops
+
+
+def _replay(n, ops):
+    live = set(range(n))
+    for op, worker in ops:
+        (live.discard if op == "leave" else live.add)(worker)
+        yield live
+
+
+@settings(max_examples=80, deadline=None)
+@given(data=membership_histories())
+def test_rebuild_ring_is_a_cycle_over_exactly_the_live_set(data):
+    n, ops = data
+    for live in _replay(n, ops):
+        edges = rebuild_ring(live)
+        assert len(edges) == len(live)
+        assert {src for src, _ in edges} == live
+        assert {dst for _, dst in edges} == live
+        # One cycle, not several: following successor pointers from
+        # any member visits every member before returning.
+        successor = dict(edges)
+        start = min(live)
+        seen, node = set(), start
+        while node not in seen:
+            seen.add(node)
+            node = successor[node]
+        assert seen == live and node == start
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=membership_histories())
+def test_rebuild_ring_is_member_order_independent(data):
+    n, ops = data
+    for live in _replay(n, ops):
+        canonical = rebuild_ring(sorted(live))
+        assert rebuild_ring(live) == canonical
+        assert rebuild_ring(reversed(sorted(live))) == canonical
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    data=membership_histories(),
+    update_size=st.floats(1.0, 1e6, allow_nan=False),
+)
+def test_chunk_schedule_covers_the_full_update(data, update_size):
+    n, ops = data
+    for live in _replay(n, ops):
+        steps, chunk = chunk_schedule(live, update_size)
+        g = len(live)
+        assert steps == 2 * (g - 1)
+        # Scatter-reduce + all-gather move the whole vector per link.
+        assert np.isclose(chunk * g, update_size)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    data=membership_histories(),
+    dim=st.integers(0, 64),
+)
+def test_param_shards_failover_conserves_the_flat_vector(data, dim):
+    n, ops = data
+    shards = ParamShards(dim, range(n))
+    params = np.arange(dim, dtype=np.float64) * 1.5 + 0.25
+    bounds = shards.bounds
+    slices = shards.split(params)
+    for live in _replay(n, ops):
+        moved = shards.reassign(live)
+        # Boundaries are founding-fixed: only ownership moves.
+        assert shards.bounds == bounds
+        assert set(shards.owners()) <= live
+        for shard, old, new in moved:
+            assert old != new and new in live
+        # Reassembly is bit-exact no matter how many failovers ran.
+        assert shards.flat(slices).tobytes() == params.tobytes()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    half=st.integers(2, 8),
+    leaver_index=st.integers(0, 15),
+)
+def test_view_leave_then_rejoin_round_trips_edge_support(
+    half, leaver_index
+):
+    topology = ring_based(2 * half)
+    worker = leaver_index % topology.n
+    policy = get_rewire_policy("uniform")
+    view = MembershipView.founding(topology)
+    departed, _ = view.leave(worker, policy)
+    restored, report = departed.join(worker, policy)
+    assert restored.active == view.active
+    assert restored.topology.edges == view.topology.edges
+    assert np.allclose(restored.topology.W, view.topology.W)
+    assert report.edges_added

@@ -215,11 +215,75 @@ class TestElasticGossipProtocols:
         with pytest.raises(ValueError, match="static"):
             run_spec(churn_spec(protocol="partial-allreduce", static_groups=True))
 
-    def test_momentum_tracking_not_elastic(self):
-        with pytest.raises(ValueError, match="not elastic"):
-            run_spec(
-                churn_spec(protocol="momentum-tracking", topology=bipartite_ring(6))
+
+#: The protocols converted in the full-grid elasticity pass, with the
+#: topology family each requires.
+NEWLY_ELASTIC = [
+    ("allreduce", ring_based),
+    ("notify_ack", ring_based),
+    ("ps-bsp", ring_based),
+    ("ps-async", ring_based),
+    ("ps-ssp", ring_based),
+    ("momentum-tracking", bipartite_ring),
+]
+
+
+class TestNewlyElasticProtocols:
+    """Full-grid conversions: ring rebuild (allreduce), shard failover
+    (ps-*), ACK-fabric repair (notify_ack) and gossip-inherited
+    lifecycle (momentum-tracking) all survive churn at n=6."""
+
+    @staticmethod
+    def _spec(protocol, topo, **kwargs):
+        extras = {"ps_staleness": 2} if protocol == "ps-ssp" else {}
+        return churn_spec(
+            protocol=protocol, topology=topo(6), **extras, **kwargs
+        )
+
+    @pytest.mark.parametrize(
+        "protocol,topo", NEWLY_ELASTIC, ids=[p for p, _ in NEWLY_ELASTIC]
+    )
+    def test_permanent_leave(self, protocol, topo):
+        run = run_spec(self._spec(protocol, topo))
+        assert run.iterations_completed[:5] == [12] * 5
+        assert run.iterations_completed[5] == 3
+        kinds = [e["kind"] for e in run.membership_events]
+        assert "leave" in kinds and "rewire" in kinds
+        if protocol.startswith("ps-"):
+            assert "reshard" in kinds, "departing owner must re-shard"
+        assert math.isfinite(run.final_loss)
+        assert np.isfinite(run.final_params).all()
+
+    @pytest.mark.parametrize(
+        "protocol,topo", NEWLY_ELASTIC, ids=[p for p, _ in NEWLY_ELASTIC]
+    )
+    def test_leave_rejoin_cycle(self, protocol, topo):
+        run = run_spec(
+            self._spec(
+                protocol, topo, params={"cycles": {4: [2, 6]}}, max_iter=14
             )
+        )
+        others = [
+            completed
+            for wid, completed in enumerate(run.iterations_completed)
+            if wid != 4
+        ]
+        assert all(c == 14 for c in others), run.iterations_completed
+        kinds = [e["kind"] for e in run.membership_events]
+        assert "leave" in kinds and "join" in kinds
+        assert math.isfinite(run.final_loss)
+
+    @pytest.mark.parametrize(
+        "protocol,topo", NEWLY_ELASTIC, ids=[p for p, _ in NEWLY_ELASTIC]
+    )
+    def test_churn_determinism_bitwise(self, protocol, topo):
+        make = lambda: self._spec(  # noqa: E731
+            protocol, topo, params={"cycles": {4: [2, 6]}}, max_iter=14
+        )
+        first, second = run_spec(make()), run_spec(make())
+        assert first.final_params.tobytes() == second.final_params.tobytes()
+        assert first.wall_time == second.wall_time
+        assert first.membership_events == second.membership_events
 
 
 class TestRewirePolicySelection:

@@ -1,0 +1,182 @@
+"""The churn-trace family: presets, JSON record/replay, and the
+replay-equivalence contract (a recorded trace reproduces the recorded
+run bit-for-bit across every elastic protocol)."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.harness.golden import (
+    CHURN_CELLS,
+    ELASTIC_PROTOCOLS,
+    churn_conformance_spec,
+    conformance_spec,
+    golden_fingerprint,
+)
+from repro.harness.spec import run_spec
+from repro.membership import ChurnPlan
+from repro.scenarios import ScenarioSpec
+from repro.scenarios.churn_trace import (
+    CHURN_TRACE_FORMAT,
+    churn_trace_from_dict,
+    churn_trace_to_dict,
+    diurnal_availability_plan,
+    load_churn_trace,
+    record_churn_trace,
+    spot_preemption_plan,
+)
+
+FIXTURE = Path(__file__).parent / "fixtures" / "spot_preemption_trace.json"
+
+
+class TestSpotPreemptionPlan:
+    def test_wave_takes_the_requested_fraction(self):
+        plan = spot_preemption_plan(8, waves=[3], fraction=0.5)
+        # Eligible capacity is workers 2..7; half of six is three.
+        assert len(plan.events) == 3
+        assert all(e.leave_at == 3 for e in plan.events)
+        assert all(e.worker >= 2 for e in plan.events)
+        assert all(e.join_at is None for e in plan.events)
+
+    def test_restart_after_schedules_rejoin(self):
+        plan = spot_preemption_plan(
+            6, waves=[2], fraction=1.0, restart_after=3
+        )
+        assert all(e.join_at == 5 for e in plan.events)
+
+    def test_reserved_capacity_never_preempted(self):
+        plan = spot_preemption_plan(
+            6, waves=[1, 2, 3], fraction=1.0, min_active=4
+        )
+        assert {e.worker for e in plan.events} == {4, 5}
+
+    def test_each_worker_preempted_at_most_once(self):
+        plan = spot_preemption_plan(6, waves=[1, 2, 3, 4], fraction=0.5)
+        workers = [e.worker for e in plan.events]
+        assert len(workers) == len(set(workers))
+
+    def test_seeded_draw_is_deterministic(self):
+        import numpy as np
+
+        draws = [
+            spot_preemption_plan(
+                10,
+                waves=[1, 3],
+                fraction=0.5,
+                rng=np.random.default_rng(7),
+            ).to_dict()
+            for _ in range(2)
+        ]
+        assert draws[0] == draws[1]
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError, match="fraction"):
+            spot_preemption_plan(4, waves=[1], fraction=0.0)
+
+    def test_negative_wave_rejected(self):
+        with pytest.raises(ValueError, match="wave"):
+            spot_preemption_plan(4, waves=[-1])
+
+
+class TestDiurnalAvailabilityPlan:
+    def test_staggered_off_windows(self):
+        plan = diurnal_availability_plan(5, phase=2, night=3, stagger=1)
+        assert [(e.worker, e.leave_at, e.join_at) for e in plan.events] == [
+            (2, 2, 5),
+            (3, 3, 6),
+            (4, 4, 7),
+        ]
+
+    def test_zero_night_rejected(self):
+        with pytest.raises(ValueError, match="night"):
+            diurnal_availability_plan(4, night=0)
+
+
+class TestRecordReplay:
+    def test_round_trip_preserves_the_plan(self, tmp_path):
+        plan = spot_preemption_plan(
+            6, waves=[1, 3], fraction=0.5, restart_after=2
+        )
+        path = record_churn_trace(
+            plan, tmp_path / "trace.json", source="unit"
+        )
+        replayed = load_churn_trace(path)
+        assert replayed.to_dict() == plan.to_dict()
+        payload = json.loads(path.read_text())
+        assert payload["format"] == CHURN_TRACE_FORMAT
+        assert payload["source"] == "unit"
+
+    def test_dict_round_trip(self):
+        plan = diurnal_availability_plan(5, stagger=1)
+        assert (
+            churn_trace_from_dict(churn_trace_to_dict(plan)).to_dict()
+            == plan.to_dict()
+        )
+
+    def test_foreign_format_rejected(self):
+        with pytest.raises(ValueError, match="churn-trace"):
+            churn_trace_from_dict(
+                {"format": "repro.slowdown-trace/v1", "events": []}
+            )
+
+
+def _build(params, n_workers=4, seed=1):
+    from repro.sim.rng import RngStreams
+
+    return ScenarioSpec("churn-trace", params).build(
+        n_workers, RngStreams(seed)
+    )
+
+
+class TestBuilder:
+    def test_path_and_events_mutually_exclusive(self, tmp_path):
+        path = record_churn_trace(
+            spot_preemption_plan(4, waves=[1]), tmp_path / "t.json"
+        )
+        with pytest.raises(ValueError, match="at most one"):
+            _build({"path": str(path), "events": []})
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError, match="preset"):
+            _build({"preset": "lunar"})
+
+    def test_inline_events(self):
+        scenario = _build({"events": [{"worker": 3, "leave_at": 2}]})
+        assert isinstance(scenario.churn, ChurnPlan)
+        assert scenario.churn.events[0].worker == 3
+
+
+class TestReplayEquivalence:
+    """Satellite contract: a recorded trace replays the recorded run
+    bitwise — membership events and stats included — for every elastic
+    protocol.  The checked-in fixture is the spot wave the golden
+    churn-trace cells were recorded under, so replaying it must also
+    match the goldens exactly."""
+
+    def test_fixture_matches_the_pinned_preset(self):
+        from repro.sim.rng import RngStreams
+
+        from repro.scenarios.builtin import _build_churn_trace
+
+        preset = _build_churn_trace(
+            dict(CHURN_CELLS["churn-trace"]), 4, RngStreams(1)
+        )
+        assert (
+            load_churn_trace(FIXTURE).to_dict() == preset.churn.to_dict()
+        )
+
+    @pytest.mark.parametrize("protocol", ELASTIC_PROTOCOLS)
+    def test_replay_is_bitwise_identical_to_the_recording(self, protocol):
+        recorded = run_spec(churn_conformance_spec(protocol, "churn-trace"))
+        replayed = run_spec(
+            conformance_spec(
+                protocol, "churn-trace", params={"path": str(FIXTURE)}
+            )
+        )
+        assert replayed.membership_events == recorded.membership_events
+        assert (
+            replayed.final_params.tobytes()
+            == recorded.final_params.tobytes()
+        )
+        assert golden_fingerprint(replayed) == golden_fingerprint(recorded)

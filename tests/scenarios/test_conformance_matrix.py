@@ -15,6 +15,12 @@ definition — they require native crash support — and covered by the
 dedicated hop crash tests instead.  New protocols and new scenario
 families are picked up automatically through the two registries.
 
+Since the full-grid elasticity pass the churn families (``churn``,
+``churn-poisson``, ``churn-trace``) are a second, equally standing
+matrix: *every* protocol is elastic, so every protocol x churn-family
+cell must complete without deadlock, keep finite loss, and stay
+bitwise deterministic and golden-pinned — membership events included.
+
 The determinism gate is two-layered: same-seed runs must agree with
 *each other* (below), and every cell must agree bit-for-bit with the
 golden fingerprints recorded in ``golden_stats.json`` before the PR 4
@@ -60,6 +66,17 @@ GOLDEN_CELLS = json.loads(GOLDEN_PATH.read_text())["cells"]
 #: churn cells to the file but must never touch these.
 PRE_MEMBERSHIP_CELLS_SHA256 = (
     "c05d6a52eb19c56270724f53d4f0f00c9ddc5a338b50b067d87d85ae4291658f"
+)
+
+#: The protocols that were already elastic before the full-grid
+#: elasticity pass, and their two churn families recorded then.  Those
+#: 6 churn cells plus the 90 static cells (96 total) predate the pass
+#: and are pinned below: making the remaining six protocols elastic
+#: must not perturb a single recorded byte.
+FIRST_WAVE_ELASTIC = ("adpsgd", "hop", "partial-allreduce")
+FIRST_WAVE_CHURN_FAMILIES = ("churn", "churn-poisson")
+PRE_ELASTICITY_CELLS_SHA256 = (
+    "83d30fd52c37e8531bf35cca06940a39c2b307ece10239289bc86033de42aa59"
 )
 
 
@@ -190,17 +207,60 @@ def test_pre_membership_golden_cells_untouched():
     )
 
 
-def test_churn_families_rejected_for_non_elastic_protocols():
-    """The registry gate: churn on a barrier protocol fails loudly."""
-    for protocol in registered_protocols():
-        if get_protocol(protocol).elastic:
-            continue
-        with pytest.raises(ValueError, match="not elastic"):
-            run_spec(conformance_spec(protocol, "churn"))
+def test_pre_elasticity_golden_cells_untouched():
+    """The 96 cells recorded before the full-grid elasticity pass (90
+    static + the first-wave trio's 6 churn cells) are immutable: making
+    the other six protocols elastic must not move a byte of them."""
+    keys = {
+        key
+        for key in GOLDEN_CELLS
+        if key.split("/", 1)[1] not in CHURN_CELLS
+    }
+    keys.update(
+        f"{protocol}/{family}"
+        for protocol in FIRST_WAVE_ELASTIC
+        for family in FIRST_WAVE_CHURN_FAMILIES
+    )
+    assert len(keys) == 96
+    blob = json.dumps(
+        {key: GOLDEN_CELLS[key] for key in sorted(keys)}, sort_keys=True
+    ).encode()
+    assert (
+        hashlib.sha256(blob).hexdigest() == PRE_ELASTICITY_CELLS_SHA256
+    ), (
+        "a pre-elasticity golden cell changed; converting the remaining "
+        "protocols to elastic must leave every previously recorded cell "
+        "bitwise identical"
+    )
 
 
-def test_elastic_registry_flags_match_cells():
-    """ELASTIC_PROTOCOLS mirrors the registry's elastic flags."""
+def test_churn_rejected_for_non_elastic_protocols():
+    """The registry gate is a standing conformance obligation: a churn
+    plan aimed at a protocol registered non-elastic must fail loudly at
+    build time, never silently run a static cluster.  Every built-in is
+    elastic now, so the gate is exercised through a throwaway
+    registration."""
+    from repro.protocols.registry import _REGISTRY, register_protocol
+
+    name = "test-static-dummy"
+    register_protocol(
+        name,
+        lambda spec: pytest.fail("builder must not run: gate fires first"),
+        summary="non-elastic dummy for the churn registry gate",
+    )
+    try:
+        assert not get_protocol(name).elastic
+        for family in sorted(CHURN_CELLS):
+            with pytest.raises(ValueError, match="not elastic"):
+                run_spec(churn_conformance_spec(name, family))
+    finally:
+        _REGISTRY.pop(name, None)
+
+
+def test_full_grid_is_elastic():
+    """The tentpole obligation: every registered protocol is elastic,
+    ELASTIC_PROTOCOLS mirrors the registry flags, and therefore every
+    protocol runs every churn family in the matrix above."""
     flagged = tuple(
         sorted(
             name
@@ -209,6 +269,10 @@ def test_elastic_registry_flags_match_cells():
         )
     )
     assert flagged == tuple(sorted(ELASTIC_PROTOCOLS))
+    assert flagged == tuple(registered_protocols()), (
+        "a registered protocol is not elastic; the full-grid contract "
+        "requires every built-in to survive membership churn"
+    )
 
 
 def test_matrix_covers_at_least_six_families():
