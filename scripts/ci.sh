@@ -92,6 +92,14 @@ for index, protocol in enumerate(ELASTIC_PROTOCOLS):
 print(f"full grid elastic: all {len(ELASTIC_PROTOCOLS)} protocols")
 PY
 
+echo "== compression smoke: fig26 ablation + compressed golden cells =="
+# fig26 exercises the compression plane end-to-end (top-k/int8 error
+# feedback, payload-accurate pricing on constrained links); the
+# conformance run above already replayed the compressed golden cells
+# bit-for-bit, so a compressor change can never silently shift a
+# dense-run result either.
+python -m repro figures --preset smoke --only fig26
+
 echo "== sim-core microbenchmark: generous events/sec floor =="
 # ~1.0M events/sec on the reference container after the PR 4 engine
 # fast path (625k before it).  The 200k floor is ~5x headroom: it only

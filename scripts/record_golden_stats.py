@@ -30,8 +30,10 @@ sys.path.insert(0, str(REPO / "src"))
 
 from repro.harness.golden import (  # noqa: E402
     CHURN_CELLS,
+    COMPRESSION_CELLS,
     ELASTIC_PROTOCOLS,
     churn_conformance_spec,
+    compression_conformance_spec,
     conformance_spec,
     golden_fingerprint,
 )
@@ -50,6 +52,11 @@ def _replayed_keys() -> set:
         f"{protocol}/{family}"
         for protocol in ELASTIC_PROTOCOLS
         for family in CHURN_CELLS
+    )
+    keys.update(
+        f"{protocol}/compressed-{scheme}"
+        for protocol in registered_protocols()
+        for scheme in COMPRESSION_CELLS
     )
     return keys
 
@@ -103,9 +110,19 @@ def main(argv=None) -> int:
                 key = f"{protocol}/{family}"
                 run = run_spec(churn_conformance_spec(protocol, family))
                 _check_cell(key, golden_fingerprint(run), recorded, drifted)
-        replayed = len(registered_protocols()) * len(
-            registered_scenarios(universal_only=True)
-        ) + len(ELASTIC_PROTOCOLS) * len(CHURN_CELLS)
+        for protocol in registered_protocols():
+            for scheme in sorted(COMPRESSION_CELLS):
+                key = f"{protocol}/compressed-{scheme}"
+                run = run_spec(
+                    compression_conformance_spec(protocol, scheme)
+                )
+                _check_cell(key, golden_fingerprint(run), recorded, drifted)
+        replayed = (
+            len(registered_protocols())
+            * len(registered_scenarios(universal_only=True))
+            + len(ELASTIC_PROTOCOLS) * len(CHURN_CELLS)
+            + len(registered_protocols()) * len(COMPRESSION_CELLS)
+        )
         missing = sorted(set(recorded) - _replayed_keys())
         if drifted or missing:
             for key in drifted:
@@ -137,6 +154,17 @@ def main(argv=None) -> int:
                 cells[key] = existing[key]
                 continue
             run = run_spec(churn_conformance_spec(protocol, family))
+            cells[key] = golden_fingerprint(run)
+            print(f"recorded {key}")
+    # Compressed cells: the compression-plane gate (every protocol x
+    # registered scheme, quiet scenario).
+    for protocol in registered_protocols():
+        for scheme in sorted(COMPRESSION_CELLS):
+            key = f"{protocol}/compressed-{scheme}"
+            if key in existing:
+                cells[key] = existing[key]
+                continue
+            run = run_spec(compression_conformance_spec(protocol, scheme))
             cells[key] = golden_fingerprint(run)
             print(f"recorded {key}")
 

@@ -21,6 +21,7 @@ from repro.analysis.registry import register_rule
 SIM_SCOPE = (
     "repro/core",
     "repro/baselines",
+    "repro/compression",
     "repro/membership",
     "repro/protocols",
     "repro/scenarios",
@@ -302,6 +303,50 @@ class IdSortKeyRule(Rule):
                 )
 
 
+#: Selection/ordering primitives whose tie order is implementation-
+#: defined (introselect pivots, unstable quicksort): fine for finding a
+#: threshold, never OK as an ordering that reaches simulation state.
+_UNSTABLE_ORDER = {"argpartition", "partition", "argsort"}
+
+
+class PartitionOrderRule(Rule):
+    name = "det-partition-order"
+    group = "determinism"
+    summary = "argpartition/argsort order must not reach sim state"
+    rationale = (
+        "np.argpartition and unstable argsort order ties by internal "
+        "pivot choices — implementation-defined across numpy versions. "
+        "An order that feeds simulation state (top-k wire indices, "
+        "send schedules) must be re-derived deterministically, e.g. "
+        "threshold + lowest-index tie-break; annotate compliant uses "
+        "with `# repro: ignore[det-partition-order]` and say why"
+    )
+    scope = SIM_SCOPE
+
+    def visit_Call(self, node: ast.Call, ctx: ModuleContext) -> None:
+        dotted = dotted_name(node.func)
+        if dotted is None:
+            return
+        parts = dotted.split(".")
+        if parts[0] in ("np", "numpy") and parts[-1] in _UNSTABLE_ORDER:
+            if parts[-1] == "argsort" and any(
+                keyword.arg == "kind"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value == "stable"
+                for keyword in node.keywords
+            ):
+                return
+            ctx.report(
+                self,
+                node,
+                f"`{dotted}()` orders ties by implementation-defined "
+                "pivots; re-derive the selection deterministically "
+                "(threshold + lowest-index) or use kind='stable', and "
+                "suppress with a justification if the order provably "
+                "never escapes",
+            )
+
+
 class EnvReadRule(Rule):
     name = "det-env-read"
     group = "determinism"
@@ -348,4 +393,5 @@ register_rule(GlobalRngRule)
 register_rule(UnseededRngRule)
 register_rule(SetIterationRule)
 register_rule(IdSortKeyRule)
+register_rule(PartitionOrderRule)
 register_rule(EnvReadRule)

@@ -27,6 +27,7 @@ from repro.graphs.topology import Topology
 from repro.ml.data import Batcher
 from repro.ml.optim import SGD
 from repro.net.links import LinkModel, uniform_links
+from repro.net.message import payload_bytes
 from repro.protocols.base import ProtocolCluster, ProtocolRuntime
 from repro.protocols.registry import register_protocol, spec_common_kwargs
 from repro.sim.resources import Resource
@@ -62,6 +63,7 @@ class ADPSGDCluster(ProtocolCluster):
         evaluate: bool = True,
         trace_channels=None,
         churn=None,
+        compression=None,
     ) -> None:
         topology.validate()
         self.active_set, self.passive_set = topology.bipartite_sets()
@@ -77,6 +79,7 @@ class ADPSGDCluster(ProtocolCluster):
             update_size=update_size,
             evaluate=evaluate,
             trace_channels=trace_channels,
+            compression=compression,
         )
         self.topology = topology
         self.links = links or uniform_links()
@@ -103,17 +106,40 @@ class ADPSGDCluster(ProtocolCluster):
         ]
         return is_active, [j for j in neighbors if j in self.passive_set]
 
+    def _gossip_vectors(self) -> float:
+        """Distinct vectors shipped per gossip direction (subclasses
+        may enlarge: momentum-tracking rides its buffer along)."""
+        return 1.0
+
     def gossip_payload(self, update_size: float) -> float:
-        """Bytes sent per gossip direction (subclasses may enlarge)."""
-        return update_size
+        """Dense bytes sent per gossip direction (shared pricing path)."""
+        return payload_bytes(update_size, vectors=self._gossip_vectors())
+
+    def _gossip_wire(self, runtime: ProtocolRuntime) -> float:
+        """Wire bytes per gossip direction (compression-aware)."""
+        return self._wire_size(runtime, vectors=self._gossip_vectors())
 
     def _average_state(
         self, wid: int, partner: int, params: Dict[int, np.ndarray]
     ) -> None:
-        """Write back the pairwise average (the atomic-averaging step)."""
-        average = 0.5 * (params[wid] + params[partner])
-        params[wid] = average.copy()
-        params[partner] = average.copy()
+        """Write back the pairwise average (the atomic-averaging step).
+
+        Compressed gossip is CHOCO-style: each side encodes the delta
+        of its parameters against its tracked reference, the peer folds
+        the *reconstruction* into the average, and the residual error
+        stays local.  Both encodes read the pre-average vectors, so the
+        exchange is symmetric and order-independent.
+        """
+        compressors = getattr(self, "_gossip_compressors", None)
+        if compressors is None or compressors[wid] is None:
+            average = 0.5 * (params[wid] + params[partner])
+            params[wid] = average.copy()
+            params[partner] = average.copy()
+            return
+        _, recon_wid = compressors[wid].encode_state(params[wid])
+        _, recon_partner = compressors[partner].encode_state(params[partner])
+        params[wid] = 0.5 * (params[wid] + recon_partner)
+        params[partner] = 0.5 * (recon_wid + params[partner])
 
     def _gossip(
         self,
@@ -130,7 +156,7 @@ class ADPSGDCluster(ProtocolCluster):
         try:
             yield runtime.env.timeout(
                 self.links.round_trip(
-                    wid, partner, self.gossip_payload(runtime.update_size)
+                    wid, partner, self._gossip_wire(runtime)
                 )
             )
             if (
@@ -351,6 +377,11 @@ class ADPSGDCluster(ProtocolCluster):
             wid: runtime.models[wid].get_params()
             for wid in range(self.n_workers)
         }
+        # One CHOCO reference channel per worker (None when dense).
+        self._gossip_compressors = [
+            self._stream_compressor(runtime, wid)
+            for wid in range(self.n_workers)
+        ]
         self._completed = [0] * self.n_workers
         locks = {
             wid: Resource(env, capacity=1) for wid in self.passive_set
@@ -389,7 +420,7 @@ class ADPSGDCluster(ProtocolCluster):
         gossips = self._gossip_count[0]
         return (
             2 * gossips,
-            2.0 * gossips * self.gossip_payload(runtime.update_size),
+            2.0 * gossips * self._gossip_wire(runtime),
         )
 
 

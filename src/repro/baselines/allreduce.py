@@ -93,6 +93,7 @@ class RingAllReduceCluster(ProtocolCluster):
         evaluate: bool = True,
         trace_channels=None,
         churn=None,
+        compression=None,
     ) -> None:
         if n_workers < 2:
             raise ValueError("ring all-reduce needs >= 2 workers")
@@ -108,6 +109,7 @@ class RingAllReduceCluster(ProtocolCluster):
             update_size=update_size,
             evaluate=evaluate,
             trace_channels=trace_channels,
+            compression=compression,
         )
         self.link = link or Link()
         if churn is not None and churn.empty:
@@ -135,8 +137,15 @@ class RingAllReduceCluster(ProtocolCluster):
         n = self.n_workers
         batchers = [self._make_batcher(wid) for wid in range(n)]
         self._params: List[np.ndarray] = [runtime.models[0].get_params()]
-        comm_time = self.communication_time(runtime.update_size)
+        # Compressed rings move sparse/quantized chunks: the ring's
+        # chunked schedule is priced at the wire size (dense runs see
+        # the identical float — payload_bytes(x) * 1.0 is exact).
+        comm_time = self.communication_time(self._wire_size(runtime))
         optimizer = self.optimizer_proto
+        compressors = [
+            self._stream_compressor(runtime, wid, stream="grad")
+            for wid in range(n)
+        ]
 
         def driver(env):
             params = self._params
@@ -148,6 +157,11 @@ class RingAllReduceCluster(ProtocolCluster):
                     runtime.models[wid].set_params(params[0])
                     xb, yb = batchers[wid].next_batch()
                     loss, grad = runtime.models[wid].loss_and_grad(xb, yb)
+                    if compressors[wid] is not None:
+                        # Error-feedback sparsification: the ring
+                        # reduces each worker's reconstruction; the
+                        # residual folds back into the next round.
+                        _, grad = compressors[wid].compress(grad)
                     grads.append(grad)
                     runtime.tracer.log(f"loss/{wid}", env.now, loss)
                 # Lockstep: the slowest worker gates the ring.
@@ -192,6 +206,12 @@ class RingAllReduceCluster(ProtocolCluster):
             auto_join_triggers=False,
         )
 
+        wire_size = self._wire_size(runtime)
+        compressors = [
+            self._stream_compressor(runtime, wid, stream="grad")
+            for wid in range(n)
+        ]
+
         def driver(env):
             params = self._params
             for k in range(self.max_iter):
@@ -212,7 +232,7 @@ class RingAllReduceCluster(ProtocolCluster):
                     ):
                         membership.enact_join(wid, env.now, start=k)
                 members = sorted(membership.view.active)
-                steps, chunk = chunk_schedule(members, runtime.update_size)
+                steps, chunk = chunk_schedule(members, wire_size)
                 comm_time = steps * self.link.transfer_time(chunk)
                 grads = []
                 for wid in members:
@@ -220,6 +240,8 @@ class RingAllReduceCluster(ProtocolCluster):
                     runtime.models[wid].set_params(params[0])
                     xb, yb = batchers[wid].next_batch()
                     loss, grad = runtime.models[wid].loss_and_grad(xb, yb)
+                    if compressors[wid] is not None:
+                        _, grad = compressors[wid].compress(grad)
                     grads.append(grad)
                     runtime.tracer.log(f"loss/{wid}", env.now, loss)
                 # Lockstep: the slowest live member gates the ring.
@@ -269,13 +291,19 @@ class RingAllReduceCluster(ProtocolCluster):
         n, chunks = self.n_workers, 2 * (self.n_workers - 1)
         return (
             chunks * n * self.max_iter,
-            chunks * runtime.update_size * self.max_iter,
+            chunks * self._wire_size(runtime) * self.max_iter,
         )
 
 
 def _build_allreduce(spec) -> RingAllReduceCluster:
+    # The ring prices every chunk step through one Link; honor the
+    # spec's network override so bandwidth-constrained ablations
+    # (fig26) see compression in the simulated clock, not just bytes.
+    # (Scenario link flaps stay analytic-free here: the lockstep ring
+    # has no per-message fabric for them to act on.)
     return RingAllReduceCluster(
         n_workers=spec.topology.n,
+        link=spec.links.default if spec.links is not None else None,
         churn=getattr(spec.built_scenario(), "churn", None),
         **spec_common_kwargs(spec),
     )

@@ -265,6 +265,7 @@ class ParameterServerCluster(ProtocolCluster):
         trace_channels=None,
         churn=None,
         topology=None,
+        compression=None,
     ) -> None:
         if mode not in ("bsp", "async", "ssp"):
             raise ValueError(f"unknown PS mode {mode!r}")
@@ -284,6 +285,7 @@ class ParameterServerCluster(ProtocolCluster):
             update_size=update_size,
             evaluate=evaluate,
             trace_channels=trace_channels,
+            compression=compression,
         )
         self.mode = mode
         self.protocol = f"ps-{mode}"
@@ -341,9 +343,15 @@ class ParameterServerCluster(ProtocolCluster):
         loss, grad = model.loss_and_grad(xb, yb)
         yield env.timeout(self.compute_model.duration(wid, k))
 
+        # Compression shrinks the *push* only: the pull stays a dense
+        # parameter download (the PS cannot error-feed per worker).
+        compressor = self._stream_compressor(runtime, wid, stream="grad")
+        if compressor is not None:
+            _, grad = compressor.compress(grad)
+
         # Push the gradient through the PS NIC (upload).
         if self._membership is None:
-            yield from nic.transfer(runtime.update_size)
+            yield from nic.transfer(self._wire_size(runtime))
             grads_inbox.append((wid, pulled_version, grad))
             if not notify[0].triggered:
                 notify[0].succeed()
@@ -382,10 +390,11 @@ class ParameterServerCluster(ProtocolCluster):
         contribution the failover already lost.
         """
         membership = self._membership
+        wire_size = self._wire_size(runtime)
         while True:
             addressed = self._shards.owners()
-            yield from nic.transfer(runtime.update_size)
-            runtime.count_traffic(1, runtime.update_size)
+            yield from nic.transfer(wire_size)
+            runtime.count_traffic(1, wire_size)
             lost = [
                 owner
                 for owner in addressed
@@ -692,8 +701,14 @@ class ParameterServerCluster(ProtocolCluster):
             # count wrong under churn; the accumulated runtime traffic
             # is authoritative.
             return super()._message_totals(runtime)
-        transfers = 2 * self.n_workers * self.max_iter
-        return transfers, transfers * runtime.update_size
+        transfers = self.n_workers * self.max_iter
+        # Dense pulls + (possibly compressed) pushes.  Uncompressed
+        # this is bitwise the old 2*transfers*update_size: u + u == 2u
+        # and doubling commutes with the rounding of each product.
+        return 2 * transfers, (
+            transfers * runtime.update_size
+            + transfers * self._wire_size(runtime)
+        )
 
 
 def _builder(mode: str):

@@ -10,6 +10,8 @@ Commands:
   (``--json`` for machine-readable rows incl. the ``elastic`` flag).
 * ``scenarios`` — list every scenario family in the registry
   (``--json`` for machine-readable rows incl. the ``universal`` flag).
+* ``compressors`` — list every update-compression scheme in the
+  registry (``--json`` for machine-readable rows).
 * ``profile``  — cProfile one training run (plus a bare-engine
   events/sec microbenchmark) to find simulator hot spots.
 * ``lint``     — static analysis for simulator invariants
@@ -26,6 +28,11 @@ Commands:
 knobs; the legacy ``--slowdown`` flags cover the paper's two recipes
 with explicit ``--slowdown-factor`` / ``--slowdown-prob`` /
 ``--stragglers`` controls.
+
+``train --compression`` accepts any scheme from the compression
+registry (:mod:`repro.compression`) with ``--compression-param
+key=value`` knobs, e.g. ``--compression topk --compression-param
+ratio=0.01``.
 """
 
 from __future__ import annotations
@@ -146,6 +153,22 @@ def _scenario_param(pair: str):
     return key, value
 
 
+def _compression_param(pair: str):
+    """Parse one ``key=value`` compressor knob (JSON values)."""
+    key, separator, raw = pair.partition("=")
+    if not separator or not key:
+        raise argparse.ArgumentTypeError(
+            f"--compression-param needs key=value, got {pair!r}"
+        )
+    if raw in _PYTHON_LITERALS:
+        return key, _PYTHON_LITERALS[raw]
+    try:
+        value = json.loads(raw)
+    except json.JSONDecodeError:
+        value = raw
+    return key, value
+
+
 def _stragglers_arg(text: str) -> Dict[int, float]:
     """Parse a ``wid:factor,wid:factor`` multi-straggler map."""
     workers: Dict[int, float] = {}
@@ -202,6 +225,15 @@ def _train_slowdown(args: argparse.Namespace) -> SlowdownSpec:
 def _cmd_train(args: argparse.Namespace) -> int:
     workload = workload_by_name(args.workload, args.preset)
     topology = graph_by_name(args.graph, args.workers)
+    compression = None
+    if args.compression and args.compression != "none":
+        from repro.compression import CompressionSpec
+
+        compression = CompressionSpec(
+            args.compression, dict(args.compression_param or [])
+        )
+    elif args.compression_param:
+        raise SystemExit("--compression-param needs --compression")
     scenario = None
     if args.scenario:
         if args.slowdown != "none":
@@ -229,6 +261,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         group_size=args.group_size,
         static_groups=args.static_groups,
         momentum_mode=args.momentum_mode,
+        compression=compression,
     )
     try:
         run = run_spec(spec)
@@ -258,6 +291,24 @@ def _cmd_protocols(args: argparse.Namespace) -> int:
             name += f" (alias: {row['aliases']})"
         if row["elastic"]:
             name += "  [elastic: survives membership churn]"
+        print(f"* {name}")
+        print(f"    {row['summary']}")
+        print(f"    [{row['paper']}]")
+    return 0
+
+
+def _cmd_compressors(args: argparse.Namespace) -> int:
+    from repro.compression import compression_table
+
+    rows = compression_table()
+    if args.json:
+        print(json.dumps(rows, indent=2))
+        return 0
+    print("registered compression schemes:")
+    for row in rows:
+        name = row["name"]
+        if row["aliases"]:
+            name += f" (alias: {row['aliases']})"
         print(f"* {name}")
         print(f"    {row['summary']}")
         print(f"    [{row['paper']}]")
@@ -468,6 +519,17 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("tracking", "quasi-global"),
         help="momentum-tracking: buffer-gossip or quasi-global variant",
     )
+    train.add_argument(
+        "--compression", default=None,
+        help="update compressor (see `python -m repro compressors`): "
+             "topk, randomk, int8, or none (default)",
+    )
+    train.add_argument(
+        "--compression-param", action="append", type=_compression_param,
+        metavar="KEY=VALUE",
+        help="compressor knob (repeatable); values parse as JSON, e.g. "
+             "--compression topk --compression-param ratio=0.01",
+    )
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--out", help="write a JSON run summary here")
     train.set_defaults(func=_cmd_train)
@@ -533,6 +595,15 @@ def build_parser() -> argparse.ArgumentParser:
              "universal flag)",
     )
     scenarios.set_defaults(func=_cmd_scenarios)
+
+    compressors = sub.add_parser(
+        "compressors", help="list the compression-scheme registry"
+    )
+    compressors.add_argument(
+        "--json", action="store_true",
+        help="machine-readable output (name, aliases, summary, paper)",
+    )
+    compressors.set_defaults(func=_cmd_compressors)
 
     lint = sub.add_parser(
         "lint",

@@ -1,0 +1,154 @@
+"""Compressor base classes: error-feedback update compression.
+
+A :class:`Compressor` shrinks one worker's outgoing update vector into
+a :class:`CompressedPayload` — real numpy buffers whose dtype/shape
+determine the wire size — and reconstructs a dense approximation on
+the receiving side.  Every compressor keeps *per-worker* state so the
+information lost by one message is not gone, merely deferred:
+
+* **Gradient mode** (:meth:`Compressor.compress`) — classic
+  error-feedback (EF-SGD, arXiv:1901.09847): the residual of each
+  compression round is added to the next value before compressing, so
+  the sum of transmitted approximations tracks the sum of true
+  gradients.  Used where the message *is* a gradient (allreduce
+  contributions, parameter-server pushes).
+* **Reference mode** (:meth:`Compressor.encode_state`) — CHOCO-style
+  (arXiv:1902.00340): the wire carries the compressed *delta* between
+  the current parameters and a running reference vector that sender
+  and receivers advance in lockstep; the reconstruction (reference
+  after the update) is what receivers average.  Used where the message
+  is a parameter vector (Hop updates, gossip exchanges).
+
+Both modes are lossless when the scheme keeps every coordinate (top-k
+with ``k == dim``), which is the conservation property the hypothesis
+tests pin.
+
+The simulator ships the dense reconstruction as the logical payload
+(all receivers of one broadcast share a single materialization) while
+the network layer charges the *compressed* wire bytes — see
+``payload_bytes`` in :mod:`repro.net.message`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CompressionSpec:
+    """Declarative compressor selection for an experiment.
+
+    Mirrors :class:`~repro.scenarios.ScenarioSpec`: a registry name
+    plus free-form knobs (``ratio`` for the sparsifiers), resolved by
+    :func:`repro.compression.registry.build_compressor`.
+    """
+
+    name: str
+    params: dict = field(default_factory=dict)
+
+
+class CompressedPayload:
+    """The wire form of one compressed message: raw numpy buffers.
+
+    ``nbytes`` is the honest payload size — the sum of the constituent
+    buffers' ``nbytes`` — and must equal the owning compressor's
+    :meth:`Compressor.wire_bytes` (pinned by tests): pricing is derived
+    from the same dtype/shape arithmetic that builds these arrays.
+    """
+
+    __slots__ = ("arrays", "dim")
+
+    def __init__(self, arrays: Tuple[np.ndarray, ...], dim: int) -> None:
+        self.arrays = arrays
+        self.dim = dim
+
+    @property
+    def nbytes(self) -> int:
+        return sum(int(a.nbytes) for a in self.arrays)
+
+    def __repr__(self) -> str:
+        return f"<CompressedPayload dim={self.dim} nbytes={self.nbytes}>"
+
+
+class Compressor:
+    """One worker's compression channel (scheme + error-feedback state).
+
+    Subclasses implement the pure codec — :meth:`encode`,
+    :meth:`decode` and :meth:`wire_bytes` — while this base class owns
+    the stateful error-feedback wrappers.  One instance per (worker,
+    stream): state must never be shared across workers or across
+    logically distinct vector streams (momentum-tracking compresses
+    its momentum buffer through a second instance).
+    """
+
+    #: Registry name; subclasses override.
+    name = "identity"
+
+    def __init__(self, dim: int, dtype=np.float64) -> None:
+        if dim <= 0:
+            raise ValueError(f"compressor dim must be positive, got {dim}")
+        self.dim = int(dim)
+        self.dtype = np.dtype(dtype)
+        self._residual = np.zeros(self.dim, dtype=self.dtype)
+        self._reference = np.zeros(self.dim, dtype=self.dtype)
+
+    # -- pure codec (subclass responsibility) --------------------------
+
+    def encode(self, values: np.ndarray) -> CompressedPayload:
+        """Compress one dense vector (stateless)."""
+        raise NotImplementedError
+
+    def decode(self, payload: CompressedPayload) -> np.ndarray:
+        """Reconstruct a dense vector from one payload (stateless)."""
+        raise NotImplementedError
+
+    def wire_bytes(self) -> int:
+        """Bytes of one encoded message (dtype/shape arithmetic)."""
+        raise NotImplementedError
+
+    # -- derived pricing ----------------------------------------------
+
+    def dense_bytes(self) -> int:
+        """Bytes of the uncompressed vector at the model's dtype."""
+        return self.dim * self.dtype.itemsize
+
+    def wire_ratio(self) -> float:
+        """wire_bytes / dense_bytes — the payload scaling factor."""
+        return self.wire_bytes() / self.dense_bytes()
+
+    # -- stateful error-feedback wrappers ------------------------------
+
+    def compress(self, values: np.ndarray):
+        """Gradient mode: compress ``values`` with residual feedback.
+
+        Returns ``(payload, approx)`` where ``approx`` is the dense
+        reconstruction the receiver(s) should apply.  The residual
+        ``(values + carried) - approx`` feeds the next call.
+        """
+        accumulated = values + self._residual
+        payload = self.encode(accumulated)
+        approx = self.decode(payload)
+        np.subtract(accumulated, approx, out=self._residual)
+        return payload, approx
+
+    def encode_state(self, params: np.ndarray):
+        """Reference mode: compress the delta against the reference.
+
+        Returns ``(payload, reconstruction)``; the reconstruction is
+        the advanced reference — the parameter estimate every receiver
+        of this stream shares.  The returned array is freshly
+        allocated, so broadcast fan-out may alias it safely.
+        """
+        delta = params - self._reference
+        payload = self.encode(delta)
+        self._reference = self._reference + self.decode(payload)
+        return payload, self._reference.copy()
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} dim={self.dim} "
+            f"ratio={self.wire_ratio():.4f}>"
+        )

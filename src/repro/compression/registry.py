@@ -1,0 +1,158 @@
+"""The compressor registry: name -> compressor builder.
+
+Mirrors the protocol and scenario registries: every compression scheme
+registers under a stable name, the harness
+(:class:`~repro.harness.spec.ExperimentSpec.compression`) and the CLI
+(``repro train --compression``) resolve schemes here, and adding one
+is: subclass :class:`~repro.compression.base.Compressor`, write a
+builder, call :func:`register_compressor` (see the ARCHITECTURE
+walkthrough and ``TestExtensionPoint``).
+
+Builders receive ``(dim, dtype, seed, **params)`` where ``seed`` is a
+sequence identifying the (experiment, worker, stream) triple — seeded
+schemes (random-k) must draw all randomness from it so same-seed runs
+stay bitwise deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.compression.base import CompressionSpec, Compressor
+from repro.compression.schemes import (
+    Int8Compressor,
+    RandomKCompressor,
+    TopKCompressor,
+)
+
+
+@dataclass(frozen=True)
+class CompressorInfo:
+    """One registered compression scheme.
+
+    Attributes:
+        name: Canonical registry name (the CLI / spec spelling).
+        builder: ``f(dim, dtype, seed, **params) -> Compressor``.
+        summary: One-line description for ``--help`` and docs tables.
+        paper: Citation for the scheme's source.
+        aliases: Alternative names resolving to the same builder.
+    """
+
+    name: str
+    builder: Callable[..., Compressor]
+    summary: str = ""
+    paper: str = ""
+    aliases: tuple = ()
+
+
+_REGISTRY: Dict[str, CompressorInfo] = {}
+_ALIASES: Dict[str, str] = {}
+
+
+def register_compressor(
+    name: str,
+    builder: Callable[..., Compressor],
+    summary: str = "",
+    paper: str = "",
+    aliases: tuple = (),
+) -> CompressorInfo:
+    """Register (or re-register) a compressor builder under ``name``."""
+    info = CompressorInfo(
+        name=name,
+        builder=builder,
+        summary=summary,
+        paper=paper,
+        aliases=tuple(aliases),
+    )
+    _REGISTRY[name] = info
+    for alias in info.aliases:
+        _ALIASES[alias] = name
+    return info
+
+
+def registered_compressors(include_aliases: bool = False) -> List[str]:
+    """Sorted names of every registered compression scheme."""
+    names = set(_REGISTRY)
+    if include_aliases:
+        names.update(_ALIASES)
+    return sorted(names)
+
+
+def get_compressor(name: str) -> CompressorInfo:
+    """Resolve ``name`` (or an alias) to its :class:`CompressorInfo`."""
+    canonical = _ALIASES.get(name, name)
+    if canonical not in _REGISTRY:
+        raise ValueError(
+            f"unknown compressor {name!r}; registered compressors: "
+            f"{', '.join(registered_compressors(include_aliases=True))}"
+        )
+    return _REGISTRY[canonical]
+
+
+def compression_table() -> List[dict]:
+    """``[{name, aliases, summary, paper}, ...]`` rows for docs/CLI."""
+    return [
+        {
+            "name": info.name,
+            "aliases": "/".join(info.aliases),
+            "summary": info.summary,
+            "paper": info.paper,
+        }
+        for _, info in sorted(_REGISTRY.items())
+    ]
+
+
+def build_compressor(
+    spec: Optional[CompressionSpec],
+    dim: int,
+    dtype,
+    seed: Sequence[int] = (0,),
+) -> Optional[Compressor]:
+    """Instantiate the compressor a :class:`CompressionSpec` describes.
+
+    ``None`` (and the explicit name ``"none"``) mean *uncompressed*:
+    the caller keeps the dense fast path untouched.
+    """
+    if spec is None or spec.name == "none":
+        return None
+    info = get_compressor(spec.name)
+    return info.builder(dim, dtype, seed, **dict(spec.params))
+
+
+def _build_topk(dim, dtype, seed, ratio: float = 0.01) -> Compressor:
+    return TopKCompressor(dim, dtype, ratio=ratio)
+
+
+def _build_randomk(dim, dtype, seed, ratio: float = 0.01) -> Compressor:
+    return RandomKCompressor(dim, dtype, ratio=ratio, seed=seed)
+
+
+def _build_int8(dim, dtype, seed) -> Compressor:
+    return Int8Compressor(dim, dtype)
+
+
+register_compressor(
+    "topk",
+    _build_topk,
+    summary="top-k magnitude sparsification with error feedback "
+    "(knob: ratio; deterministic index-order tie-breaking)",
+    paper="Lin et al., Deep Gradient Compression (ICLR 2018); "
+    "Karimireddy et al., arXiv:1901.09847 (error feedback)",
+    aliases=("top-k",),
+)
+register_compressor(
+    "randomk",
+    _build_randomk,
+    summary="seeded random-k sparsification with error feedback "
+    "(knob: ratio; per-worker replayable masks)",
+    paper="Stich et al., Sparsified SGD with Memory (NeurIPS 2018)",
+    aliases=("random-k",),
+)
+register_compressor(
+    "int8",
+    _build_int8,
+    summary="uniform int8 quantization, per-message scale "
+    "(round-trip error <= scale/2)",
+    paper="Alistarh et al., QSGD (NeurIPS 2017)",
+)

@@ -1,0 +1,141 @@
+"""The built-in compression schemes: top-k, random-k, int8.
+
+Each scheme is a pure codec over one dense vector; the stateful
+error-feedback wrappers live on :class:`~repro.compression.base.Compressor`.
+
+Determinism contract (the ``det-`` lint rules and the golden cells pin
+this): every encode is a pure function of its inputs and the
+compressor's seeded state.  Top-k ties at the selection threshold are
+broken by *lowest index*, never by ``np.argpartition``'s internal
+(implementation-defined) ordering; random-k draws come from a
+``default_rng`` seeded from the experiment seed and the worker/stream
+identity, so same-seed runs replay the same masks.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.compression.base import CompressedPayload, Compressor
+
+#: Index dtype for sparse payloads: 4 bytes covers any model this
+#: simulator trains, and the wire ratio should not pay for int64.
+INDEX_DTYPE = np.dtype(np.int32)
+
+
+def _resolve_k(dim: int, ratio: float) -> int:
+    """Coordinates kept per message: ``ceil(ratio * dim)``, in [1, dim]."""
+    if not 0.0 < ratio <= 1.0:
+        raise ValueError(f"sparsification ratio must be in (0, 1], got {ratio}")
+    return max(1, min(dim, int(math.ceil(ratio * dim))))
+
+
+class _SparseCompressor(Compressor):
+    """Shared sparse codec: k (index, value) pairs on the wire."""
+
+    def __init__(self, dim: int, dtype=np.float64, ratio: float = 0.01) -> None:
+        super().__init__(dim, dtype)
+        self.ratio = float(ratio)
+        self.k = _resolve_k(self.dim, self.ratio)
+
+    def _select(self, values: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def encode(self, values: np.ndarray) -> CompressedPayload:
+        indices = self._select(values)
+        return CompressedPayload(
+            (indices.astype(INDEX_DTYPE), values[indices]), self.dim
+        )
+
+    def decode(self, payload: CompressedPayload) -> np.ndarray:
+        indices, kept = payload.arrays
+        dense = np.zeros(self.dim, dtype=self.dtype)
+        dense[indices] = kept
+        return dense
+
+    def wire_bytes(self) -> int:
+        return self.k * (INDEX_DTYPE.itemsize + self.dtype.itemsize)
+
+
+class TopKCompressor(_SparseCompressor):
+    """Keep the k largest-magnitude coordinates (deterministic ties).
+
+    ``np.argpartition`` finds the selection threshold, but the actual
+    pick is re-derived from the threshold with ties broken by lowest
+    index — partition-internal ordering never leaks into the wire.
+    """
+
+    name = "topk"
+
+    def _select(self, values: np.ndarray) -> np.ndarray:
+        k = self.k
+        if k >= self.dim:
+            return np.arange(self.dim)
+        magnitudes = np.abs(values)
+        # Order-insensitive use: the partition result only feeds min(),
+        # so introselect's tie order never escapes — the actual pick is
+        # re-derived below with ties broken by lowest index.
+        partition = np.argpartition(magnitudes, self.dim - k)[self.dim - k:]  # repro: ignore[det-partition-order]
+        threshold = magnitudes[partition].min()
+        above = np.nonzero(magnitudes > threshold)[0]
+        ties = np.nonzero(magnitudes == threshold)[0][: k - above.size]
+        return np.sort(np.concatenate((above, ties)))
+
+
+class RandomKCompressor(_SparseCompressor):
+    """Keep k uniformly random coordinates (seeded, replayable).
+
+    The mask sequence is a pure function of the construction seed, so
+    the scheme stays bitwise deterministic across same-seed runs; the
+    draw is shared by nobody (one rng per worker/stream instance).
+    """
+
+    name = "randomk"
+
+    def __init__(
+        self,
+        dim: int,
+        dtype=np.float64,
+        ratio: float = 0.01,
+        seed=(0,),
+    ) -> None:
+        super().__init__(dim, dtype, ratio)
+        self._rng = np.random.default_rng(list(seed))
+
+    def _select(self, values: np.ndarray) -> np.ndarray:
+        if self.k >= self.dim:
+            return np.arange(self.dim)
+        return np.sort(
+            self._rng.choice(self.dim, size=self.k, replace=False)
+        )
+
+
+class Int8Compressor(Compressor):
+    """Uniform int8 quantization with a per-message float scale.
+
+    ``q = round(v / scale)`` with ``scale = max|v| / 127``, so the
+    round-trip error is bounded by ``scale / 2`` per coordinate (the
+    hypothesis property).  An all-zero vector encodes with scale 0.
+    """
+
+    name = "int8"
+
+    def encode(self, values: np.ndarray) -> CompressedPayload:
+        peak = float(np.max(np.abs(values))) if values.size else 0.0
+        scale = peak / 127.0
+        if scale > 0.0:
+            quantized = np.round(values / scale).astype(np.int8)
+        else:
+            quantized = np.zeros(self.dim, dtype=np.int8)
+        return CompressedPayload(
+            (quantized, np.array(scale, dtype=self.dtype)), self.dim
+        )
+
+    def decode(self, payload: CompressedPayload) -> np.ndarray:
+        quantized, scale = payload.arrays
+        return quantized.astype(self.dtype) * scale
+
+    def wire_bytes(self) -> int:
+        return self.dim + self.dtype.itemsize

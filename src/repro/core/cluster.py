@@ -113,6 +113,7 @@ class HopCluster(ProtocolCluster):
         crash_events: Optional[Dict[int, CrashEvent]] = None,
         message_loss=None,
         churn=None,
+        compression=None,
     ) -> None:
         if protocol not in ("hop", "notify_ack"):
             raise ValueError(f"unknown protocol {protocol!r}")
@@ -129,6 +130,7 @@ class HopCluster(ProtocolCluster):
             update_size=update_size,
             evaluate=evaluate,
             trace_channels=trace_channels,
+            compression=compression,
         )
         if config.mode == "backup":
             min_in = min(
@@ -359,6 +361,15 @@ class HopCluster(ProtocolCluster):
                 )
                 workers.append(worker)
         self._workers = workers
+        if self.compression is not None:
+            # Per-worker error-feedback channels plus the shared wire
+            # pricing; the dense path leaves workers untouched.
+            wire_size = self._wire_size(runtime)
+            for worker in workers:
+                worker.compressor = self._stream_compressor(
+                    runtime, worker.wid
+                )
+                worker.wire_size = wire_size
         peers = {worker.wid: worker for worker in workers}
         # Only crash-restart-with-resync and membership (re)joins ever
         # read another worker's ``current_params``; everyone else skips
@@ -421,7 +432,21 @@ class HopCluster(ProtocolCluster):
         return self.topology.name
 
     def _message_totals(self, runtime: ProtocolRuntime) -> Tuple[int, float]:
+        # Network.bytes_sent is delivered payload only since the
+        # accounting split; the legacy offered-bytes aggregate moved to
+        # _byte_stats (bytes_attempted).
         return self._network.messages_sent, self._network.bytes_sent.total
+
+    def _byte_stats(
+        self, runtime: ProtocolRuntime, bytes_sent: float
+    ) -> Dict[str, float]:
+        network = self._network
+        return {
+            "bytes_dropped": network.bytes_dropped.total,
+            "control_bytes": network.control_bytes.total,
+            "bytes_retransmitted": network.bytes_retransmitted.total,
+            "bytes_attempted": network.bytes_attempted.total,
+        }
 
     def _messages_dropped(self, runtime: ProtocolRuntime) -> int:
         return self._network.messages_dropped

@@ -72,6 +72,12 @@ class NotifyAckWorker:
         self.tracer = tracer
         self.max_iter = max_iter
         self.update_size = update_size
+        #: Wire size of one outgoing update (compressed pricing);
+        #: equals ``update_size`` dense.  Set by the cluster.
+        self.wire_size = update_size
+        #: Per-worker error-feedback compressor (reference mode);
+        #: ``None`` keeps the dense fast path.  Set by the cluster.
+        self.compressor = None
 
         self.in_neighbors = topology.in_neighbors(wid, include_self=True)
         self.out_neighbors = topology.out_neighbors(wid, include_self=True)
@@ -243,13 +249,22 @@ class NotifyAckWorker:
     def _send_update(self, params: np.ndarray, iteration: int) -> None:
         # One shared Update for the whole fan-out (receivers only read
         # it; queues track entries by identity).
-        update = Update(params.copy(), iteration, self.wid)
+        if self.compressor is None:
+            update = Update(params.copy(), iteration, self.wid)
+            self_update = update
+        else:
+            # Compressed path: neighbors get the error-feedback
+            # reconstruction, the local queue keeps the true params,
+            # and the push prices the compressed wire size.
+            _, reconstruction = self.compressor.encode_state(params)
+            update = Update(reconstruction, iteration, self.wid)
+            self_update = Update(params.copy(), iteration, self.wid)
         activation = (
             self._out_activation if self.membership is not None else None
         )
         for j in self.out_neighbors:
             if j == self.wid:
-                self.update_queue.enqueue(update)
+                self.update_queue.enqueue(self_update)
                 continue
             if activation is not None and activation.get(j, 0) > iteration:
                 # The edge starts carrying updates at a later iteration
@@ -259,7 +274,7 @@ class NotifyAckWorker:
             self.network.push(
                 self.wid,
                 j,
-                self.update_size,
+                self.wire_size,
                 update,
                 self.update_queues[j].enqueue,
             )
@@ -273,7 +288,12 @@ class NotifyAckWorker:
             if activation is not None and activation.get(j, 0) > iteration:
                 continue
             self.network.push(
-                self.wid, j, CONTROL_SIZE, 1, self.ack_queues[(self.wid, j)].put
+                self.wid,
+                j,
+                CONTROL_SIZE,
+                1,
+                self.ack_queues[(self.wid, j)].put,
+                control=True,
             )
 
     def _ack_acquires(self, iteration: int):

@@ -98,6 +98,14 @@ class HopWorker:
         self.tracer = tracer
         self.max_iter = max_iter
         self.update_size = update_size
+        #: Wire size of one outgoing update (the compressed pricing);
+        #: equals ``update_size`` on the dense path.  Set by the
+        #: cluster when compression is configured.
+        self.wire_size = update_size
+        #: Per-worker error-feedback compressor (reference mode; see
+        #: :mod:`repro.compression`).  ``None`` keeps the dense fast
+        #: path untouched.  Set by the cluster.
+        self.compressor = None
         self.token_rtt = token_rtt
         self.skip_policy = skip_policy
         if crash_at is not None and crash_at < 0:
@@ -267,17 +275,28 @@ class HopWorker:
         # receivers only read (params, iteration, sender) and queues
         # track entries by identity, so the fan-out needs a single
         # payload copy and a single tag object per Send.
-        update = Update(params.copy(), iteration, wid)
+        if self.compressor is None:
+            update = Update(params.copy(), iteration, wid)
+            self_update = update
+        else:
+            # Compressed path: neighbors receive the error-feedback
+            # reconstruction (the reference both ends advance in
+            # lockstep); this worker's own queue keeps the true dense
+            # parameters.  The push below prices the compressed wire
+            # size.
+            _, reconstruction = self.compressor.encode_state(params)
+            update = Update(reconstruction, iteration, wid)
+            self_update = Update(params.copy(), iteration, wid)
         # Self-delivery is hoisted out of the neighbor loop.  It is
         # order-independent: enqueueing to our own queue schedules no
         # events (this worker cannot be blocked on its own queue while
         # it is the one executing Send), so remote sends keep their
         # exact relative event ordering.
-        self.update_queue.enqueue(update)
+        self.update_queue.enqueue(self_update)
         check = self.cfg.check_receiver_iteration
         iterations = self.state.iterations
         push = self.network.push
-        size = self.update_size
+        size = self.wire_size
         for j in self._remote_out:
             if check and iterations[j] > iteration:
                 # Section 6.2(b): receiver already moved past this
@@ -293,12 +312,18 @@ class HopWorker:
         check, kept separate so static runs pay nothing for it.
         """
         wid = self.wid
-        update = Update(params.copy(), iteration, wid)
-        self.update_queue.enqueue(update)
+        if self.compressor is None:
+            update = Update(params.copy(), iteration, wid)
+            self_update = update
+        else:
+            _, reconstruction = self.compressor.encode_state(params)
+            update = Update(reconstruction, iteration, wid)
+            self_update = Update(params.copy(), iteration, wid)
+        self.update_queue.enqueue(self_update)
         check = self.cfg.check_receiver_iteration
         iterations = self.state.iterations
         push = self.network.push
-        size = self.update_size
+        size = self.wire_size
         activation = self._out_activation
         for j in self._remote_out:
             if activation.get(j, 0) > iteration:

@@ -26,6 +26,7 @@ from repro.harness.figures import (
     fig23_scenario_grid,
     fig24_scaling,
     fig25_churn,
+    fig26_compression,
     table1_gap_bounds,
 )
 from repro.harness.report import (
@@ -113,6 +114,7 @@ __all__ = [
     "fig23_scenario_grid",
     "fig24_scaling",
     "fig25_churn",
+    "fig26_compression",
     "figure_to_dict",
     "final_smoothed_loss",
     "iteration_rate_speedup",

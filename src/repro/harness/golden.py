@@ -65,6 +65,17 @@ CHURN_CELLS = {
     },
 }
 
+#: Pinned params for the compressed conformance cells: every protocol
+#: replays the quiet ("none") family under each registered compression
+#: scheme, so the error-feedback math, the deterministic top-k
+#: tie-breaking (argpartition ties broken by index) and the wire-byte
+#: pricing are pinned bitwise alongside the dense cells.
+COMPRESSION_CELLS = {
+    "topk": {"ratio": 0.25},
+    "randomk": {"ratio": 0.25},
+    "int8": {},
+}
+
 
 def conformance_spec(
     protocol: str, family: str, seed: int = 1, params: Optional[dict] = None
@@ -97,6 +108,20 @@ def churn_conformance_spec(
     )
 
 
+def compression_conformance_spec(
+    protocol: str, scheme: str, seed: int = 1
+) -> ExperimentSpec:
+    """The pinned compressed cell for one protocol x scheme."""
+    from repro.compression import CompressionSpec
+
+    return conformance_spec(protocol, "none", seed=seed).with_(
+        name=f"conformance/{protocol}/compressed-{scheme}",
+        compression=CompressionSpec(
+            scheme, dict(COMPRESSION_CELLS[scheme])
+        ),
+    )
+
+
 def _hexfloat(value) -> Optional[str]:
     return None if value is None else float(value).hex()
 
@@ -114,7 +139,11 @@ def golden_fingerprint(run) -> dict:
         "iterations_completed": [int(c) for c in run.iterations_completed],
         "iterations_skipped": [int(s) for s in run.iterations_skipped],
         "messages_sent": int(run.messages_sent),
-        "bytes_sent": _hexfloat(run.bytes_sent),
+        # The recorded cells predate the delivered/dropped/control
+        # accounting split: their ``bytes_sent`` key pins the legacy
+        # launch-time aggregate, which now lives in bytes_attempted.
+        # The key name stays so every recording remains byte-identical.
+        "bytes_sent": _hexfloat(run.bytes_attempted),
         "messages_dropped": int(run.messages_dropped),
         "consensus": _hexfloat(run.consensus),
         "max_gap": _hexfloat(run.gap.max_observed()),

@@ -33,6 +33,10 @@ def run_to_dict(run: TrainingRun, curve_bins: int = 40) -> dict:
         "iterations_skipped": list(map(int, run.iterations_skipped)),
         "messages_sent": int(run.messages_sent),
         "bytes_sent": float(run.bytes_sent),
+        "bytes_dropped": float(run.bytes_dropped),
+        "control_bytes": float(run.control_bytes),
+        "bytes_retransmitted": float(run.bytes_retransmitted),
+        "bytes_attempted": float(run.bytes_attempted),
         "messages_dropped": int(run.messages_dropped),
         "fault_events": [dict(event) for event in run.fault_events],
         "membership_events": [

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional
 
+from repro.compression import CompressionSpec
 from repro.core.config import STANDARD, HopConfig
 from repro.graphs.topology import Topology
 from repro.hetero.slowdown import (
@@ -118,6 +119,11 @@ class ExperimentSpec:
         trace_channels: Optional tracer-channel allowlist forwarded to
             the cluster's :class:`~repro.sim.trace.Tracer` (``None``
             records every channel).
+        compression: Optional update-compression recipe — any name in
+            :func:`repro.compression.registered_compressors` plus its
+            params (e.g. ``CompressionSpec("topk", {"ratio": 0.01})``).
+            ``None`` (or the name ``"none"``) keeps the dense payload
+            path bit-identical to pre-compression behavior.
     """
 
     name: str
@@ -139,6 +145,7 @@ class ExperimentSpec:
     #: Optional tracer-channel allowlist (see repro.sim.trace.Tracer);
     #: perf-focused runs pass repro.protocols.base.LIGHT_TRACE.
     trace_channels: Optional[tuple] = None
+    compression: Optional[CompressionSpec] = None
 
     def with_(self, **changes) -> "ExperimentSpec":
         """A modified copy (dataclasses.replace sugar)."""

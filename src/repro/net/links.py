@@ -19,6 +19,19 @@ class Link:
     latency: float = 1e-4
     bandwidth: float = 125.0  # ~1 Gb/s in MB/s, the paper's cluster NIC
 
+    def __post_init__(self) -> None:
+        # Validate at construction: a zero/negative bandwidth used to
+        # surface only much later, as a ZeroDivisionError deep inside
+        # transfer_time of whatever edge the override landed on.
+        if self.bandwidth <= 0:
+            raise ValueError(
+                f"link bandwidth must be positive, got {self.bandwidth}"
+            )
+        if self.latency < 0:
+            raise ValueError(
+                f"link latency must be non-negative, got {self.latency}"
+            )
+
     def transfer_time(self, size: float) -> float:
         """Seconds to move ``size`` units across this link."""
         if size < 0:

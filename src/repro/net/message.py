@@ -46,3 +46,31 @@ class Message:
 def params_message_size(dim: int, bytes_per_scalar: int = 4) -> float:
     """Message size (in MB) for a flat parameter vector of ``dim`` floats."""
     return dim * bytes_per_scalar / 1e6
+
+
+def payload_bytes(
+    update_size: float, wire_ratio: float = 1.0, vectors: float = 1.0
+) -> float:
+    """Wire size of one update message (bandwidth units, think MB).
+
+    The single pricing helper every protocol's send path routes
+    through:
+
+    * ``update_size`` — the dense per-update payload of the workload
+      (abstract MB; a stand-in for VGG-scale messages).
+    * ``wire_ratio`` — compressed-over-dense byte ratio, derived from
+      the actual encoded buffer dtypes/shapes
+      (:meth:`repro.compression.base.Compressor.wire_ratio`); ``1.0``
+      when uncompressed.
+    * ``vectors`` — logical vectors per message: momentum-tracking
+      gossips parameters *and* a momentum buffer, so its payload is
+      ``vectors=2.0`` (this subsumes the former bespoke
+      ``gossip_payload`` 2x pricing).
+
+    With ``wire_ratio == vectors == 1.0`` the result is bitwise
+    ``update_size`` (multiplying by 1.0 is exact), which is what keeps
+    the uncompressed golden cells pinned.
+    """
+    if update_size < 0:
+        raise ValueError(f"negative update size {update_size}")
+    return update_size * wire_ratio * vectors

@@ -108,11 +108,38 @@ class Network:
         #: static case) keeps the zero-overhead fast path.
         self.membership = None
         #: Cache of membership-checked delivery callbacks, keyed by
-        #: ``(dst, deliver)`` — the pair is stable per edge (bound
-        #: queue enqueues), so elastic runs stay closure-free per
+        #: ``(dst, deliver, size, control)`` — the tuple is stable per
+        #: edge and message class (bound queue enqueues, constant
+        #: per-stream sizes), so elastic runs stay closure-free per
         #: message like the static fast path.
         self._membership_checked: Dict[tuple, Callable[[Any], None]] = {}
+        #: Payload bytes actually delivered.  Static runs credit at
+        #: launch time (delivery is guaranteed: message loss models
+        #: retransmit-until-success); elastic runs credit at delivery,
+        #: so a message whose destination departs mid-flight lands in
+        #: :attr:`bytes_dropped` instead.
         self.bytes_sent = StatAccumulator()
+        #: Payload bytes of in-flight messages dropped by membership
+        #: departures.  ``bytes_sent + bytes_dropped`` equals the sum
+        #: of every launched payload's size once the event queue
+        #: drains.
+        self.bytes_dropped = StatAccumulator()
+        #: Control-plane bytes (ACKs, tokens, RPCs) — charged for
+        #: timing but kept out of the payload-volume stats they used
+        #: to pollute.  Counted at launch, delivered or not (control
+        #: messages are tiny by construction).
+        self.control_bytes = StatAccumulator()
+        #: Extra bytes burned by lost-and-retransmitted attempts
+        #: (:class:`~repro.scenarios.faults.MessageLoss`); the
+        #: delivered copy itself is counted exactly once, above.
+        self.bytes_retransmitted = StatAccumulator()
+        #: Legacy aggregate: every byte offered to the fabric —
+        #: payload and control alike — accumulated at launch time in
+        #: launch order, regardless of the delivery outcome.  This is
+        #: the quantity the recorded golden-stats cells pin (their
+        #: ``bytes_sent`` key predates the split), so its accumulation
+        #: points and order must never move.
+        self.bytes_attempted = StatAccumulator()
         self.messages_sent = 0
         # Uniform-fabric fast path: a plain LinkModel with no per-edge
         # overrides gives every cross-worker message the same
@@ -132,36 +159,64 @@ class Network:
             dropped += self.membership.messages_dropped
         return dropped
 
-    def _membership_deliver(self, dst: int, deliver: Callable[[Any], None]):
+    def _membership_deliver(
+        self,
+        dst: int,
+        deliver: Callable[[Any], None],
+        size: float = 0.0,
+        control: bool = False,
+    ):
         """Delivery callback routed by membership epoch (elastic runs).
 
         The active check happens at *delivery* time: a message launched
         toward a live worker that departs mid-flight is dropped and
-        counted, never enqueued into a dead worker's queue.  Wrappers
-        are cached per ``(dst, deliver)`` so the hot path allocates no
+        counted, never enqueued into a dead worker's queue.  Payload
+        byte accounting resolves here too — delivered bytes credit
+        :attr:`bytes_sent`, dropped bytes :attr:`bytes_dropped` (the
+        pre-split accounting credited both at launch, so departures
+        inflated the delivered-traffic stat).  Wrappers are cached per
+        ``(dst, deliver, size, control)`` so the hot path allocates no
         closure per message.
         """
-        key = (dst, deliver)
+        key = (dst, deliver, size, control)
         checked = self._membership_checked.get(key)
         if checked is None:
             membership = self.membership
+            if control:
+                # Control bytes are counted at launch; only the drop
+                # tally resolves at delivery time.
+                def checked(payload: Any) -> None:
+                    if membership.is_active(dst):
+                        deliver(payload)
+                    else:
+                        membership.messages_dropped += 1
 
-            def checked(payload: Any) -> None:
-                if membership.is_active(dst):
-                    deliver(payload)
-                else:
-                    membership.messages_dropped += 1
+            else:
+                bytes_sent = self.bytes_sent
+                bytes_dropped = self.bytes_dropped
+
+                def checked(payload: Any) -> None:
+                    if membership.is_active(dst):
+                        bytes_sent.add(size)
+                        deliver(payload)
+                    else:
+                        membership.messages_dropped += 1
+                        bytes_dropped.add(size)
 
             self._membership_checked[key] = checked
         return checked
 
-    def _loss_penalty(self, src: int, dst: int, transfer_time: float) -> float:
+    def _loss_penalty(
+        self, src: int, dst: int, transfer_time: float, size: float
+    ) -> float:
         """Extra delay for lost attempts of one (src != dst) message."""
         if self.message_loss is None or src == dst:
             return 0.0
         # Draws happen synchronously at send time, so the draw order —
         # and with it the whole run — stays deterministic.
         drops = self.message_loss.draw_drops()
+        if drops:
+            self.bytes_retransmitted.add(drops * size)
         return drops * (transfer_time + self.message_loss.retransmit_timeout)
 
     def _egress_nic(self, src: int, dst: int) -> Optional["SharedNic"]:
@@ -185,15 +240,24 @@ class Network:
         else:
             transfer = self.links.transfer_time(src, dst, size)
         if self.message_loss is not None:
-            transfer += self._loss_penalty(src, dst, transfer)
+            transfer += self._loss_penalty(src, dst, transfer, size)
         return transfer
 
     def send(
         self,
         message: Message,
         deliver: Callable[[Message], None],
+        control: bool = False,
+        credit: bool = True,
     ) -> Event:
         """Fire-and-forget delivery after the link transfer time.
+
+        ``control=True`` classifies the message as control-plane
+        traffic (ACKs, tokens): charged for timing, counted in
+        :attr:`control_bytes`, excluded from the payload-volume stats.
+        ``credit=False`` means a delivery-outcome crediting wrapper is
+        already installed in ``deliver`` (the elastic :meth:`push`
+        fallback), so this launch site must not double-count.
 
         Returns the event that fires at delivery: a :class:`Delivery`
         on plain links, a :class:`~repro.sim.process.Process` when the
@@ -201,7 +265,11 @@ class Network:
         """
         message.sent_at = self.env.now
         self.messages_sent += 1
-        self.bytes_sent.add(message.size)
+        self.bytes_attempted.add(message.size)
+        if control:
+            self.control_bytes.add(message.size)
+        elif credit:
+            self.bytes_sent.add(message.size)
         # Common case first: no egress NICs configured at all.
         nic = (
             self._egress_nic(message.src, message.dst)
@@ -225,7 +293,7 @@ class Network:
                 nic.latency + message.size / nic.bandwidth + latency
             )
             penalty = self._loss_penalty(
-                message.src, message.dst, attempt_cost
+                message.src, message.dst, attempt_cost, message.size
             )
 
             # Shared-NIC slow path: runs only for egress-serialized
@@ -247,6 +315,7 @@ class Network:
         size: float,
         payload: Any,
         deliver: Callable[[Any], None],
+        control: bool = False,
     ) -> Event:
         """Message-object-free send for protocol hot paths.
 
@@ -254,13 +323,16 @@ class Network:
         :meth:`send`; the payload is handed to ``deliver`` directly at
         delivery time, skipping the :class:`~repro.net.message.Message`
         wrapper (one object construction per message on the fan-out
-        path).  Transfers that must serialize through a shared egress
-        NIC fall back to the full :meth:`send` machinery.
+        path).  ``control=True`` classifies the message as
+        control-plane traffic (see :meth:`send`).  Transfers that must
+        serialize through a shared egress NIC fall back to the full
+        :meth:`send` machinery.
         """
         if self.membership is not None:
             # Wrapped before either branch so the egress-NIC fallback
-            # routes by membership epoch too.
-            deliver = self._membership_deliver(dst, deliver)
+            # routes by membership epoch too.  The wrapper owns the
+            # delivered/dropped byte crediting.
+            deliver = self._membership_deliver(dst, deliver, size, control)
         if self.egress_nics and self._egress_nic(src, dst) is not None:
             message = Message(
                 src=src, dst=dst, kind="update", payload=payload, size=size
@@ -271,28 +343,45 @@ class Network:
             return self.send(
                 message,
                 deliver=lambda m: deliver(m.payload),  # repro: ignore[perf-send-closure]
+                control=control,
+                credit=self.membership is None,
             )
         self.messages_sent += 1
-        self.bytes_sent.add(size)
+        self.bytes_attempted.add(size)
+        if control:
+            self.control_bytes.add(size)
+        elif self.membership is None:
+            self.bytes_sent.add(size)
         delay = self._plain_transfer(src, dst, size)
         return Delivery(self.env, delay, deliver, payload)
 
     def transfer(self, src: int, dst: int, size: float) -> Event:
-        """An event that fires when a transfer completes (blocking send)."""
+        """An event that fires when a transfer completes (blocking send).
+
+        The caller blocks until the transfer finishes (re-sync pulls,
+        state copies), so the bytes are credited as delivered at launch.
+        """
         self.messages_sent += 1
+        self.bytes_attempted.add(size)
         self.bytes_sent.add(size)
         duration = self.links.transfer_time(src, dst, size)
         return self.env.timeout(
-            duration + self._loss_penalty(src, dst, duration)
+            duration + self._loss_penalty(src, dst, duration, size)
         )
 
     def rpc(self, src: int, dst: int, size: float = 0.0) -> Event:
-        """An event that fires after a request/response round trip."""
+        """An event that fires after a request/response round trip.
+
+        RPCs are control-plane by definition (token acquisition,
+        iteration inquiries): charged for timing, counted in
+        :attr:`control_bytes`, never in the payload-volume stats.
+        """
         self.messages_sent += 2
-        self.bytes_sent.add(size)
+        self.bytes_attempted.add(size)
+        self.control_bytes.add(size)
         duration = self.links.round_trip(src, dst, size)
         return self.env.timeout(
-            duration + self._loss_penalty(src, dst, duration)
+            duration + self._loss_penalty(src, dst, duration, size)
         )
 
     def __repr__(self) -> str:

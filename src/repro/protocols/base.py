@@ -38,7 +38,7 @@ from repro.hetero.compute import ComputeModel
 from repro.ml.data import Batcher, Dataset
 from repro.ml.metrics import smooth_series
 from repro.ml.optim import SGD
-from repro.net.message import params_message_size
+from repro.net.message import params_message_size, payload_bytes
 from repro.sim.engine import Environment
 from repro.sim.rng import RngStreams
 from repro.sim.trace import Tracer
@@ -95,6 +95,21 @@ class TrainingRun:
     #: Messages lost (and retransmitted) by the network fault layer,
     #: plus in-flight messages dropped at departed membership members.
     messages_dropped: int = 0
+    #: Payload bytes of in-flight messages dropped by membership
+    #: departures.  ``bytes_sent`` counts *delivered* payload only;
+    #: ``bytes_sent + bytes_dropped`` is everything launched.
+    bytes_dropped: float = 0.0
+    #: Control-plane bytes (ACKs, tokens, RPCs): charged for timing but
+    #: kept out of the payload-volume stats.
+    control_bytes: float = 0.0
+    #: Extra bytes burned by lost-and-retransmitted attempts.
+    bytes_retransmitted: float = 0.0
+    #: Legacy aggregate: every byte offered to the fabric (payload and
+    #: control, delivered or not), in launch order — the quantity the
+    #: recorded golden-stats cells pin under their ``bytes_sent`` key.
+    #: For protocols without a Network object this equals
+    #: ``bytes_sent``.
+    bytes_attempted: float = 0.0
     #: Membership-plane lifecycle (elastic runs under churn scenarios):
     #: ``{"kind": "join"|"leave"|"rewire", "worker", "time",
     #: "iteration", "epoch", ...}``, enactment-ordered; rewire records
@@ -237,6 +252,13 @@ class ProtocolCluster:
             the model dimension when omitted.
         evaluate: Whether to evaluate the averaged final model on the
             test split.
+        compression: Optional
+            :class:`~repro.compression.CompressionSpec`.  When set,
+            each worker compresses its outgoing updates through a
+            per-(worker, stream) error-feedback compressor
+            (:meth:`_stream_compressor`) and every send is priced at
+            the compressed wire size (:meth:`_wire_size`).  ``None``
+            keeps the dense fast path bit-identically.
 
     Subclass contract:
 
@@ -283,6 +305,7 @@ class ProtocolCluster:
         update_size: Optional[float] = None,
         evaluate: bool = True,
         trace_channels: Optional[Tuple[str, ...]] = None,
+        compression=None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("need at least one worker")
@@ -304,6 +327,16 @@ class ProtocolCluster:
         self.trace_channels = (
             tuple(trace_channels) if trace_channels is not None else None
         )
+        if compression is not None and compression.name == "none":
+            # CompressionSpec("none") IS the dense path: normalizing
+            # here keeps every `if self.compression is None` branch —
+            # and therefore bitwise behavior — identical to no spec.
+            compression = None
+        self.compression = compression
+        #: Per-(worker, stream) compressor instances; built lazily so
+        #: the model dim/dtype are known (see :meth:`_stream_compressor`).
+        self._compressors: Dict[tuple, object] = {}
+        self._wire_ratio_cached: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Construction helpers (shared by every protocol)
@@ -338,6 +371,64 @@ class ProtocolCluster:
         return params_message_size(models[0].dim)
 
     # ------------------------------------------------------------------
+    # Compression plane (shared by every protocol)
+    # ------------------------------------------------------------------
+    def _stream_compressor(
+        self, runtime: ProtocolRuntime, wid: int, stream: str = "params"
+    ):
+        """The (worker, stream) error-feedback compressor, or ``None``.
+
+        One instance per logical vector stream: residual/reference
+        state must never be shared across workers, and a protocol that
+        ships two distinct vectors (momentum-tracking's momentum
+        buffer) uses a second stream.  Seeded schemes derive their rng
+        from ``(experiment seed, wid, stream)`` so same-seed runs
+        replay bit-identically.
+        """
+        if self.compression is None:
+            return None
+        key = (wid, stream)
+        compressor = self._compressors.get(key)
+        if compressor is None:
+            from repro.compression import build_compressor
+
+            reference = runtime.models[0].get_params()
+            compressor = build_compressor(
+                self.compression,
+                dim=reference.size,
+                dtype=reference.dtype,
+                seed=[self.seed, wid, *stream.encode()],
+            )
+            self._compressors[key] = compressor
+        return compressor
+
+    def _wire_ratio(self, runtime: ProtocolRuntime) -> float:
+        """Compressed-over-dense byte ratio of one update (1.0 dense)."""
+        if self.compression is None:
+            return 1.0
+        if self._wire_ratio_cached is None:
+            # The ratio is a pure function of dim/dtype/knobs, so any
+            # worker's instance reports it; worker 0's params stream
+            # exists in every compressed protocol.
+            self._wire_ratio_cached = self._stream_compressor(
+                runtime, 0
+            ).wire_ratio()
+        return self._wire_ratio_cached
+
+    def _wire_size(
+        self, runtime: ProtocolRuntime, vectors: float = 1.0
+    ) -> float:
+        """Wire size of one update message — the shared pricing path.
+
+        Every protocol's send path routes through this (and so through
+        :func:`repro.net.message.payload_bytes`); with no compression
+        and one vector the result is bitwise ``update_size``.
+        """
+        return payload_bytes(
+            runtime.update_size, self._wire_ratio(runtime), vectors
+        )
+
+    # ------------------------------------------------------------------
     # Subclass hooks
     # ------------------------------------------------------------------
     def _start(self, runtime: ProtocolRuntime) -> None:
@@ -370,6 +461,24 @@ class ProtocolCluster:
     def _message_totals(self, runtime: ProtocolRuntime) -> Tuple[int, float]:
         """``(messages_sent, bytes_sent)`` for the whole run."""
         return int(runtime.traffic[0]), float(runtime.traffic[1])
+
+    def _byte_stats(
+        self, runtime: ProtocolRuntime, bytes_sent: float
+    ) -> Dict[str, float]:
+        """The byte-accounting split beyond delivered payload bytes.
+
+        Protocols that track traffic analytically (or through
+        :meth:`ProtocolRuntime.count_traffic`) count only realized
+        exchanges, so everything is delivered and ``bytes_attempted``
+        collapses onto ``bytes_sent``.  Network-backed clusters
+        override this with the fabric's real counters.
+        """
+        return {
+            "bytes_dropped": 0.0,
+            "control_bytes": 0.0,
+            "bytes_retransmitted": 0.0,
+            "bytes_attempted": bytes_sent,
+        }
 
     def _messages_dropped(self, runtime: ProtocolRuntime) -> int:
         """Messages lost to fault injection (protocols with a Network)."""
@@ -512,6 +621,7 @@ class ProtocolCluster:
             )
 
         messages_sent, bytes_sent = self._message_totals(runtime)
+        byte_stats = self._byte_stats(runtime, bytes_sent)
         return TrainingRun(
             protocol=self.protocol,
             config_description=self._config_description(),
@@ -533,4 +643,5 @@ class ProtocolCluster:
             fault_events=self._collect_fault_events(runtime),
             messages_dropped=self._messages_dropped(runtime),
             membership_events=self._collect_membership_events(runtime),
+            **byte_stats,
         )

@@ -75,6 +75,7 @@ class MomentumTrackingCluster(ADPSGDCluster):
         evaluate: bool = True,
         trace_channels=None,
         churn=None,
+        compression=None,
     ) -> None:
         if momentum_mode not in MOMENTUM_MODES:
             raise ValueError(
@@ -95,6 +96,7 @@ class MomentumTrackingCluster(ADPSGDCluster):
             evaluate=evaluate,
             trace_channels=trace_channels,
             churn=churn,
+            compression=compression,
         )
         self.momentum_mode = momentum_mode
         self.beta = (
@@ -103,22 +105,38 @@ class MomentumTrackingCluster(ADPSGDCluster):
         self.weight_decay = self.optimizer_proto.weight_decay
         self._lr = self.optimizer_proto.schedule
 
-    def gossip_payload(self, update_size: float) -> float:
-        """Bytes per gossip direction (doubled in tracking mode)."""
+    def _gossip_vectors(self) -> float:
+        """Tracking mode ships two vectors (parameters + momentum); the
+        shared :func:`~repro.net.message.payload_bytes` pricing doubles
+        the wire accordingly."""
         if self.momentum_mode == "tracking":
-            return 2.0 * update_size
-        return update_size
+            return 2.0
+        return 1.0
 
     def _average_state(
         self, wid: int, partner: int, params: Dict[int, np.ndarray]
     ) -> None:
-        """Average parameters — and, in tracking mode, momentum too."""
+        """Average parameters — and, in tracking mode, momentum too.
+
+        Compressed runs ship the momentum buffer through its own
+        CHOCO reference channel (stream ``"momentum"``): sharing the
+        params channel would corrupt both references.
+        """
         super()._average_state(wid, partner, params)
         if self.momentum_mode == "tracking":
             momentum = self._momentum
-            mean_u = 0.5 * (momentum[wid] + momentum[partner])
-            momentum[wid] = mean_u.copy()
-            momentum[partner] = mean_u.copy()
+            compressors = getattr(self, "_momentum_compressors", None)
+            if compressors is None or compressors[wid] is None:
+                mean_u = 0.5 * (momentum[wid] + momentum[partner])
+                momentum[wid] = mean_u.copy()
+                momentum[partner] = mean_u.copy()
+                return
+            _, recon_wid = compressors[wid].encode_state(momentum[wid])
+            _, recon_partner = compressors[partner].encode_state(
+                momentum[partner]
+            )
+            momentum[wid] = 0.5 * (momentum[wid] + recon_partner)
+            momentum[partner] = 0.5 * (recon_wid + momentum[partner])
 
     def _resync_joiner(
         self, params: Dict[int, np.ndarray], wid: int, active
@@ -211,6 +229,10 @@ class MomentumTrackingCluster(ADPSGDCluster):
         self._momentum: Dict[int, np.ndarray] = {
             wid: np.zeros(dim) for wid in range(self.n_workers)
         }
+        self._momentum_compressors = [
+            self._stream_compressor(runtime, wid, stream="momentum")
+            for wid in range(self.n_workers)
+        ]
         super()._start(runtime)
 
     def _config_description(self) -> str:

@@ -182,6 +182,7 @@ class PartialAllReduceCluster(ProtocolCluster):
         trace_channels=None,
         churn=None,
         topology=None,
+        compression=None,
     ) -> None:
         super().__init__(
             n_workers=n_workers,
@@ -195,6 +196,7 @@ class PartialAllReduceCluster(ProtocolCluster):
             update_size=update_size,
             evaluate=evaluate,
             trace_channels=trace_channels,
+            compression=compression,
         )
         self.links = links or uniform_links()
         if churn is not None and churn.empty:
@@ -291,17 +293,34 @@ class PartialAllReduceCluster(ProtocolCluster):
             barrier.arrived += 1
             if barrier.arrived == len(group):
                 # Last member in: perform the group's all-reduce.
-                mean = np.mean([params[m] for m in group], axis=0)
-                for member in group:
-                    params[member] = mean.copy()
+                compressors = self._group_compressors
+                if compressors[group[0]] is None:
+                    mean = np.mean([params[m] for m in group], axis=0)
+                    for member in group:
+                        params[member] = mean.copy()
+                else:
+                    # CHOCO-style compressed group reduce: each member
+                    # broadcasts its reference delta; everyone steps
+                    # toward the mean of the *reconstructions*, keeping
+                    # its own compression error local.
+                    recons = {
+                        m: compressors[m].encode_state(params[m])[1]
+                        for m in group
+                    }
+                    mean = np.mean([recons[m] for m in group], axis=0)
+                    for member in group:
+                        params[member] = params[member] + (
+                            mean - recons[member]
+                        )
                 g = len(group)
                 runtime.count_traffic(
-                    2 * (g - 1) * g, 2.0 * (g - 1) * runtime.update_size
+                    2 * (g - 1) * g,
+                    2.0 * (g - 1) * self._wire_size(runtime),
                 )
                 barrier.event.succeed()
             yield barrier.event
             yield env.timeout(
-                self.group_comm_time(group, runtime.update_size)
+                self.group_comm_time(group, self._wire_size(runtime))
             )
 
         runtime.tracer.log(f"loss/{wid}", env.now, loss)
@@ -413,6 +432,11 @@ class PartialAllReduceCluster(ProtocolCluster):
             wid: runtime.models[wid].get_params()
             for wid in range(self.n_workers)
         }
+        # One CHOCO reference channel per worker (None when dense).
+        self._group_compressors = [
+            self._stream_compressor(runtime, wid)
+            for wid in range(self.n_workers)
+        ]
         self._completed = [0] * self.n_workers
         barriers: Dict[Tuple[int, Tuple[int, ...]], _GroupBarrier] = {}
         for wid in range(self.n_workers):

@@ -191,6 +191,7 @@ def spec_common_kwargs(spec: "ExperimentSpec") -> dict:
         seed=spec.seed,
         update_size=workload.update_size,
         trace_channels=spec.trace_channels,
+        compression=spec.compression,
     )
 
 

@@ -1,0 +1,10 @@
+"""Fixture: det-partition-order flags raw argpartition selection."""
+
+import numpy as np
+
+
+def top_k_indices(values, k):
+    # The returned order is introselect's internal pivot order — ties
+    # land differently across numpy versions, and this order becomes
+    # the wire indices.
+    return np.argpartition(np.abs(values), values.size - k)[values.size - k:]

@@ -1,0 +1,9 @@
+"""Fixture: deterministic selection — stable sort, or a justified use."""
+
+import numpy as np
+
+
+def top_k_indices(values, k):
+    # kind='stable' pins the tie order to index order.
+    order = np.argsort(np.abs(values), kind="stable")
+    return np.sort(order[values.size - k:])

@@ -22,6 +22,7 @@ CASES = [
     ("det-set-iter", "repro/sim/det_set_iter"),
     ("det-id-key", "repro/sim/det_id_key"),
     ("det-env-read", "repro/sim/det_env_read"),
+    ("det-partition-order", "repro/compression/det_partition_order"),
     ("alias-params-write", "repro/core/alias_params_write"),
     ("alias-reduce-out", "repro/core/alias_reduce_out"),
     ("alias-hot-alloc", "repro/core/alias_hot_alloc"),

@@ -55,5 +55,30 @@ def test_registry_covers_the_evaluation_section():
         "fig23",  # extension: protocol x scenario-family grid
         "fig24",  # extension: simulator scaling study
         "fig25",  # extension: membership churn study
+        "fig26",  # extension: update compression ablation
     }
     assert set(ALL_FIGURES) == expected
+
+
+def test_fig24_ps_hotspot_pinned_across_accounting_split():
+    """The PS-hotspot numbers, bitwise, before == after.
+
+    The delivered/dropped/control byte-accounting split changes what
+    the volume stats *mean* but must not move a single simulated
+    timestamp — the pre-split golden cells replay bitwise, and these
+    hex literals extend that pin to the fig24 hotspot cells: the
+    smoke-preset ps-async rows must reproduce them exactly (the
+    hotspot serializes every worker through one NIC, so any accidental
+    timing change shows up here first).
+    """
+    result = ALL_FIGURES["fig24"]("smoke")
+    pinned = {
+        8: float.fromhex("0x1.068db8bac7102p+4"),
+        16: float.fromhex("0x1.068db8bac7107p+5"),
+    }
+    observed = {
+        row["workers"]: row["sim_wall_time"]
+        for row in result.rows
+        if row["protocol"] == "ps-async"
+    }
+    assert observed == pinned

@@ -81,6 +81,36 @@ class TestDegradedLinks:
         assert degraded.transfer_time(1, 0, 1.0) == base.transfer_time(1, 0, 1.0)
 
 
+class TestLinkValidation:
+    """Bad link parameters fail at construction, not as a
+    ZeroDivisionError deep inside transfer_time much later."""
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ValueError, match="bandwidth must be positive"):
+            Link(bandwidth=0.0)
+
+    def test_negative_bandwidth_rejected(self):
+        with pytest.raises(ValueError, match="bandwidth must be positive"):
+            Link(bandwidth=-125.0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError, match="latency must be non-negative"):
+            Link(latency=-1e-4)
+
+    def test_zero_latency_allowed(self):
+        assert Link(latency=0.0).transfer_time(1.0) > 0.0
+
+    def test_per_edge_override_validated_too(self):
+        # Overrides are Links, so a bad one fails before it can hide
+        # inside a model and blow up on whatever edge it landed on.
+        with pytest.raises(ValueError, match="bandwidth must be positive"):
+            LinkModel(default=Link(), overrides={(0, 1): Link(bandwidth=0.0)})
+
+    def test_uniform_links_validated(self):
+        with pytest.raises(ValueError, match="bandwidth must be positive"):
+            uniform_links(bandwidth=-1.0)
+
+
 def test_params_message_size():
     # 1M float32 parameters = 4 MB.
     assert params_message_size(1_000_000) == pytest.approx(4.0)

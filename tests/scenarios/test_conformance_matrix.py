@@ -43,10 +43,12 @@ from repro.graphs import ring_based
 from repro.harness import ExperimentSpec, run_spec, svm_workload
 from repro.harness.golden import (
     CHURN_CELLS,
+    COMPRESSION_CELLS,
     ELASTIC_PROTOCOLS,
     MAX_ITER,
     N_WORKERS,
     churn_conformance_spec,
+    compression_conformance_spec,
     conformance_spec,
     golden_fingerprint,
 )
@@ -186,6 +188,63 @@ def test_elastic_protocol_churn_cell(protocol, family):
     )
 
 
+@pytest.mark.parametrize("scheme", sorted(COMPRESSION_CELLS))
+@pytest.mark.parametrize("protocol", registered_protocols())
+def test_compressed_protocol_cell(protocol, scheme):
+    """One compressed cell: every protocol trains under every
+    registered compression scheme, sends strictly fewer payload bytes
+    than its dense twin, and stays bitwise deterministic and
+    golden-pinned (the pin covers the error-feedback math and top-k's
+    deterministic tie-breaking)."""
+    first = run_spec(compression_conformance_spec(protocol, scheme))
+
+    assert all(c == MAX_ITER for c in first.iterations_completed), (
+        f"{protocol} under {scheme}: iterations "
+        f"{first.iterations_completed}"
+    )
+    assert first.final_loss is not None and math.isfinite(first.final_loss)
+    assert np.isfinite(first.final_params).all()
+
+    dense = run_spec(conformance_spec(protocol, "none"))
+    assert first.bytes_sent < dense.bytes_sent, (
+        f"{protocol}/{scheme}: compression did not shrink the wire "
+        f"({first.bytes_sent} vs dense {dense.bytes_sent})"
+    )
+    assert first.messages_sent == dense.messages_sent, (
+        "compression changes payload sizes, never the message pattern"
+    )
+
+    second = run_spec(compression_conformance_spec(protocol, scheme))
+    assert run_fingerprint(first) == run_fingerprint(second), (
+        f"{protocol} under {scheme} is not deterministic"
+    )
+
+    key = f"{protocol}/compressed-{scheme}"
+    assert key in GOLDEN_CELLS, (
+        f"no golden recorded for {key}; run "
+        "scripts/record_golden_stats.py and review the diff"
+    )
+    assert golden_fingerprint(first) == GOLDEN_CELLS[key], (
+        f"{protocol} under {scheme} no longer matches the recorded "
+        "golden stats: the compression plane's numerical behavior "
+        "changed"
+    )
+
+
+def test_compression_none_matches_dense_bitwise():
+    """`compression=None` and `CompressionSpec("none")` are the same
+    run, byte for byte — the dense path must be untouched by the
+    compression plane's existence."""
+    from repro.compression import CompressionSpec
+
+    base = conformance_spec("hop", "none")
+    dense = run_spec(base)
+    named_none = run_spec(
+        base.with_(compression=CompressionSpec("none"))
+    )
+    assert run_fingerprint(dense) == run_fingerprint(named_none)
+
+
 def test_pre_membership_golden_cells_untouched():
     """The 90 pre-refactor cells are immutable: static-membership runs
     must be unaffected by the membership plane, byte for byte."""
@@ -193,6 +252,7 @@ def test_pre_membership_golden_cells_untouched():
         key: value
         for key, value in GOLDEN_CELLS.items()
         if key.split("/", 1)[1] not in CHURN_CELLS
+        and not key.split("/", 1)[1].startswith("compressed-")
     }
     assert len(original) == 90
     blob = json.dumps(
@@ -215,6 +275,7 @@ def test_pre_elasticity_golden_cells_untouched():
         key
         for key in GOLDEN_CELLS
         if key.split("/", 1)[1] not in CHURN_CELLS
+        and not key.split("/", 1)[1].startswith("compressed-")
     }
     keys.update(
         f"{protocol}/{family}"
