@@ -9,6 +9,10 @@ workloads:
 * the ``fig24`` 64-worker hop scaling cell (svm/bench, 40 iterations,
   light tracing — min of 3),
 * the bare-engine sim-core microbenchmark (events/sec, best of 3),
+* the experiment-service load benchmark (4 concurrent HTTP clients
+  against an in-process ``repro serve`` stack: a cold round computing
+  every cell, then a warm round served entirely from the result
+  cache),
 * conv/pool kernel microbenchmarks (bench-preset shapes, float32),
 
 alongside two frozen reference points: the seed commit (``seed``) and
@@ -42,6 +46,7 @@ import numpy as np
 
 from repro.graphs import ring_based
 from repro.harness.figures import fig12_heterogeneity
+from repro.harness.io import atomic_write_json
 from repro.harness.parallel import default_jobs
 from repro.harness.profiling import sim_core_events_per_sec
 from repro.harness.spec import ExperimentSpec, run_spec
@@ -164,6 +169,66 @@ def sim_core_bench() -> dict:
     return {"sim_core_events_per_sec": round(sim_core_events_per_sec())}
 
 
+def service_load_bench() -> dict:
+    """Concurrent-client load against an in-process experiment service.
+
+    Four clients each submit a one-cell sweep over HTTP and wait for
+    completion; the cold round computes every cell through the process
+    pool, the warm round replays the identical sweeps and must be
+    served entirely from the verified result cache.
+    """
+    import tempfile
+    import threading
+
+    from repro.service.client import ServiceClient
+    from repro.service.server import ExperimentService, make_server
+
+    specs = [
+        {"workers": 4, "max_iter": 5, "seed": seed} for seed in range(4)
+    ]
+    with tempfile.TemporaryDirectory() as state:
+        service = ExperimentService(state, pool_workers=2)
+        httpd = make_server(service, port=0)
+        server_thread = threading.Thread(
+            target=httpd.serve_forever, daemon=True
+        )
+        server_thread.start()
+        url = f"http://127.0.0.1:{httpd.server_address[1]}"
+
+        def one_client(spec: dict) -> None:
+            client = ServiceClient(url, timeout=60.0)
+            ticket = client.submit([spec])
+            client.wait_for_sweep(ticket["sweep_id"], timeout=300)
+
+        def round_seconds() -> float:
+            threads = [
+                threading.Thread(target=one_client, args=(spec,))
+                for spec in specs
+            ]
+            start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            return time.perf_counter() - start
+
+        cold = round_seconds()
+        warm = round_seconds()
+        stats = service.stats()
+        if stats["runs_computed"] != len(specs):
+            raise SystemExit(
+                "service warm round recomputed: "
+                f"{stats['runs_computed']} runs for {len(specs)} specs"
+            )
+        httpd.shutdown()
+        httpd.server_close()
+        service.scheduler.shutdown(timeout=30)
+    return {
+        "service_cold_sweep_seconds": round(cold, 3),
+        "service_warm_sweep_seconds": round(warm, 3),
+    }
+
+
 def _load_history(path: Path) -> list:
     """Existing history (synthesizing one entry from a legacy snapshot)."""
     if not path.exists():
@@ -204,6 +269,7 @@ def main(argv=None) -> int:
     current.update(fig24_cell_bench())
     current.update(fig25_bench())
     current.update(sim_core_bench())
+    current.update(service_load_bench())
     current.update(conv_microbench())
     current.update(pool_microbench())
     current = {key: round(value, 2) for key, value in current.items()}
@@ -239,6 +305,8 @@ def main(argv=None) -> int:
         "workload": "fig12_heterogeneity(preset='bench', workload_name='cnn')"
                     " + fig24 hop/64 scaling cell (svm bench, 40 iters,"
                     " light trace) + sim-core events/sec"
+                    " + service load bench (4 concurrent HTTP clients,"
+                    " cold compute round then warm cache round)"
                     " + bench-preset conv/pool kernel shapes (float32)",
         "methodology": "min-of-N per metric (N: fig12 --repeats, fig24 3,"
                        " sim-core 3); this container's CPU oscillates"
@@ -252,7 +320,7 @@ def main(argv=None) -> int:
         "speedup_vs_pre_refactor": ratios(PR4_PRE_REFACTOR),
         "history": history,
     }
-    output.write_text(json.dumps(report, indent=2) + "\n")
+    atomic_write_json(output, report)
     print(json.dumps(report, indent=2))
     return 0
 

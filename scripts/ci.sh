@@ -122,6 +122,16 @@ echo "== sanitizer smoke: REPRO_SANITIZE=1 conformance cell =="
 # cell must still match its golden fingerprint bit-for-bit.
 REPRO_SANITIZE=1 python -m pytest -x -q tests/analysis/test_sanitizer.py
 
+echo "== service smoke: serve/submit, golden-verified cache, drain =="
+# The fault-tolerant experiment service end-to-end: a real `repro
+# serve` subprocess computes the golden-pinned hop/none cell (asserted
+# bit-for-bit against golden_stats.json), serves the second identical
+# submit as a fingerprint-verified cache hit, and drains on SIGTERM
+# with exit 0.  The chaos suite (tests/service/test_chaos.py, part of
+# tier-1 above) covers kill -9 resume, cache corruption and worker
+# crashes.
+python scripts/service_smoke.py
+
 echo "== docs: README / ARCHITECTURE code blocks =="
 python scripts/check_docs.py
 

@@ -37,6 +37,7 @@ from repro.harness.golden import (  # noqa: E402
     conformance_spec,
     golden_fingerprint,
 )
+from repro.harness.io import atomic_write_json  # noqa: E402
 from repro.harness.spec import run_spec  # noqa: E402
 from repro.protocols import registered_protocols  # noqa: E402
 from repro.scenarios import registered_scenarios  # noqa: E402
@@ -176,7 +177,7 @@ def main(argv=None) -> int:
         ),
         "cells": cells,
     }
-    Path(args.output).write_text(json.dumps(payload, indent=1) + "\n")
+    atomic_write_json(args.output, payload, indent=1)
     print(f"{len(cells)} cells -> {args.output}")
     return 0
 

@@ -76,4 +76,6 @@ class Baseline:
             "version": 1,
             "findings": self.entries,
         }
-        Path(path).write_text(json.dumps(payload, indent=1) + "\n")
+        from repro.harness.io import atomic_write_json
+
+        atomic_write_json(path, payload, indent=1)

@@ -18,6 +18,7 @@ from repro.analysis.registry import register_rule
 from repro.analysis.rules import aliasing  # noqa: F401
 from repro.analysis.rules import contracts  # noqa: F401
 from repro.analysis.rules import determinism  # noqa: F401
+from repro.analysis.rules import io_rules  # noqa: F401
 from repro.analysis.rules import perf  # noqa: F401
 
 

@@ -1,0 +1,83 @@
+"""I/O rules: result files must land atomically.
+
+The repo's durability story (golden stats, bench baselines, the
+service's result cache) rests on one discipline: JSON artifacts are
+written via :func:`repro.harness.io.atomic_write_json` / ``_text``
+(same-dir tempfile + fsync + rename), so a crash mid-write can never
+leave a torn file at the final path.  A bare ``json.dump`` into a
+freshly ``open()``'d file re-introduces exactly that torn-file window.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import ModuleContext, Rule, dotted_name
+from repro.analysis.registry import register_rule
+
+
+def _called(node: ast.Call) -> str:
+    return dotted_name(node.func) or ""
+
+
+def _is_open_call(node: ast.AST) -> bool:
+    return isinstance(node, ast.Call) and _called(node) in ("open", "io.open")
+
+
+def _is_json_dumps(node: ast.AST) -> bool:
+    if isinstance(node, ast.Call) and _called(node) in (
+        "json.dumps",
+        "dumps",
+    ):
+        return True
+    # ``json.dumps(...) + "\n"`` — the usual trailing-newline idiom.
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        return _is_json_dumps(node.left) or _is_json_dumps(node.right)
+    return False
+
+
+class AtomicWriteRule(Rule):
+    name = "io-atomic-write"
+    group = "io"
+    summary = "persist JSON artifacts with the atomic-write helpers"
+    rationale = (
+        "`json.dump(obj, open(path, 'w'))` and "
+        "`path.write_text(json.dumps(...))` leave a torn file if the "
+        "process dies mid-write — and torn golden stats / cache "
+        "entries / baselines poison every later read; route result "
+        "persistence through repro.harness.io.atomic_write_json "
+        "(tempfile + fsync + rename) instead"
+    )
+    scope = None
+
+    def visit_Call(self, node: ast.Call, ctx: ModuleContext) -> None:
+        name = _called(node)
+        if name in ("json.dump", "dump"):
+            # json.dump(obj, open(...)) / json.dump(obj, fp=open(...))
+            targets = list(node.args[1:2]) + [
+                kw.value for kw in node.keywords if kw.arg == "fp"
+            ]
+            if any(_is_open_call(target) for target in targets):
+                ctx.report(
+                    self,
+                    node,
+                    "`json.dump` into a bare `open(...)` handle is a "
+                    "torn-file window; use "
+                    "repro.harness.io.atomic_write_json",
+                )
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "write_text"
+            and node.args
+            and _is_json_dumps(node.args[0])
+        ):
+            ctx.report(
+                self,
+                node,
+                "`.write_text(json.dumps(...))` truncates the target "
+                "before writing; use "
+                "repro.harness.io.atomic_write_json",
+            )
+
+
+register_rule(AtomicWriteRule)

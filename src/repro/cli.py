@@ -17,6 +17,12 @@ Commands:
 * ``lint``     — static analysis for simulator invariants
   (determinism, zero-copy aliasing, DES perf, registry contracts);
   see :mod:`repro.analysis`.  Exit 1 on findings.
+* ``serve``    — the fault-tolerant experiment service: accepts
+  ExperimentSpec JSON over HTTP, schedules runs across a process
+  pool, and content-addresses results on disk (see
+  :mod:`repro.service`).  Survives worker crashes and ``kill -9``.
+* ``submit``   — client for ``serve``: post spec JSON file(s), wait
+  for the sweep, and print per-cell results.
 
 ``train --protocol`` accepts any name from the protocol registry
 (:mod:`repro.protocols.registry`): ``hop``, ``notify_ack``, ``ps``
@@ -427,6 +433,103 @@ def _cmd_graphs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.service.server import ExperimentService, make_server
+
+    service = ExperimentService(
+        args.state_dir,
+        pool_workers=args.pool_workers,
+        run_timeout=args.run_timeout,
+        attempts=args.attempts,
+        max_pending=args.max_pending,
+        inline=args.inline,
+    )
+    resumed = service.resume()
+    httpd = make_server(service, host=args.host, port=args.port)
+    host, port = httpd.server_address[:2]
+    # The port line is a contract: with --port 0 the OS picks, and
+    # scripted callers (smoke/chaos harnesses) parse it from stdout.
+    print(f"repro serve: listening on http://{host}:{port}", flush=True)
+    print(f"repro serve: state dir {service.state_dir}", flush=True)
+    if resumed:
+        print(
+            f"repro serve: resumed {len(resumed)} journaled sweep(s): "
+            + ", ".join(resumed),
+            flush=True,
+        )
+
+    def _drain_and_stop() -> None:
+        service.shutdown(timeout=args.drain_timeout)
+        httpd.shutdown()
+
+    def _on_signal(signum: int, frame: object) -> None:
+        print("repro serve: draining (signal received)...", flush=True)
+        threading.Thread(target=_drain_and_stop, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    try:
+        httpd.serve_forever(poll_interval=0.1)
+    finally:
+        httpd.server_close()
+    print("repro serve: drained cleanly", flush=True)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.service.client import ServiceClient, ServiceError
+
+    specs: List[dict] = []
+    for source in args.specs:
+        if source == "-":
+            payload = json.load(sys.stdin)
+        else:
+            payload = json.loads(Path(source).read_text())
+        specs.extend(payload if isinstance(payload, list) else [payload])
+    client = ServiceClient(args.url, timeout=args.timeout)
+    try:
+        ticket = client.submit(specs, sweep_id=args.sweep_id)
+    except ServiceError as error:
+        print(f"repro submit: rejected: {error}", file=sys.stderr)
+        return 1
+    print(
+        f"sweep {ticket['sweep_id']}: {len(ticket['cells'])} cell(s) admitted"
+    )
+    if args.no_wait:
+        return 0
+    try:
+        snapshot = client.wait_for_sweep(
+            ticket["sweep_id"], timeout=args.wait_timeout
+        )
+    except TimeoutError as error:
+        print(f"repro submit: {error}", file=sys.stderr)
+        return 1
+    for digest, cell in snapshot["cells"].items():
+        origin = "cache" if cell["cache_hit"] else f"ran x{cell['attempts']}"
+        line = f"  {digest[:12]}  {cell['status']:<6} ({origin})"
+        if cell["status"] == "done" and not args.json:
+            entry = client.result(digest)
+            fp = entry["fingerprint"]
+            line += (
+                f"  loss={float.fromhex(fp['final_loss']):.6f}"
+                f"  acc={float.fromhex(fp['final_accuracy']):.4f}"
+            )
+        print(line)
+    if args.json:
+        results = {
+            digest: client.result(digest)
+            for digest, cell in snapshot["cells"].items()
+            if cell["status"] == "done"
+        }
+        print(json.dumps({"sweep": snapshot, "results": results}, indent=1))
+    return 1 if snapshot["failed"] else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -637,6 +740,80 @@ def build_parser() -> argparse.ArgumentParser:
         help="list registered rules (with --json: full rationale rows)",
     )
     lint.set_defaults(func=_cmd_lint)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the fault-tolerant experiment service (repro.service)",
+    )
+    serve.add_argument(
+        "--state-dir", required=True,
+        help="directory for the result cache and run journal",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8642,
+        help="TCP port (0 = OS-assigned; the bound port is printed)",
+    )
+    serve.add_argument(
+        "--pool-workers", type=int, default=2,
+        help="process-pool size (= concurrent runs)",
+    )
+    serve.add_argument(
+        "--run-timeout", type=float, default=120.0,
+        help="per-run wall-clock budget before the attempt is killed",
+    )
+    serve.add_argument(
+        "--attempts", type=int, default=3,
+        help="attempts per cell (crash/timeout/failure retries)",
+    )
+    serve.add_argument(
+        "--max-pending", type=int, default=64,
+        help="admission bound; beyond it submits are shed with HTTP 429",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=60.0,
+        help="SIGTERM grace period for in-flight sweeps",
+    )
+    serve.add_argument(
+        "--inline", action="store_true",
+        help="run cells in-process instead of a process pool (tests "
+             "and fork-less sandboxes)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit spec JSON to a running experiment service"
+    )
+    submit.add_argument(
+        "specs", nargs="+",
+        help="spec JSON file(s); each holds one spec object or an "
+             "array of specs ('-' reads stdin)",
+    )
+    submit.add_argument(
+        "--url", default="http://127.0.0.1:8642",
+        help="service base URL",
+    )
+    submit.add_argument(
+        "--sweep-id", default=None,
+        help="explicit sweep id (default: server-assigned)",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="per-request HTTP timeout (seconds)",
+    )
+    submit.add_argument(
+        "--wait-timeout", type=float, default=600.0,
+        help="how long to wait for the sweep to complete",
+    )
+    submit.add_argument(
+        "--no-wait", action="store_true",
+        help="admit the sweep and exit without waiting",
+    )
+    submit.add_argument(
+        "--json", action="store_true",
+        help="dump the final snapshot + results as JSON",
+    )
+    submit.set_defaults(func=_cmd_submit)
 
     return parser
 

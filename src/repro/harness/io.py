@@ -3,11 +3,23 @@
 Training runs hold numpy arrays and tracers; this module flattens them
 to plain JSON for archiving, diffing across reproductions, and loading
 into external plotting tools.
+
+It also owns the repository's one crash-safe persistence primitive:
+:func:`atomic_write_text` / :func:`atomic_write_json` stage the payload
+in a same-directory temp file, fsync it, and ``os.replace`` it into
+place — so a reader can never observe a torn half-written artifact, no
+matter when the writer dies.  Every JSON result writer in the repo
+(run summaries, golden stats, bench baselines, traces, the service's
+result cache) goes through it; the ``io-atomic-write`` lint rule
+rejects bare ``json.dump(open(...))`` / ``write_text(json.dumps(...))``
+persistence that would reintroduce the torn-write hazard.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Union
 
@@ -16,6 +28,46 @@ import numpy as np
 from repro.core.cluster import TrainingRun
 from repro.harness.figures import FigureResult
 from repro.harness.results import binned_loss_curve
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> Path:
+    """Crash-safe file write: temp file + fsync + atomic rename.
+
+    The temp file lives in the destination directory (``os.replace``
+    must not cross filesystems), so a crash at any point leaves either
+    the old content or the new content — never a torn mix, never a
+    truncated tail.  Returns the path written.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(handle, "w") as tmp:
+            tmp.write(text)
+            tmp.flush()
+            os.fsync(tmp.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_json(
+    path: Union[str, Path],
+    payload,
+    indent: int = 2,
+    sort_keys: bool = False,
+) -> Path:
+    """:func:`atomic_write_text` for a JSON payload (trailing newline)."""
+    return atomic_write_text(
+        path, json.dumps(payload, indent=indent, sort_keys=sort_keys) + "\n"
+    )
 
 
 def run_to_dict(run: TrainingRun, curve_bins: int = 40) -> dict:
@@ -68,10 +120,7 @@ def _jsonify(value):
 
 def save_run(run: TrainingRun, path: Union[str, Path]) -> Path:
     """Write a run summary as JSON; returns the path written."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(run_to_dict(run), indent=2) + "\n")
-    return path
+    return atomic_write_json(path, run_to_dict(run))
 
 
 def load_run_summary(path: Union[str, Path]) -> dict:
@@ -106,7 +155,4 @@ def figure_to_dict(result: FigureResult) -> dict:
 
 def save_figure(result: FigureResult, path: Union[str, Path]) -> Path:
     """Write a figure reproduction (JSON) next to its text render."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(figure_to_dict(result), indent=2) + "\n")
-    return path
+    return atomic_write_json(path, figure_to_dict(result))

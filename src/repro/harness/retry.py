@@ -1,0 +1,112 @@
+"""Deterministic retry with seeded exponential backoff + jitter.
+
+The experiment service retries failed runs (crashed pool workers,
+timeouts, transient I/O) under exponential backoff.  Backoff jitter is
+usually a source of nondeterminism; here the jitter stream is drawn
+from a *seeded* ``random.Random``, so a given ``jitter_seed`` always
+produces the exact same delay schedule — retry timing is replayable in
+tests and chaos runs just like everything else in this repo.
+
+:func:`backoff_schedule` is the pure half (attempts -> delays);
+:func:`retry` is the driver.  Both are harness/service utilities:
+nothing inside the simulation may sleep on wall-clock time.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, List, Optional, Tuple, Type
+
+
+class RetryError(RuntimeError):
+    """Every attempt failed; carries the last underlying error.
+
+    Attributes:
+        attempts: How many times the callable ran (== the retry
+            budget; the schedule was exhausted).
+        last_error: The exception raised by the final attempt (also
+            chained as ``__cause__``).
+    """
+
+    def __init__(self, attempts: int, last_error: BaseException) -> None:
+        super().__init__(
+            f"all {attempts} attempt(s) failed; last error: "
+            f"{type(last_error).__name__}: {last_error}"
+        )
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+def backoff_schedule(
+    attempts: int,
+    base: float = 0.05,
+    factor: float = 2.0,
+    jitter: float = 0.1,
+    jitter_seed: int = 0,
+    max_delay: Optional[float] = None,
+) -> List[float]:
+    """The ``attempts - 1`` inter-attempt delays, fully determined.
+
+    Delay ``i`` (after failed attempt ``i``) is ``base * factor**i``,
+    scaled by a jitter draw in ``[1, 1 + jitter]`` from
+    ``random.Random(jitter_seed)``, then capped at ``max_delay``.  Same
+    arguments -> bitwise-identical schedule, so retry timing replays.
+    """
+    if attempts < 1:
+        raise ValueError(f"attempts must be >= 1, got {attempts}")
+    if base < 0 or jitter < 0:
+        raise ValueError("base and jitter must be >= 0")
+    rng = random.Random(jitter_seed)
+    delays = []
+    for index in range(attempts - 1):
+        delay = base * factor**index
+        if jitter:
+            delay *= 1.0 + jitter * rng.random()
+        if max_delay is not None:
+            delay = min(delay, max_delay)
+        delays.append(delay)
+    return delays
+
+
+def retry(
+    fn: Callable[[], object],
+    attempts: int = 3,
+    base: float = 0.05,
+    factor: float = 2.0,
+    jitter: float = 0.1,
+    jitter_seed: int = 0,
+    max_delay: Optional[float] = None,
+    retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Optional[Callable[[int, BaseException, float], None]] = None,
+) -> object:
+    """Call ``fn`` until it succeeds, backing off deterministically.
+
+    Runs ``fn`` up to ``attempts`` times.  After a failure that matches
+    ``retry_on``, sleeps the next :func:`backoff_schedule` delay (via
+    the injectable ``sleep``, so tests record delays instead of
+    waiting) and optionally reports through ``on_retry(attempt_index,
+    error, delay)``.  Exhaustion raises :class:`RetryError` chained to
+    the final failure; exceptions outside ``retry_on`` propagate
+    immediately.
+    """
+    delays = backoff_schedule(
+        attempts,
+        base=base,
+        factor=factor,
+        jitter=jitter,
+        jitter_seed=jitter_seed,
+        max_delay=max_delay,
+    )
+    for attempt in range(attempts):
+        try:
+            return fn()
+        except retry_on as error:  # noqa: PERF203 - the point of the loop
+            if attempt == attempts - 1:
+                raise RetryError(attempts, error) from error
+            delay = delays[attempt]
+            if on_retry is not None:
+                on_retry(attempt, error, delay)
+            sleep(delay)
+    raise AssertionError("unreachable")  # pragma: no cover

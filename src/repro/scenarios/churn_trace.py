@@ -148,12 +148,9 @@ def record_churn_trace(
     plan: ChurnPlan, path: Union[str, Path], source: str = ""
 ) -> Path:
     """Write ``plan`` as a replayable JSON churn trace."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(
-        json.dumps(churn_trace_to_dict(plan, source), indent=2) + "\n"
-    )
-    return path
+    from repro.harness.io import atomic_write_json
+
+    return atomic_write_json(path, churn_trace_to_dict(plan, source))
 
 
 def load_churn_trace(path: Union[str, Path]) -> ChurnPlan:

@@ -92,10 +92,9 @@ class TraceSlowdown(SlowdownModel):
         )
 
     def save(self, path: Union[str, Path]) -> Path:
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
-        return path
+        from repro.harness.io import atomic_write_json
+
+        return atomic_write_json(path, self.to_dict())
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "TraceSlowdown":

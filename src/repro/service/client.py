@@ -1,0 +1,143 @@
+"""Stdlib HTTP client for the experiment service.
+
+Wraps ``urllib`` with the same :mod:`repro.harness.retry` policy the
+server uses internally: connection errors retry under deterministic
+seeded backoff (a just-started server that hasn't bound yet is the
+common case), while HTTP error *statuses* pass through untouched — a
+400 or 429 is an answer, not an outage.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import List, Optional
+
+from repro.harness.retry import retry
+
+
+class ServiceError(RuntimeError):
+    """An HTTP error status from the service, with the parsed body."""
+
+    def __init__(self, status: int, body: dict) -> None:
+        message = body.get("error") if isinstance(body, dict) else None
+        super().__init__(f"HTTP {status}: {message or body}")
+        self.status = status
+        self.body = body
+
+
+class ServiceClient:
+    """Talk to one ``repro serve`` instance."""
+
+    def __init__(
+        self,
+        url: str,
+        timeout: float = 30.0,
+        connect_attempts: int = 5,
+        jitter_seed: int = 0,
+    ) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+        self.connect_attempts = connect_attempts
+        self.jitter_seed = jitter_seed
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _request(self, path: str, payload: Optional[dict] = None) -> dict:
+        def attempt() -> dict:
+            data = None
+            headers = {}
+            if payload is not None:
+                data = json.dumps(payload).encode()
+                headers["Content-Type"] = "application/json"
+            request = urllib.request.Request(
+                self.url + path, data=data, headers=headers
+            )
+            try:
+                with urllib.request.urlopen(
+                    request, timeout=self.timeout
+                ) as response:
+                    return json.loads(response.read())
+            except urllib.error.HTTPError as error:
+                raw = error.read()
+                try:
+                    body = json.loads(raw)
+                except json.JSONDecodeError:
+                    body = {"error": raw.decode(errors="replace")}
+                raise ServiceError(error.code, body) from None
+
+        # Only transport failures (URLError: refused, reset, DNS) are
+        # retried; ServiceError is an application answer.
+        return retry(
+            attempt,
+            attempts=self.connect_attempts,
+            base=0.1,
+            jitter_seed=self.jitter_seed,
+            retry_on=(urllib.error.URLError, ConnectionError),
+        )
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def submit(self, specs: List[dict], sweep_id: Optional[str] = None) -> dict:
+        body: dict = {"specs": list(specs)}
+        if sweep_id is not None:
+            body["sweep_id"] = sweep_id
+        return self._request("/submit", body)
+
+    def submit_one(self, spec: dict) -> dict:
+        return self._request("/submit", spec)
+
+    def sweep(self, sweep_id: str) -> dict:
+        return self._request(f"/sweep/{sweep_id}")
+
+    def result(self, spec_hash: str) -> dict:
+        return self._request(f"/result/{spec_hash}")
+
+    def healthz(self) -> dict:
+        return self._request("/healthz")
+
+    def readyz(self) -> bool:
+        try:
+            return bool(self._request("/readyz").get("ready"))
+        except ServiceError as error:
+            if error.status == 503:
+                return False
+            raise
+
+    def stats(self) -> dict:
+        return self._request("/stats")
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def wait_for_sweep(
+        self, sweep_id: str, timeout: float = 300.0, poll: float = 0.2
+    ) -> dict:
+        """Poll until the sweep completes; returns the final snapshot."""
+        deadline = time.monotonic() + timeout
+        while True:
+            snapshot = self.sweep(sweep_id)
+            if snapshot.get("complete"):
+                return snapshot
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"sweep {sweep_id} incomplete after {timeout:.0f}s: "
+                    f"{snapshot.get('done')}/{snapshot.get('total')} cells"
+                )
+            time.sleep(poll)
+
+    def run_and_wait(
+        self, specs: List[dict], timeout: float = 300.0
+    ) -> dict:
+        """Submit, wait, and return ``{"sweep": ..., "results": {...}}``."""
+        ticket = self.submit(specs)
+        snapshot = self.wait_for_sweep(ticket["sweep_id"], timeout=timeout)
+        results = {}
+        for digest, cell in snapshot["cells"].items():
+            if cell["status"] == "done":
+                results[digest] = self.result(digest)
+        return {"sweep": snapshot, "results": results}

@@ -1,0 +1,176 @@
+"""Write-ahead run journal: sweeps survive ``kill -9``.
+
+Before the scheduler runs anything it journals the sweep (id + every
+cell's hash and request payload); each completed cell appends a
+``done`` record *after* its cache entry is safely on disk, and a
+finished sweep appends ``sweep-done``.  Records are JSONL lines
+written with flush + fsync, so the journal is durable up to the last
+fsync; a crash can at worst leave one torn *final* line, which replay
+detects and discards (the corresponding state is re-derived from the
+cache — cells whose cache write landed are hits, nothing is lost and
+nothing runs twice).
+
+On restart the server replays the journal: every sweep without a
+``sweep-done`` is re-submitted, completed cells short-circuit through
+the cache, and only genuinely unfinished cells compute.
+:meth:`RunJournal.checkpoint` compacts the file (atomic tmpfile +
+rename via :func:`repro.harness.io.atomic_write_text`), dropping
+completed sweeps so the journal does not grow without bound.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+
+@dataclass
+class SweepRecord:
+    """Replayed state of one journaled sweep."""
+
+    sweep_id: str
+    #: ``[{"hash": ..., "payload": {...}}, ...]`` in submission order.
+    cells: List[dict] = field(default_factory=list)
+    #: Spec hashes with a ``done`` record.
+    done: Dict[str, dict] = field(default_factory=dict)
+    complete: bool = False
+
+    @property
+    def pending(self) -> List[dict]:
+        return [cell for cell in self.cells if cell["hash"] not in self.done]
+
+
+class RunJournal:
+    """Append-only JSONL journal with torn-tail-tolerant replay."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def append(self, record: dict) -> None:
+        """Durably append one record (write + flush + fsync).
+
+        Appends are not atomic-rename on purpose: the journal is an
+        append-only log, and its crash contract is "at most one torn
+        final line", which :meth:`replay` tolerates.
+        """
+        line = json.dumps(record, sort_keys=True) + "\n"
+        with self._lock:
+            with open(self.path, "a") as handle:
+                handle.write(line)
+                handle.flush()
+                os.fsync(handle.fileno())
+
+    def sweep_submitted(self, sweep_id: str, cells: List[dict]) -> None:
+        self.append({"kind": "sweep", "sweep_id": sweep_id, "cells": cells})
+
+    def cell_done(self, sweep_id: str, spec_hash: str, cache_hit: bool,
+                  attempts: int, status: str = "done") -> None:
+        self.append(
+            {
+                "kind": "done",
+                "sweep_id": sweep_id,
+                "hash": spec_hash,
+                "cache_hit": cache_hit,
+                "attempts": attempts,
+                "status": status,
+            }
+        )
+
+    def sweep_done(self, sweep_id: str) -> None:
+        self.append({"kind": "sweep-done", "sweep_id": sweep_id})
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def replay(self) -> Dict[str, SweepRecord]:
+        """``{sweep_id: SweepRecord}`` from the surviving records.
+
+        A torn final line (the one crash mode fsync'd appends admit)
+        is skipped; a torn line anywhere else means external
+        corruption, which raises so the operator sees it rather than
+        silently dropping sweeps.
+        """
+        sweeps: Dict[str, SweepRecord] = {}
+        try:
+            raw_lines = self.path.read_text().splitlines()
+        except FileNotFoundError:
+            return sweeps
+        last_index = len(raw_lines) - 1
+        for index, line in enumerate(raw_lines):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if index == last_index:
+                    break  # torn tail from a mid-append crash
+                raise ValueError(
+                    f"corrupt journal line {index + 1} in {self.path} "
+                    "(not the final line, so not a torn append)"
+                )
+            self._apply(sweeps, record)
+        return sweeps
+
+    @staticmethod
+    def _apply(sweeps: Dict[str, SweepRecord], record: dict) -> None:
+        kind = record.get("kind")
+        sweep_id = record.get("sweep_id")
+        if not sweep_id:
+            return
+        if kind == "sweep":
+            sweeps[sweep_id] = SweepRecord(
+                sweep_id=sweep_id, cells=list(record.get("cells", []))
+            )
+        elif kind == "done" and sweep_id in sweeps:
+            sweeps[sweep_id].done[record["hash"]] = record
+        elif kind == "sweep-done" and sweep_id in sweeps:
+            sweeps[sweep_id].complete = True
+
+    def next_sweep_seq(self) -> int:
+        """1 + the highest ``s<NNN>`` id ever journaled (fresh file: 1)."""
+        highest = 0
+        for sweep_id in self.replay():
+            if sweep_id.startswith("s") and sweep_id[1:].isdigit():
+                highest = max(highest, int(sweep_id[1:]))
+        return highest + 1
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+    def checkpoint(self, keep: Optional[Dict[str, SweepRecord]] = None) -> int:
+        """Atomically rewrite the journal without completed sweeps.
+
+        Returns the number of sweeps kept.  The rewrite goes through
+        the atomic-write helper, so a crash mid-checkpoint leaves the
+        previous journal intact.
+        """
+        from repro.harness.io import atomic_write_text
+
+        state = keep if keep is not None else self.replay()
+        lines = []
+        kept = 0
+        for sweep in state.values():
+            if sweep.complete:
+                continue
+            kept += 1
+            lines.append(json.dumps(
+                {"kind": "sweep", "sweep_id": sweep.sweep_id,
+                 "cells": sweep.cells},
+                sort_keys=True,
+            ))
+            for record in sweep.done.values():
+                lines.append(json.dumps(record, sort_keys=True))
+        with self._lock:
+            atomic_write_text(
+                self.path, "".join(line + "\n" for line in lines)
+            )
+        return kept

@@ -1,0 +1,7 @@
+"""Trigger: io-atomic-write — bare ``json.dump`` into ``open()``."""
+
+import json
+
+
+def persist_stats(path, stats):
+    json.dump(stats, open(path, "w"), indent=2)

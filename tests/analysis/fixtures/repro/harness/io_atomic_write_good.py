@@ -1,0 +1,7 @@
+"""Clean twin: results go through the atomic-write helper."""
+
+from repro.harness.io import atomic_write_json
+
+
+def persist_stats(path, stats):
+    return atomic_write_json(path, stats, indent=2)

@@ -30,6 +30,7 @@ CASES = [
     ("perf-slots", "repro/sim/perf_slots"),
     ("perf-send-closure", "repro/sim/perf_send_closure"),
     ("perf-fstring-name", "repro/sim/perf_fstring_name"),
+    ("io-atomic-write", "repro/harness/io_atomic_write"),
     ("contract-elastic", "repro/protocols/contract_elastic"),
     ("contract-universal", "repro/protocols/contract_universal"),
     ("contract-docstring", "repro/protocols/contract_docstring"),
@@ -80,6 +81,28 @@ def test_scoped_rule_ignores_out_of_scope_package(tmp_path):
     config = LintConfig(root=tmp_path, baseline=None)
     report = run_lint([ml / "mod.py"], rules=["det-env-read"], config=config)
     assert report.findings == []
+
+
+def test_io_atomic_write_flags_write_text_variant(tmp_path):
+    # The second shape the rule knows: Path.write_text(json.dumps(...))
+    # truncates the target before writing — same torn-file window.
+    source = (
+        '"""Module persisting a baseline."""\n\n'
+        "import json\n\n\n"
+        "def persist(path, payload):\n"
+        '    path.write_text(json.dumps(payload, indent=2) + "\\n")\n'
+    )
+    pkg = tmp_path / "repro" / "harness"
+    pkg.mkdir(parents=True)
+    (pkg / "mod.py").write_text(source)
+    config = LintConfig(root=tmp_path, baseline=None)
+    report = run_lint(
+        [pkg / "mod.py"], rules=["io-atomic-write"], config=config
+    )
+    assert [finding.rule for finding in report.findings] == [
+        "io-atomic-write"
+    ]
+    assert "write_text" in report.findings[0].message
 
 
 def test_contract_elastic_flags_unjustified_opt_out(tmp_path):

@@ -1,0 +1,63 @@
+"""Unit tests for the atomic-write helpers in :mod:`repro.harness.io`."""
+
+import json
+import os
+
+import pytest
+
+from repro.harness.io import atomic_write_json, atomic_write_text
+
+
+class TestAtomicWriteText:
+    def test_writes_content_and_returns_path(self, tmp_path):
+        target = tmp_path / "out.txt"
+        assert atomic_write_text(target, "hello\n") == target
+        assert target.read_text() == "hello\n"
+
+    def test_creates_parent_directories(self, tmp_path):
+        target = tmp_path / "a" / "b" / "out.txt"
+        atomic_write_text(target, "x")
+        assert target.read_text() == "x"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        target = tmp_path / "out.txt"
+        for _ in range(3):
+            atomic_write_text(target, "y")
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    def test_failed_write_preserves_original(self, tmp_path, monkeypatch):
+        target = tmp_path / "out.json"
+        atomic_write_text(target, "original")
+
+        # Make the rename step explode: the original must survive and
+        # the temp file must be cleaned up.
+        def boom(src, dst):
+            raise OSError("injected rename failure")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError, match="injected"):
+            atomic_write_text(target, "replacement")
+        monkeypatch.undo()
+        assert target.read_text() == "original"
+        assert os.listdir(tmp_path) == ["out.json"]
+
+    def test_overwrite_is_all_or_nothing(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "short")
+        atomic_write_text(target, "a much longer replacement body")
+        assert target.read_text() == "a much longer replacement body"
+
+
+class TestAtomicWriteJson:
+    def test_round_trips_payload_with_trailing_newline(self, tmp_path):
+        target = tmp_path / "out.json"
+        payload = {"b": [1, 2], "a": {"nested": True}}
+        atomic_write_json(target, payload)
+        text = target.read_text()
+        assert text.endswith("\n")
+        assert json.loads(text) == payload
+
+    def test_sort_keys_and_indent_knobs(self, tmp_path):
+        target = tmp_path / "out.json"
+        atomic_write_json(target, {"b": 1, "a": 2}, indent=1, sort_keys=True)
+        assert target.read_text().splitlines()[1].lstrip().startswith('"a"')

@@ -1,0 +1,128 @@
+"""Unit tests for :mod:`repro.harness.retry`.
+
+The schedule is a contract: deterministic for a given ``jitter_seed``
+(the scheduler derives the seed from the spec hash, so chaos reruns
+sleep the exact same delays) and exponentially growing with bounded
+jitter.
+"""
+
+import random
+
+import pytest
+
+from repro.harness.retry import RetryError, backoff_schedule, retry
+
+
+class TestBackoffSchedule:
+    def test_exact_schedule_matches_seeded_rng(self):
+        # The contract, recomputed by hand: delay i = base * factor**i
+        # scaled by (1 + jitter * U[0,1)) with U from Random(seed);
+        # attempts runs need attempts - 1 inter-attempt delays.
+        attempts, base, factor, jitter, seed = 5, 0.05, 2.0, 0.1, 42
+        rng = random.Random(seed)
+        expected = [
+            base * factor**i * (1.0 + jitter * rng.random())
+            for i in range(attempts - 1)
+        ]
+        assert backoff_schedule(
+            attempts, base=base, factor=factor, jitter=jitter,
+            jitter_seed=seed,
+        ) == expected
+
+    def test_deterministic_per_seed(self):
+        first = backoff_schedule(6, jitter_seed=7)
+        assert backoff_schedule(6, jitter_seed=7) == first
+        assert backoff_schedule(6, jitter_seed=8) != first
+
+    def test_exponential_growth_with_bounded_jitter(self):
+        delays = backoff_schedule(8, base=0.1, factor=2.0, jitter=0.25,
+                                  jitter_seed=3)
+        for i, delay in enumerate(delays):
+            ideal = 0.1 * 2.0**i
+            assert ideal <= delay <= ideal * 1.25
+
+    def test_zero_jitter_is_pure_exponential(self):
+        assert backoff_schedule(5, base=1.0, factor=3.0, jitter=0.0) == [
+            1.0, 3.0, 9.0, 27.0,
+        ]
+
+    def test_max_delay_caps_the_tail(self):
+        delays = backoff_schedule(10, base=1.0, jitter=0.0, max_delay=4.0)
+        assert delays[:3] == [1.0, 2.0, 4.0]
+        assert all(d == 4.0 for d in delays[2:])
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"attempts": 0}, {"attempts": -1},
+                   {"attempts": 3, "base": -0.1},
+                   {"attempts": 3, "jitter": -0.5}],
+    )
+    def test_invalid_parameters_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            backoff_schedule(**kwargs)
+
+
+class TestRetry:
+    def test_returns_first_success_without_sleeping(self):
+        sleeps = []
+        assert retry(lambda: 42, attempts=3, sleep=sleeps.append) == 42
+        assert sleeps == []
+
+    def test_sleeps_the_exact_schedule_between_failures(self):
+        sleeps = []
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError("transient")
+            return "ok"
+
+        result = retry(
+            flaky, attempts=5, base=0.05, jitter_seed=11,
+            sleep=sleeps.append,
+        )
+        assert result == "ok"
+        assert calls["n"] == 3
+        # Two failures -> the first two schedule delays, verbatim.
+        assert sleeps == backoff_schedule(5, base=0.05, jitter_seed=11)[:2]
+
+    def test_exhaustion_raises_retry_error_chaining_last(self):
+        sleeps = []
+
+        def always():
+            raise ValueError("nope")
+
+        with pytest.raises(RetryError) as info:
+            retry(always, attempts=3, sleep=sleeps.append)
+        assert info.value.attempts == 3
+        assert isinstance(info.value.last_error, ValueError)
+        assert isinstance(info.value.__cause__, ValueError)
+        assert len(sleeps) == 2  # no sleep after the final failure
+
+    def test_only_listed_exceptions_are_retried(self):
+        calls = {"n": 0}
+
+        def wrong_kind():
+            calls["n"] += 1
+            raise KeyError("not transient")
+
+        with pytest.raises(KeyError):
+            retry(wrong_kind, attempts=5, retry_on=(OSError,),
+                  sleep=lambda _: None)
+        assert calls["n"] == 1
+
+    def test_on_retry_hook_sees_attempt_and_error(self):
+        seen = []
+
+        def flaky():
+            if len(seen) < 2:
+                raise OSError("boom")
+            return 1
+
+        retry(
+            flaky, attempts=4, sleep=lambda _: None,
+            on_retry=lambda attempt, error, delay: seen.append(
+                (attempt, type(error).__name__, delay > 0)
+            ),
+        )
+        assert seen == [(0, "OSError", True), (1, "OSError", True)]
