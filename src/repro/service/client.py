@@ -5,6 +5,13 @@ server uses internally: connection errors retry under deterministic
 seeded backoff (a just-started server that hasn't bound yet is the
 common case), while HTTP error *statuses* pass through untouched — a
 400 or 429 is an answer, not an outage.
+
+Only idempotent requests auto-retry: every GET, and submits that
+carry an explicit ``sweep_id`` (the server acknowledges an identical
+re-send with the existing ticket).  A submit *without* a sweep id is
+not idempotent — a retry whose first request was admitted but whose
+response was lost would mint a duplicate sweep — so it gets exactly
+one attempt; pass ``sweep_id`` to make submission retry-safe.
 """
 
 from __future__ import annotations
@@ -46,7 +53,12 @@ class ServiceClient:
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
-    def _request(self, path: str, payload: Optional[dict] = None) -> dict:
+    def _request(
+        self,
+        path: str,
+        payload: Optional[dict] = None,
+        idempotent: Optional[bool] = None,
+    ) -> dict:
         def attempt() -> dict:
             data = None
             headers = {}
@@ -69,11 +81,16 @@ class ServiceClient:
                     body = {"error": raw.decode(errors="replace")}
                 raise ServiceError(error.code, body) from None
 
-        # Only transport failures (URLError: refused, reset, DNS) are
-        # retried; ServiceError is an application answer.
+        # Only transport failures (URLError: refused, reset, DNS) on
+        # *idempotent* requests are retried; ServiceError is an
+        # application answer.  Non-idempotent requests (submit with a
+        # server-assigned sweep id) get one attempt: a retry after a
+        # lost response could duplicate server-side state.
+        if idempotent is None:
+            idempotent = payload is None  # GETs are always idempotent
         return retry(
             attempt,
-            attempts=self.connect_attempts,
+            attempts=self.connect_attempts if idempotent else 1,
             base=0.1,
             jitter_seed=self.jitter_seed,
             retry_on=(urllib.error.URLError, ConnectionError),
@@ -83,13 +100,16 @@ class ServiceClient:
     # Endpoints
     # ------------------------------------------------------------------
     def submit(self, specs: List[dict], sweep_id: Optional[str] = None) -> dict:
+        """Submit a sweep.  With an explicit ``sweep_id`` the request
+        is idempotent (the server dedupes identical re-sends) and so
+        retries on connection failure; without one it is sent once."""
         body: dict = {"specs": list(specs)}
         if sweep_id is not None:
             body["sweep_id"] = sweep_id
-        return self._request("/submit", body)
+        return self._request("/submit", body, idempotent=sweep_id is not None)
 
     def submit_one(self, spec: dict) -> dict:
-        return self._request("/submit", spec)
+        return self._request("/submit", spec, idempotent=False)
 
     def sweep(self, sweep_id: str) -> dict:
         return self._request(f"/sweep/{sweep_id}")

@@ -8,7 +8,10 @@ written with flush + fsync, so the journal is durable up to the last
 fsync; a crash can at worst leave one torn *final* line, which replay
 detects and discards (the corresponding state is re-derived from the
 cache — cells whose cache write landed are hits, nothing is lost and
-nothing runs twice).
+nothing runs twice).  Before its first append after opening, the
+journal truncates any torn tail left by a previous crash, so a new
+record is never glued onto the fragment (the fragment's fsync never
+completed, so dropping it loses nothing durable).
 
 On restart the server replays the journal: every sweep without a
 ``sweep-done`` is re-submitted, completed cells short-circuit through
@@ -25,7 +28,7 @@ import os
 import threading
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 
 @dataclass
@@ -51,19 +54,53 @@ class RunJournal:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._lock = threading.Lock()
+        self._tail_checked = False
 
     # ------------------------------------------------------------------
     # Writing
     # ------------------------------------------------------------------
+    def _repair_torn_tail_locked(self) -> None:
+        """Truncate a torn final line before the first append.
+
+        A ``kill -9`` mid-append can leave the file ending without a
+        newline.  :meth:`replay` tolerates reading that, but appending
+        after it would glue the next record onto the fragment and turn
+        it into a corrupt *mid-file* line that poisons every later
+        replay.  The fragment's fsync never completed, so it carries
+        no durable state: truncating back to the last complete line
+        loses nothing (completed cells are re-found in the cache).
+        """
+        if self._tail_checked:
+            return
+        self._tail_checked = True
+        try:
+            with open(self.path, "rb+") as handle:
+                handle.seek(0, os.SEEK_END)
+                size = handle.tell()
+                if size == 0:
+                    return
+                handle.seek(size - 1)
+                if handle.read(1) == b"\n":
+                    return
+                handle.seek(0)
+                keep = handle.read().rfind(b"\n") + 1
+                handle.truncate(keep)
+                handle.flush()
+                os.fsync(handle.fileno())
+        except FileNotFoundError:
+            return
+
     def append(self, record: dict) -> None:
         """Durably append one record (write + flush + fsync).
 
         Appends are not atomic-rename on purpose: the journal is an
         append-only log, and its crash contract is "at most one torn
-        final line", which :meth:`replay` tolerates.
+        final line", which :meth:`replay` tolerates and which the
+        first append repairs (see :meth:`_repair_torn_tail_locked`).
         """
         line = json.dumps(record, sort_keys=True) + "\n"
         with self._lock:
+            self._repair_torn_tail_locked()
             with open(self.path, "a") as handle:
                 handle.write(line)
                 handle.flush()
@@ -99,11 +136,22 @@ class RunJournal:
         corruption, which raises so the operator sees it rather than
         silently dropping sweeps.
         """
+        return self._scan()[0]
+
+    def _scan(self) -> Tuple[Dict[str, SweepRecord], int]:
+        """``(sweeps, seq high-water-mark)`` from the surviving records.
+
+        The high-water-mark is the max of every ``seq`` record and
+        every parsed ``s<NNN>`` sweep id — including completed sweeps
+        still in the file — so sweep ids are never reused even after
+        :meth:`checkpoint` drops the sweeps that minted them.
+        """
         sweeps: Dict[str, SweepRecord] = {}
+        seq_hwm = 0
         try:
             raw_lines = self.path.read_text().splitlines()
         except FileNotFoundError:
-            return sweeps
+            return sweeps, seq_hwm
         last_index = len(raw_lines) - 1
         for index, line in enumerate(raw_lines):
             if not line.strip():
@@ -117,8 +165,14 @@ class RunJournal:
                     f"corrupt journal line {index + 1} in {self.path} "
                     "(not the final line, so not a torn append)"
                 )
+            if record.get("kind") == "seq":
+                seq_hwm = max(seq_hwm, int(record.get("value", 0)))
+                continue
             self._apply(sweeps, record)
-        return sweeps
+        for sweep_id in sweeps:
+            if sweep_id.startswith("s") and sweep_id[1:].isdigit():
+                seq_hwm = max(seq_hwm, int(sweep_id[1:]))
+        return sweeps, seq_hwm
 
     @staticmethod
     def _apply(sweeps: Dict[str, SweepRecord], record: dict) -> None:
@@ -136,12 +190,12 @@ class RunJournal:
             sweeps[sweep_id].complete = True
 
     def next_sweep_seq(self) -> int:
-        """1 + the highest ``s<NNN>`` id ever journaled (fresh file: 1)."""
-        highest = 0
-        for sweep_id in self.replay():
-            if sweep_id.startswith("s") and sweep_id[1:].isdigit():
-                highest = max(highest, int(sweep_id[1:]))
-        return highest + 1
+        """1 + the highest ``s<NNN>`` id ever journaled (fresh file: 1).
+
+        Checkpoints persist the high-water-mark as a ``seq`` record, so
+        the sequence survives compaction and ids are never reissued.
+        """
+        return self._scan()[1] + 1
 
     # ------------------------------------------------------------------
     # Compaction
@@ -151,12 +205,19 @@ class RunJournal:
 
         Returns the number of sweeps kept.  The rewrite goes through
         the atomic-write helper, so a crash mid-checkpoint leaves the
-        previous journal intact.
+        previous journal intact.  The sweep-id high-water-mark is
+        carried over as a ``seq`` record so compaction never causes a
+        restarted server to reuse the ids of the sweeps it dropped.
         """
         from repro.harness.io import atomic_write_text
 
-        state = keep if keep is not None else self.replay()
+        sweeps, seq_hwm = self._scan()
+        state = keep if keep is not None else sweeps
         lines = []
+        if seq_hwm:
+            lines.append(json.dumps(
+                {"kind": "seq", "value": seq_hwm}, sort_keys=True
+            ))
         kept = 0
         for sweep in state.values():
             if sweep.complete:

@@ -51,7 +51,12 @@ def _apply_chaos(chaos: dict, attempt: int) -> None:
 
 
 def execute_cell(payload: dict, attempt: int = 0) -> dict:
-    """Run one spec payload; returns ``{"result", "fingerprint"}``.
+    """Run one spec payload.
+
+    Returns ``{"spec_hash", "spec", "result", "fingerprint"}`` where
+    ``spec`` is the canonical form — the scheduler stores it in the
+    cache entry so ``GET /result/<hash>`` can report exactly which
+    experiment a result belongs to.
 
     Deterministic by construction: the spec carries every seed, so the
     same payload produces the same fingerprint on any attempt, in any
@@ -61,10 +66,11 @@ def execute_cell(payload: dict, attempt: int = 0) -> dict:
     chaos = payload.get("chaos") or {}
     if chaos:
         _apply_chaos(chaos, attempt)
-    spec, _, digest = spec_from_dict(payload)
+    spec, canonical, digest = spec_from_dict(payload)
     run = run_spec(spec)
     return {
         "spec_hash": digest,
+        "spec": canonical,
         "result": run_to_dict(run),
         "fingerprint": golden_fingerprint(run),
     }

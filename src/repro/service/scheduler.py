@@ -332,7 +332,7 @@ class RunScheduler:
                     continue
                 self.cache.put(
                     spec_hash,
-                    outcome.get("spec", {}),
+                    outcome["spec"],
                     outcome["fingerprint"],
                     outcome["result"],
                 )
@@ -368,15 +368,21 @@ class RunScheduler:
             self._finish_sweep_if_done(sweep)
 
     def _finish_sweep_if_done(self, sweep: SweepState) -> None:
-        cells = list(sweep.cells.values())
-        if any(c.status not in ("done", "failed") for c in cells):
-            return
-        if sweep.finished.is_set():
-            return
-        # Only a fully *successful* sweep is journaled done: a sweep
-        # with failed cells stays resumable, so a restart retries the
-        # failures with a fresh attempt budget.  The journal line lands
-        # before the event so waiters observe a consistent journal.
-        if all(c.status == "done" for c in cells):
-            self.journal.sweep_done(sweep.sweep_id)
-        sweep.finished.set()
+        # The whole terminal-check -> set transition holds the state
+        # lock: without it, two dispatchers completing the last two
+        # cells can both observe all-terminal before either sets the
+        # event and journal sweep-done twice.
+        with self._state_lock:
+            cells = list(sweep.cells.values())
+            if any(c.status not in ("done", "failed") for c in cells):
+                return
+            if sweep.finished.is_set():
+                return
+            # Only a fully *successful* sweep is journaled done: a
+            # sweep with failed cells stays resumable, so a restart
+            # retries the failures with a fresh attempt budget.  The
+            # journal line lands before the event so waiters observe a
+            # consistent journal.
+            if all(c.status == "done" for c in cells):
+                self.journal.sweep_done(sweep.sweep_id)
+            sweep.finished.set()

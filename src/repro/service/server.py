@@ -13,7 +13,9 @@ Endpoints:
 ``POST /submit``         ExperimentSpec JSON (one spec or ``{"specs":
                          [...]}``) -> 202 + sweep id; 400 on a bad spec,
                          429 when the admission queue is full, 503 while
-                         draining.
+                         draining.  Re-sending an explicit ``sweep_id``
+                         with identical cells is idempotent (returns
+                         the existing ticket); different cells -> 409.
 ``GET /sweep/<id>``      Live sweep snapshot (per-cell status, attempts,
                          cache hits).
 ``GET /result/<hash>``   The verified cache entry for one cell.
@@ -45,6 +47,7 @@ from repro.service.scheduler import (
     RunScheduler,
     SchedulerDraining,
     ServiceOverloaded,
+    SweepState,
 )
 from repro.service.specio import SpecError, spec_hash
 
@@ -141,7 +144,38 @@ class ExperimentService:
                 self._sweep_seq += 1
         elif not isinstance(sweep_id, str) or not sweep_id:
             raise SpecError("sweep_id must be a non-empty string")
-        sweep = self.scheduler.submit_sweep(sweep_id, cells)
+        else:
+            # Explicit sweep ids make submit idempotent: a client
+            # retry whose first response was lost re-sends the same
+            # sweep, and re-sending identical cells is acknowledged
+            # with the existing ticket instead of a 409.  Mismatched
+            # cells under a reused id still conflict.
+            duplicate = self._matching_sweep(sweep_id, cells)
+            if duplicate is not None:
+                return self._ticket(duplicate)
+        try:
+            return self._ticket(self.scheduler.submit_sweep(sweep_id, cells))
+        except ValueError:
+            # Two identical submits can race past the check above;
+            # the loser still gets the winner's ticket.
+            duplicate = self._matching_sweep(sweep_id, cells)
+            if duplicate is not None:
+                return self._ticket(duplicate)
+            raise
+
+    def _matching_sweep(self, sweep_id: str, cells) -> Optional[SweepState]:
+        """The existing sweep iff it has exactly these cell hashes."""
+        existing = self.scheduler.sweep(sweep_id)
+        if existing is None:
+            return None
+        if set(existing.cells) == {digest for digest, _ in cells}:
+            return existing
+        raise ValueError(
+            f"sweep {sweep_id!r} already submitted with different cells"
+        )
+
+    @staticmethod
+    def _ticket(sweep: SweepState) -> dict:
         return {
             "sweep_id": sweep.sweep_id,
             "cells": list(sweep.cells),

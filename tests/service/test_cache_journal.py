@@ -117,6 +117,24 @@ class TestRunJournal:
         state = journal.replay()
         assert HASH in state["s000001"].done
 
+    def test_append_after_torn_tail_truncates_the_fragment(self, tmp_path):
+        # A kill -9 mid-append leaves a torn tail with no newline; the
+        # next process's first append must not glue its record onto
+        # the fragment (that would corrupt a mid-file line and poison
+        # every later replay).
+        journal = self.make(tmp_path)
+        journal.sweep_submitted("s000001", [{"hash": HASH, "payload": SPEC}])
+        journal.cell_done("s000001", HASH, cache_hit=False, attempts=1)
+        with open(journal.path, "a") as handle:
+            handle.write('{"kind": "done", "sweep_id": "s0000')  # kill -9
+        restarted = RunJournal(journal.path)  # fresh process
+        restarted.sweep_done("s000001")
+        state = restarted.replay()  # must not raise
+        assert state["s000001"].complete
+        assert HASH in state["s000001"].done
+        for line in journal.path.read_text().splitlines():
+            json.loads(line)  # every surviving line is intact
+
     def test_corruption_elsewhere_raises(self, tmp_path):
         journal = self.make(tmp_path)
         journal.sweep_submitted("s000001", [{"hash": HASH, "payload": SPEC}])
@@ -148,3 +166,16 @@ class TestRunJournal:
         journal.cell_done("s000002", OTHER, cache_hit=False, attempts=1)
         journal.sweep_done("s000002")
         assert journal.replay()["s000002"].complete
+
+    def test_checkpoint_preserves_the_sweep_sequence(self, tmp_path):
+        # Compaction drops completed sweeps but must not let a
+        # restarted server reuse their ids.
+        journal = self.make(tmp_path)
+        journal.sweep_submitted("s000005", [{"hash": HASH, "payload": SPEC}])
+        journal.cell_done("s000005", HASH, cache_hit=False, attempts=1)
+        journal.sweep_done("s000005")
+        journal.checkpoint()
+        assert journal.replay() == {}  # the sweep itself is gone
+        assert journal.next_sweep_seq() == 6  # but its id stays burned
+        journal.checkpoint()  # the high-water-mark survives recompaction
+        assert journal.next_sweep_seq() == 6

@@ -13,7 +13,7 @@ import pytest
 
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.server import ExperimentService, make_server
-from repro.service.specio import spec_hash
+from repro.service.specio import canonical_spec, spec_hash
 
 PAYLOAD = {"workers": 4, "max_iter": 2, "seed": 3}
 
@@ -47,6 +47,7 @@ class TestEndpoints:
         assert snapshot["cells"][digest]["status"] == "done"
         entry = client.result(digest)
         assert entry["spec_hash"] == digest
+        assert entry["spec"] == canonical_spec(PAYLOAD)
         assert "final_params_sha256" in entry["fingerprint"]
 
     def test_multi_spec_sweep_with_explicit_id(self, service_stack):
@@ -102,6 +103,18 @@ class TestEndpoints:
             client.submit([{**PAYLOAD, "seed": 9}], sweep_id="dup")
         assert info.value.status == 409
         client.wait_for_sweep("dup", timeout=60)
+
+    def test_resubmitting_identical_sweep_is_idempotent(self, service_stack):
+        # A client retry after a lost response re-sends the same
+        # sweep_id + cells; the server must acknowledge with the
+        # existing ticket, not 409, and never duplicate the sweep.
+        _, client = service_stack
+        first = client.submit([dict(PAYLOAD)], sweep_id="retry")
+        second = client.submit([dict(PAYLOAD)], sweep_id="retry")
+        assert second == first
+        snapshot = client.wait_for_sweep("retry", timeout=60)
+        assert snapshot["total"] == 1
+        assert client.stats()["runs_computed"] == 1
 
 
 class TestDegradation:
