@@ -1,0 +1,464 @@
+"""Sharded conservative-parallel DES: one simulation, many processes.
+
+The single-threaded engine (:mod:`repro.sim.engine`) tops out at one
+core.  This module partitions a simulation across *shards* — one
+process per shard, each owning a private :class:`Environment` — with
+the classic conservative synchronization argument:
+
+    If every cross-shard interaction takes at least ``lookahead``
+    simulated time (for cluster runs: the minimum cross-shard link
+    latency, which the link model knows at build time), then a shard
+    that has received everything scheduled before ``t`` can simulate
+    the window ``[t, t + lookahead)`` without hearing from its peers.
+
+Two cooperating pieces live here:
+
+* :func:`drive_windows` — the window primitive: drain one environment
+  in lookahead-sized windows, invoking a synchronization callback at
+  each boundary.  ``repro.harness.sharded`` drives replicated cluster
+  environments with it (a barrier per window); the bare engine below
+  uses it implicitly through the same ``run_window`` core.
+
+* :class:`ShardedEngine` — the bare partitioned engine: ``n_shards``
+  processes, each running its own event loop over its own workload.
+  Cross-shard events travel in per-window batches over inter-process
+  queues and are injected at the destination in the **deterministic
+  merge order** ``(time, priority, seq, shard)``, so a run is
+  bit-reproducible for a fixed shard count.  All emission goes through
+  :meth:`ShardContext.send` (which stamps the merge key and enforces
+  the lookahead contract) and all injection through the sorted merge —
+  the ``det-shard-merge`` lint rule flags any bypass.
+
+Determinism notes: the engine never reads wall-clock time itself — the
+optional ``clock`` callable (injected by harness code, which is allowed
+to read clocks) only feeds the idle/sync-wait accounting in the shard
+reports, never any simulated quantity.  When process spawning is
+unavailable the engine degrades to an in-process serial mode that
+replays the identical window/merge schedule, so results are unchanged.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.sim.engine import Environment
+from repro.sim.events import NORMAL, Event
+
+#: One cross-shard message: ``(dst_shard, time, priority, seq,
+#: src_shard, payload)``.  ``seq`` is the emitting shard's running
+#: counter; ``(time, priority, seq, src_shard)`` is the merge key.
+CrossShardMessage = Tuple[int, float, int, int, int, Any]
+
+
+def merge_order(message: CrossShardMessage) -> Tuple[float, int, int, int]:
+    """The deterministic cross-shard merge key: (time, priority, seq, shard)."""
+    _, time, priority, seq, src_shard, _ = message
+    return (time, priority, seq, src_shard)
+
+
+@dataclass
+class WindowStats:
+    """What one windowed drive of an environment did."""
+
+    events: int = 0
+    windows: int = 0
+    sync_wait_seconds: float = 0.0
+
+
+def drive_windows(
+    env: Environment,
+    lookahead: float,
+    sync: Optional[Callable[[float], None]] = None,
+    clock: Optional[Callable[[], float]] = None,
+) -> WindowStats:
+    """Drain ``env`` in conservative windows, synchronizing between them.
+
+    Runs ``[t, t + lookahead)`` where ``t`` is the next event time,
+    then calls ``sync(window_end)`` (a barrier, an exchange, ...) and
+    repeats until the schedule is empty.  Because ``run_window``
+    consumes no sentinel events, the overall event sequence is bitwise
+    identical to one uninterrupted ``env.run()``.
+
+    Args:
+        env: The environment to drain.
+        lookahead: Window length in simulated time (> 0, or ``inf``
+            for a single all-draining window).
+        sync: Called with the window's end time after each window.
+        clock: Optional monotonic-seconds callable used *only* to
+            attribute time spent inside ``sync`` (idle/sync-wait) in
+            the returned stats; never consulted for simulation state.
+    """
+    if lookahead <= 0:
+        raise ValueError(f"lookahead must be > 0, got {lookahead}")
+    stats = WindowStats()
+    inf = float("inf")
+    while True:
+        start = env.peek()
+        if start == inf:
+            return stats
+        end = start + lookahead
+        stats.events += env.run_window(end)
+        stats.windows += 1
+        if sync is not None:
+            if clock is not None:
+                waited = clock()
+                sync(end)
+                stats.sync_wait_seconds += clock() - waited
+            else:
+                sync(end)
+
+
+@dataclass
+class ShardReport:
+    """One shard's side of a :class:`ShardedEngine` run."""
+
+    shard: int
+    events: int
+    windows: int
+    cross_sent: int
+    cross_received: int
+    sync_wait_seconds: float
+    result: Any = None
+
+
+@dataclass
+class ShardedRunReport:
+    """The merged outcome of a :class:`ShardedEngine` run."""
+
+    n_shards: int
+    lookahead: float
+    mode: str  # "processes" | "serial"
+    rounds: int
+    shards: List[ShardReport] = field(default_factory=list)
+
+    @property
+    def total_events(self) -> int:
+        return sum(report.events for report in self.shards)
+
+    @property
+    def cross_messages(self) -> int:
+        return sum(report.cross_sent for report in self.shards)
+
+    def results(self) -> List[Any]:
+        return [report.result for report in self.shards]
+
+
+class ShardContext:
+    """What a shard's workload sees: its environment plus the fabric.
+
+    The workload's ``build(ctx)`` callback registers processes on
+    ``ctx.env``, may set ``ctx.on_message`` to receive cross-shard
+    payloads, and emits cross-shard events only through :meth:`send` —
+    the single sanctioned path onto the deterministic merge.
+    """
+
+    __slots__ = (
+        "env",
+        "shard",
+        "n_shards",
+        "lookahead",
+        "on_message",
+        "result",
+        "cross_sent",
+        "cross_received",
+        "_outbox",
+        "_seq",
+    )
+
+    def __init__(
+        self, env: Environment, shard: int, n_shards: int, lookahead: float
+    ) -> None:
+        self.env = env
+        self.shard = shard
+        self.n_shards = n_shards
+        self.lookahead = lookahead
+        self.on_message: Optional[Callable[["ShardContext", Any], None]] = None
+        self.result: Any = None
+        self.cross_sent = 0
+        self.cross_received = 0
+        self._outbox: List[CrossShardMessage] = []
+        self._seq = count()
+
+    def send(
+        self,
+        dst_shard: int,
+        delay: float,
+        payload: Any = None,
+        priority: int = NORMAL,
+    ) -> None:
+        """Emit a cross-shard event ``delay`` simulated time from now.
+
+        The conservative contract is enforced here: a remote delivery
+        closer than the lookahead could land in a window the receiver
+        has already simulated, so it is rejected loudly.
+        """
+        if not 0 <= dst_shard < self.n_shards:
+            raise ValueError(f"dst_shard {dst_shard} out of range")
+        if dst_shard != self.shard and delay < self.lookahead:
+            raise ValueError(
+                f"cross-shard delay {delay} violates the conservative "
+                f"lookahead {self.lookahead}"
+            )
+        self.cross_sent += 1
+        self._outbox.append(
+            (
+                dst_shard,
+                self.env.now + delay,
+                priority,
+                next(self._seq),
+                self.shard,
+                payload,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Fabric side (engine internals)
+    # ------------------------------------------------------------------
+    def _drain_outbox(self) -> List[CrossShardMessage]:
+        outbox, self._outbox = self._outbox, []
+        return outbox
+
+    def _inject(self, inbox: Sequence[CrossShardMessage]) -> None:
+        """Schedule received messages in deterministic merge order.
+
+        This is the single sanctioned injection path: the batch is
+        sorted by ``(time, priority, seq, shard)`` before any event id
+        is drawn, so the destination heap's tie-break order — and with
+        it the whole downstream simulation — is independent of queue
+        arrival order.
+        """
+        env = self.env
+        queue = env._queue
+        eid = env._eid
+        for message in sorted(inbox, key=merge_order):
+            _, time, priority, _, _, payload = message
+            event = Event(env)
+            event._ok = True
+            event._value = payload
+            event.callbacks.append(self._dispatch)
+            heapq.heappush(queue, (time, priority, next(eid), event))
+            self.cross_received += 1
+
+    def _dispatch(self, event: Event) -> None:
+        if self.on_message is not None:
+            self.on_message(self, event.value)
+
+    def _report(self, stats: WindowStats) -> ShardReport:
+        return ShardReport(
+            shard=self.shard,
+            events=stats.events,
+            windows=stats.windows,
+            cross_sent=self.cross_sent,
+            cross_received=self.cross_received,
+            sync_wait_seconds=stats.sync_wait_seconds,
+            result=self.result,
+        )
+
+
+class ShardedEngine:
+    """A conservatively synchronized, process-per-shard event loop.
+
+    Args:
+        n_shards: Number of shards (>= 1).
+        lookahead: Minimum cross-shard interaction delay (> 0).
+        build: ``build(ctx)`` — called once per shard (inside the shard
+            process) to register that shard's workload on ``ctx.env``.
+        clock: Optional monotonic-seconds callable for idle/sync-wait
+            accounting (injected by harness code; the engine itself
+            never reads wall clocks).
+
+    The run protocol is parent-mediated: each round, every shard
+    reports its next local event time and its outbox; the parent
+    computes the global window ``[min(next), min(next) + lookahead)``,
+    routes each outbox entry to its destination, and releases the
+    shards into the window.  Rounds are lockstep, so the per-round
+    inbox composition — and therefore the merged event order — is a
+    pure function of the workload.
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        lookahead: float,
+        build: Callable[[ShardContext], None],
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if lookahead <= 0:
+            raise ValueError(f"lookahead must be > 0, got {lookahead}")
+        self.n_shards = n_shards
+        self.lookahead = lookahead
+        self.build = build
+        self.clock = clock
+
+    # ------------------------------------------------------------------
+    # Serial reference mode (also the no-process fallback)
+    # ------------------------------------------------------------------
+    def run_serial(self) -> ShardedRunReport:
+        """Run every shard in-process, interleaved window by window.
+
+        Replays exactly the window/merge schedule of the process mode,
+        so results (event counts, merge order, workload results) are
+        identical — this is both the graceful-degradation path and the
+        determinism oracle the tests compare the process mode against.
+        """
+        contexts = []
+        for shard in range(self.n_shards):
+            ctx = ShardContext(
+                Environment(), shard, self.n_shards, self.lookahead
+            )
+            self.build(ctx)
+            contexts.append(ctx)
+        stats = [WindowStats() for _ in contexts]
+        rounds = 0
+        inf = float("inf")
+        pending: List[CrossShardMessage] = []
+        while True:
+            horizon = min(
+                (ctx.env.peek() for ctx in contexts), default=inf
+            )
+            if pending:
+                horizon = min(horizon, min(m[1] for m in pending))
+            if horizon == inf:
+                break
+            if pending:
+                for shard, ctx in enumerate(contexts):
+                    ctx._inject([m for m in pending if m[0] == shard])
+                pending = []
+            end = horizon + self.lookahead
+            rounds += 1
+            for shard, ctx in enumerate(contexts):
+                stats[shard].events += ctx.env.run_window(end)
+                stats[shard].windows += 1
+                pending.extend(ctx._drain_outbox())
+        report = ShardedRunReport(
+            n_shards=self.n_shards,
+            lookahead=self.lookahead,
+            mode="serial",
+            rounds=rounds,
+        )
+        report.shards = [
+            ctx._report(stat) for ctx, stat in zip(contexts, stats)
+        ]
+        return report
+
+    # ------------------------------------------------------------------
+    # Process mode
+    # ------------------------------------------------------------------
+    def run(self, processes: bool = True) -> ShardedRunReport:
+        """Run the sharded simulation and return the merged report.
+
+        Falls back to :meth:`run_serial` — with a result bit-identical
+        by construction — when ``processes`` is false, only one shard
+        exists, or worker processes cannot be spawned.
+        """
+        if not processes or self.n_shards == 1:
+            return self.run_serial()
+        try:
+            return self._run_processes()
+        except (ImportError, OSError):
+            return self.run_serial()
+
+    def _run_processes(self) -> ShardedRunReport:
+        import multiprocessing
+
+        mp = multiprocessing.get_context("fork")
+        up_queue = mp.SimpleQueue()
+        down_queues = [mp.SimpleQueue() for _ in range(self.n_shards)]
+        workers = [
+            mp.Process(
+                target=_shard_main,
+                args=(
+                    shard,
+                    self,
+                    up_queue,
+                    down_queues[shard],
+                ),
+                daemon=True,
+            )
+            for shard in range(self.n_shards)
+        ]
+        for worker in workers:
+            worker.start()
+        try:
+            return self._mediate(up_queue, down_queues)
+        finally:
+            for worker in workers:
+                worker.join(timeout=60.0)
+                if worker.is_alive():  # pragma: no cover - hung shard
+                    worker.terminate()
+                    worker.join()
+
+    def _mediate(self, up_queue, down_queues) -> ShardedRunReport:
+        """The parent's half of the lockstep round protocol."""
+        inf = float("inf")
+        rounds = 0
+        pending: List[CrossShardMessage] = []
+        reports: List[Optional[ShardReport]] = [None] * self.n_shards
+        while True:
+            next_times = [inf] * self.n_shards
+            for _ in range(self.n_shards):
+                kind, shard, value, outbox = up_queue.get()
+                if kind == "error":  # pragma: no cover - shard crash
+                    raise RuntimeError(f"shard {shard} failed: {value}")
+                next_times[shard] = value
+                pending.extend(outbox)
+            horizon = min(next_times)
+            if pending:
+                horizon = min(horizon, min(m[1] for m in pending))
+            if horizon == inf:
+                break
+            rounds += 1
+            for shard, down_queue in enumerate(down_queues):
+                inbox = [m for m in pending if m[0] == shard]
+                # Sanctioned merge handoff: the shard injects this batch
+                # through ShardContext._inject (sorted by merge_order).
+                down_queue.put(("run", horizon + self.lookahead, inbox))  # repro: ignore[det-shard-merge]
+            pending = []
+        for down_queue in down_queues:
+            down_queue.put(("done", None, None))  # repro: ignore[det-shard-merge]
+        for _ in range(self.n_shards):
+            kind, shard, value, _ = up_queue.get()
+            if kind != "report":  # pragma: no cover - protocol breach
+                raise RuntimeError(f"unexpected shard message {kind!r}")
+            reports[shard] = value
+        report = ShardedRunReport(
+            n_shards=self.n_shards,
+            lookahead=self.lookahead,
+            mode="processes",
+            rounds=rounds,
+        )
+        report.shards = list(reports)
+        return report
+
+
+def _shard_main(shard: int, engine: ShardedEngine, up_queue, down_queue):
+    """One shard process: build, then lockstep rounds until done."""
+    try:
+        ctx = ShardContext(
+            Environment(), shard, engine.n_shards, engine.lookahead
+        )
+        engine.build(ctx)
+        clock = engine.clock
+        stats = WindowStats()
+        while True:
+            # Report readiness: next local event time plus this
+            # window's outbox (merge-key-stamped by ShardContext.send).
+            up_queue.put(("state", shard, ctx.env.peek(), ctx._drain_outbox()))  # repro: ignore[det-shard-merge]
+            waited = clock() if clock is not None else 0.0
+            command, end, inbox = down_queue.get()
+            if clock is not None:
+                stats.sync_wait_seconds += clock() - waited
+            if command == "done":
+                break
+            ctx._inject(inbox)
+            stats.events += ctx.env.run_window(end)
+            stats.windows += 1
+        up_queue.put(("report", shard, ctx._report(stats), None))  # repro: ignore[det-shard-merge]
+    except BaseException as error:  # pragma: no cover - shard crash
+        up_queue.put(("error", shard, repr(error), None))  # repro: ignore[det-shard-merge]
+        raise

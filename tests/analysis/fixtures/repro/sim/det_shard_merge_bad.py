@@ -1,0 +1,5 @@
+"""Fixture: det-shard-merge must flag a raw cross-shard queue put."""
+
+
+def route(out_queue, message):
+    out_queue.put(message)

@@ -1,0 +1,5 @@
+"""Fixture: cross-shard emission goes through the sanctioned merge."""
+
+
+def route(ctx, dst_shard, delay, payload):
+    ctx.send(dst_shard, delay, payload)

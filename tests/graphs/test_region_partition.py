@@ -1,0 +1,119 @@
+"""Property tests for the sharded engine's region partitioner.
+
+The region map is the ownership contract for the shared-memory
+parameter plane (:mod:`repro.harness.sharded`), so these invariants
+are load-bearing: exact-once coverage, determinism under membership
+history permutation, departed workers staying departed, and the
+conservative lookahead actually bounding every cross-shard edge.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import ring
+from repro.graphs.topology import region_owner_map, region_partition
+from repro.net.links import uniform_links
+from repro.net.network import min_cross_shard_latency
+
+
+@given(
+    n=st.integers(min_value=2, max_value=48),
+    n_shards=st.integers(min_value=1, max_value=12),
+)
+def test_exact_once_coverage_and_balance(n, n_shards):
+    topo = ring(n)
+    regions = region_partition(topo, n_shards)
+    assert len(regions) == n_shards
+    flat = [wid for region in regions for wid in region]
+    # Every active worker in exactly one region, none invented.
+    assert sorted(flat) == list(topo.active_nodes())
+    assert len(flat) == len(set(flat))
+    # Balance: populated region sizes differ by at most one.
+    sizes = [len(region) for region in regions]
+    populated = [size for size in sizes if size]
+    if populated:
+        assert max(populated) - min(populated) <= 1
+    # Regions are sorted id blocks (the plane-ownership convention).
+    for region in regions:
+        assert list(region) == sorted(region)
+
+
+@given(
+    n=st.integers(min_value=4, max_value=24),
+    n_shards=st.integers(min_value=1, max_value=6),
+    data=st.data(),
+)
+@settings(max_examples=60)
+def test_partition_ignores_membership_history_order(n, n_shards, data):
+    # Two different removal orders ending at the same active set must
+    # produce the identical region map: the partition is a function of
+    # the active *set*, never of the path that produced it.
+    topo = ring(n)
+    departures = data.draw(
+        st.lists(
+            st.sampled_from(range(n)),
+            min_size=0,
+            max_size=min(3, n - 2),
+            unique=True,
+        )
+    )
+    forward = topo
+    for node in departures:
+        forward = forward.without_node(node)
+    backward = topo
+    for node in reversed(departures):
+        backward = backward.without_node(node)
+    assert region_partition(forward, n_shards) == region_partition(
+        backward, n_shards
+    )
+
+
+@given(
+    n=st.integers(min_value=4, max_value=24),
+    n_shards=st.integers(min_value=1, max_value=6),
+    data=st.data(),
+)
+@settings(max_examples=60)
+def test_departed_worker_never_resurrects(n, n_shards, data):
+    topo = ring(n)
+    departed = data.draw(st.sampled_from(range(n)))
+    shrunk = topo.without_node(departed)
+    regions = region_partition(shrunk, n_shards)
+    assert all(departed not in region for region in regions)
+    owners = region_owner_map(regions)
+    assert departed not in owners
+    assert set(owners) == set(shrunk.active_nodes())
+
+
+@given(
+    n=st.integers(min_value=2, max_value=32),
+    n_shards=st.integers(min_value=2, max_value=8),
+)
+def test_lookahead_bounds_every_cross_shard_edge(n, n_shards):
+    topo = ring(n)
+    regions = region_partition(topo, n_shards)
+    links = uniform_links()
+    lookahead = min_cross_shard_latency(links, regions, edges=topo.edges)
+    owners = region_owner_map(regions)
+    cross = [
+        (src, dst)
+        for src, dst in topo.edges
+        if src != dst and owners[src] != owners[dst]
+    ]
+    if not cross:
+        assert lookahead == float("inf")
+        return
+    assert lookahead > 0
+    for src, dst in cross:
+        assert links.link(src, dst).latency >= lookahead
+
+
+def test_owner_map_rejects_duplicates():
+    with pytest.raises(ValueError):
+        region_owner_map(((0, 1), (1, 2)))
+
+
+def test_partition_rejects_nonpositive_shards():
+    with pytest.raises(ValueError):
+        region_partition(ring(4), 0)

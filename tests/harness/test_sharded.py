@@ -1,0 +1,161 @@
+"""The sharded harness runner: bitwise parity with the 1-shard path.
+
+The contract under test is the headline acceptance criterion of the
+sharded engine: for any shardable spec, ``run_spec_sharded(spec, N)``
+is *bitwise* identical to ``run_spec(spec)`` — same fingerprint, same
+final parameter bytes — because every shard replays the identical
+control timeline and only the numerics are partitioned.
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness.golden import conformance_spec, golden_fingerprint
+from repro.harness.parallel import set_default_shards
+from repro.harness.sharded import (
+    SharedUpdate,
+    ShardPlane,
+    resolve_shards,
+    run_spec_sharded,
+    run_spec_sharded_with_stats,
+    shard_plan,
+)
+from repro.harness.spec import run_spec
+
+
+@pytest.fixture(autouse=True)
+def reset_shards():
+    yield
+    set_default_shards(None)
+
+
+@pytest.fixture(scope="module")
+def golden_cell():
+    spec = conformance_spec("hop", "none")
+    run = run_spec(spec)
+    return spec, run, golden_fingerprint(run)
+
+
+def assert_bitwise_equal(sharded, baseline, fingerprint):
+    assert golden_fingerprint(sharded) == fingerprint
+    assert np.array_equal(sharded.final_params, baseline.final_params)
+    assert sharded.final_loss == baseline.final_loss
+    assert sharded.final_accuracy == baseline.final_accuracy
+
+
+class TestBitwiseParity:
+    def test_two_shards_threads(self, golden_cell):
+        spec, baseline, fingerprint = golden_cell
+        sharded = run_spec_sharded(spec, shards=2, processes=False)
+        assert_bitwise_equal(sharded, baseline, fingerprint)
+
+    def test_two_shards_processes(self, golden_cell):
+        spec, baseline, fingerprint = golden_cell
+        sharded = run_spec_sharded(spec, shards=2, processes=True)
+        assert_bitwise_equal(sharded, baseline, fingerprint)
+
+    def test_three_shards_on_timing_scenario(self):
+        spec = conformance_spec("hop", "random")
+        baseline = run_spec(spec)
+        sharded = run_spec_sharded(spec, shards=3, processes=False)
+        assert_bitwise_equal(
+            sharded, baseline, golden_fingerprint(baseline)
+        )
+
+    def test_shard_count_clamps_to_population(self, golden_cell):
+        # More shards than workers: clamp, don't crash, stay bitwise.
+        spec, baseline, fingerprint = golden_cell
+        sharded = run_spec_sharded(spec, shards=64, processes=False)
+        assert_bitwise_equal(sharded, baseline, fingerprint)
+
+
+class TestPassthroughAndStats:
+    def test_single_shard_is_plain_run_spec(self, golden_cell):
+        spec, _baseline, fingerprint = golden_cell
+        run, rows = run_spec_sharded_with_stats(spec, shards=1)
+        assert golden_fingerprint(run) == fingerprint
+        assert rows == []
+
+    def test_shard_rows_cover_every_worker(self, golden_cell):
+        spec, _baseline, _fingerprint = golden_cell
+        _run, rows = run_spec_sharded_with_stats(
+            spec, shards=2, processes=False
+        )
+        assert [row["shard"] for row in rows] == [0, 1]
+        assert sum(row["owned_workers"] for row in rows) == spec.topology.n
+        for row in rows:
+            assert row["events"] > 0
+            assert row["windows"] > 0
+            assert row["sync_wait_seconds"] >= 0.0
+
+
+class TestGating:
+    def test_rejects_non_hop_protocols(self):
+        spec = conformance_spec("adpsgd", "none")
+        with pytest.raises(ValueError, match="cannot run sharded"):
+            run_spec_sharded(spec, shards=2)
+
+    def test_rejects_crash_scenarios(self):
+        spec = conformance_spec("hop", "crash")
+        with pytest.raises(ValueError, match="cannot run sharded"):
+            run_spec_sharded(spec, shards=2)
+
+    def test_rejects_compressed_specs(self):
+        from repro.harness.golden import compression_conformance_spec
+
+        spec = compression_conformance_spec("hop", "topk")
+        with pytest.raises(ValueError, match="cannot run sharded"):
+            run_spec_sharded(spec, shards=2)
+
+    def test_shard_plan_covers_workers(self, golden_cell):
+        spec, _baseline, _fingerprint = golden_cell
+        regions, lookahead = shard_plan(spec, 2)
+        assert len(regions) == 2
+        assert lookahead > 0
+        flat = sorted(wid for region in regions for wid in region)
+        assert flat == list(spec.topology.active_nodes())
+
+
+class TestShardsResolution:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "7")
+        assert resolve_shards(3) == 3
+
+    def test_env_var_used_when_unset(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "5")
+        assert resolve_shards(None) == 5
+
+    def test_configured_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "5")
+        set_default_shards(2)
+        assert resolve_shards(None) == 2
+
+    def test_unset_defaults_to_one_shard(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHARDS", raising=False)
+        assert resolve_shards(None) == 1
+
+    def test_zero_means_auto(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "4")
+        assert resolve_shards(0) == 4
+
+
+class TestSharedPlane:
+    def test_update_views_ring_slot(self):
+        plane = ShardPlane(n=3, dim=4, dtype=np.float64, slots=6)
+        plane.ring[1, 2 % 6, :] = np.arange(4, dtype=np.float64)
+        update = SharedUpdate(plane.ring, sender=1, iteration=2, slots=6)
+        assert update.sender == 1
+        assert update.iteration == 2
+        np.testing.assert_array_equal(
+            update.params, np.arange(4, dtype=np.float64)
+        )
+        assert not update.params.flags.writeable
+
+    def test_matches_filters(self):
+        plane = ShardPlane(n=2, dim=2, dtype=np.float64, slots=4)
+        update = SharedUpdate(plane.ring, sender=0, iteration=3, slots=4)
+        assert update.matches()
+        assert update.matches(iteration=3)
+        assert update.matches(sender=0)
+        assert not update.matches(iteration=2)
+        assert not update.matches(sender=1)

@@ -1,0 +1,178 @@
+"""The bare sharded DES engine: windows, merge order, determinism.
+
+The headline contract: the process-per-shard mode and the in-process
+serial mode replay the *identical* window/merge schedule, and a
+window-driven environment is bitwise-equivalent to an uninterrupted
+``env.run()``.
+"""
+
+import pytest
+
+from repro.sim.engine import Environment
+from repro.sim.sharded import (
+    ShardContext,
+    ShardedEngine,
+    drive_windows,
+    merge_order,
+)
+
+
+def ticker(env, delay, count, log, tag):
+    for _ in range(count):
+        yield env.timeout(delay)
+        log.append((tag, env.now))
+
+
+def build_tickers(ctx):
+    ctx.result = []
+    for i in range(3):
+        ctx.env.process(
+            ticker(ctx.env, 1.0 + ctx.shard * 0.1 + i * 0.01, 20,
+                   ctx.result, f"s{ctx.shard}t{i}")
+        )
+
+
+def build_with_cross_traffic(ctx):
+    ctx.result = {"ticks": [], "received": []}
+
+    def on_message(context, payload):
+        context.result["received"].append((context.env.now, payload))
+
+    ctx.on_message = on_message
+
+    def courier(ctx):
+        dst = (ctx.shard + 1) % ctx.n_shards
+        for k in range(10):
+            ctx.send(dst, ctx.lookahead + 0.25, payload=(ctx.shard, k))
+            yield ctx.env.timeout(1.0)
+
+    ctx.env.process(
+        ticker(ctx.env, 0.7 + ctx.shard * 0.05, 15, ctx.result["ticks"],
+               f"s{ctx.shard}")
+    )
+    ctx.env.process(courier(ctx))
+
+
+# ----------------------------------------------------------------------
+# drive_windows: windowed drive == uninterrupted run
+# ----------------------------------------------------------------------
+def test_windowed_drive_is_bitwise_equivalent_to_run():
+    def workload(env, log):
+        for i in range(4):
+            env.process(ticker(env, 1.0 + i * 0.01, 25, log, f"t{i}"))
+
+    plain_env, plain_log = Environment(), []
+    workload(plain_env, plain_log)
+    plain_env.run()
+
+    for lookahead in (0.1, 1.0, 7.5, float("inf")):
+        windowed_env, windowed_log = Environment(), []
+        workload(windowed_env, windowed_log)
+        stats = drive_windows(windowed_env, lookahead)
+        assert windowed_log == plain_log
+        assert windowed_env.now == plain_env.now
+        assert stats.events > 0
+        if lookahead == float("inf"):
+            assert stats.windows == 1
+
+
+def test_drive_windows_counts_sync_boundaries():
+    env, log = Environment(), []
+    env.process(ticker(env, 1.0, 10, log, "t"))
+    boundaries = []
+    stats = drive_windows(env, 2.5, sync=boundaries.append)
+    assert stats.windows == len(boundaries)
+    assert boundaries == sorted(boundaries)
+
+
+def test_drive_windows_rejects_nonpositive_lookahead():
+    with pytest.raises(ValueError):
+        drive_windows(Environment(), 0.0)
+    with pytest.raises(ValueError):
+        drive_windows(Environment(), -1.0)
+
+
+# ----------------------------------------------------------------------
+# Merge order and the lookahead contract
+# ----------------------------------------------------------------------
+def test_merge_key_shape():
+    message = (1, 3.5, 0, 7, 2, "payload")
+    assert merge_order(message) == (3.5, 0, 7, 2)
+
+
+def test_send_enforces_conservative_lookahead():
+    ctx = ShardContext(Environment(), shard=0, n_shards=2, lookahead=1.0)
+    with pytest.raises(ValueError):
+        ctx.send(1, 0.5)
+    ctx.send(1, 1.0)  # exactly the lookahead is legal
+    ctx.send(0, 0.0)  # local sends may be immediate
+    with pytest.raises(ValueError):
+        ctx.send(5, 2.0)  # out of range
+
+
+def test_inject_orders_batch_deterministically():
+    received = []
+    ctx = ShardContext(Environment(), shard=0, n_shards=2, lookahead=1.0)
+    ctx.on_message = lambda _ctx, payload: received.append(payload)
+    # Arrival order scrambled; merge key (time, priority, seq, shard)
+    # must decide the dispatch order.
+    batch = [
+        (0, 2.0, 1, 5, 1, "late"),
+        (0, 1.0, 1, 9, 1, "early-b"),
+        (0, 1.0, 0, 9, 1, "early-urgent"),
+        (0, 1.0, 1, 2, 0, "early-a"),
+    ]
+    ctx._inject(batch)
+    ctx.env.run()
+    assert received == ["early-urgent", "early-a", "early-b", "late"]
+    assert ctx.cross_received == 4
+
+
+# ----------------------------------------------------------------------
+# Engine: serial == processes, bit for bit
+# ----------------------------------------------------------------------
+def _normalized(report):
+    return {
+        "rounds": report.rounds,
+        "shards": [
+            (r.shard, r.events, r.windows, r.cross_sent, r.cross_received,
+             r.result)
+            for r in report.shards
+        ],
+    }
+
+
+def test_serial_and_process_modes_agree_without_cross_traffic():
+    serial = ShardedEngine(3, 1.0, build_tickers).run_serial()
+    procs = ShardedEngine(3, 1.0, build_tickers).run(processes=True)
+    assert _normalized(serial) == _normalized(procs)
+    assert serial.total_events == procs.total_events
+
+
+def test_serial_and_process_modes_agree_with_cross_traffic():
+    serial = ShardedEngine(3, 0.5, build_with_cross_traffic).run_serial()
+    procs = ShardedEngine(3, 0.5, build_with_cross_traffic).run(
+        processes=True
+    )
+    assert _normalized(serial) == _normalized(procs)
+    assert serial.cross_messages == 30
+    assert procs.mode in ("processes", "serial")  # serial iff no fork
+
+
+def test_serial_mode_is_deterministic_across_repeats():
+    first = ShardedEngine(2, 0.5, build_with_cross_traffic).run_serial()
+    second = ShardedEngine(2, 0.5, build_with_cross_traffic).run_serial()
+    assert _normalized(first) == _normalized(second)
+
+
+def test_single_shard_uses_serial_path():
+    report = ShardedEngine(1, 1.0, build_tickers).run(processes=True)
+    assert report.mode == "serial"
+    assert report.n_shards == 1
+
+
+def test_engine_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        ShardedEngine(0, 1.0, build_tickers)
+    with pytest.raises(ValueError):
+        ShardedEngine(2, 0.0, build_tickers)
